@@ -1,0 +1,40 @@
+# privtree — reproduction of "Preservation Of Patterns and Input-Output
+# Privacy" (ICDE 2007). Stdlib-only; see README.md.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench=. -benchmem ./...
+
+# Regenerates every paper table/figure at full scale (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -run all -n 60000 -trials 101
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/biomarker
+	$(GO) run ./examples/insurance
+	$(GO) run ./examples/attacklab
+	$(GO) run ./examples/mixedtypes
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

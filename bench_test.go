@@ -1,0 +1,420 @@
+package privtree
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"privtree/internal/experiments"
+	"privtree/internal/perturb"
+	"privtree/internal/synth"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+// benchConfig keeps the per-iteration cost of the experiment benchmarks
+// bounded; run cmd/experiments for the full-scale numbers recorded in
+// EXPERIMENTS.md.
+func benchConfig(seed int64) *experiments.Config {
+	return &experiments.Config{
+		N: 5000, Trials: 11, Seed: seed, RhoFrac: 0.02, W: 20, MinWidth: 5,
+	}
+}
+
+// --- One benchmark per paper table/figure ---------------------------
+
+// BenchmarkFig8Stats regenerates the Figure 8 attribute-statistics
+// table (experiment E2 in DESIGN.md).
+func BenchmarkFig8Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig9DomainDisclosure regenerates the Figure 9 domain
+// disclosure comparison (E3).
+func BenchmarkFig9DomainDisclosure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkTable622AttackGrid regenerates the Section 6.2.2 attack ×
+// transformation grid (E4).
+func BenchmarkTable622AttackGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Table622(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig10Combination regenerates the Figure 10 combination
+// attack (E5).
+func BenchmarkFig10Combination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig11Sorting regenerates the Figure 11 sorting-attack worst
+// case (E6).
+func BenchmarkFig11Sorting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig12Subspace regenerates the Figure 12 subspace association
+// risks (E7).
+func BenchmarkFig12Subspace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		cfg.Trials = 5 // subspace trials transform full columns
+		res, err := experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkTable64Pattern regenerates the Section 6.4 pattern-disclosure
+// table (E8).
+func BenchmarkTable64Pattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Table64(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkGuarantee regenerates the no-outcome-change verification
+// (E9, Theorems 1–2).
+func BenchmarkGuarantee(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Guarantee(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cases {
+			if !c.OK {
+				b.Fatalf("guarantee violated: %+v", c)
+			}
+		}
+	}
+}
+
+// BenchmarkPerturbBaseline regenerates the random-perturbation contrast
+// (E10).
+func BenchmarkPerturbBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.PerturbBaseline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// --- Core-operation microbenchmarks ---------------------------------
+
+func benchData(b *testing.B, n int) *Dataset {
+	b.Helper()
+	d, err := synth.Covertype(rand.New(rand.NewSource(1)), n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkEncode measures full-dataset encoding throughput.
+func BenchmarkEncode(b *testing.B) {
+	d := benchData(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Encode(d, EncodeOptions{}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMine measures decision-tree induction on the original data.
+func BenchmarkMine(b *testing.B) {
+	d := benchData(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(d, TreeConfig{MinLeaf: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeTree measures the custodian-side decode.
+func BenchmarkDecodeTree(b *testing.B) {
+	d := benchData(b, 20000)
+	enc, key, err := Encode(d, EncodeOptions{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mined, err := Mine(enc, TreeConfig{MinLeaf: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTree(mined, key, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeyApply measures single-value transformation throughput.
+func BenchmarkKeyApply(b *testing.B) {
+	d := benchData(b, 5000)
+	_, key, err := Encode(d, EncodeOptions{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ak := key.Attrs[0]
+	lo, hi := ak.DomRange()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := lo + (hi-lo)*float64(i%1000)/1000
+		ak.Invert(ak.Apply(x))
+	}
+}
+
+// BenchmarkPerturbReconstruct measures the Agrawal–Srikant Bayesian
+// reconstruction used by the baseline.
+func BenchmarkPerturbReconstruct(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	noise := perturb.Noise{Kind: perturb.Gaussian, Scale: 5}
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = 50 + 10*rng.NormFloat64() + noise.Sample(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perturb.Reconstruct(vals, noise, 0, 100, 20, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations of the design choices in DESIGN.md §5 ------------------
+
+// BenchmarkAblationRunBoundarySplit compares split search restricted to
+// label-run boundaries (Lemma 2) against the exhaustive scan.
+func BenchmarkAblationRunBoundarySplit(b *testing.B) {
+	d := benchData(b, 20000)
+	for _, sub := range []struct {
+		name string
+		cfg  tree.Config
+	}{
+		{"run-boundaries", tree.Config{MinLeaf: 5}},
+		{"full-scan", tree.Config{MinLeaf: 5, FullSplitScan: true}},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Build(d, sub.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBreakpoints sweeps the breakpoint count w: more
+// pieces cost more to encode but shrink the attack surface.
+func BenchmarkAblationBreakpoints(b *testing.B) {
+	d := benchData(b, 10000)
+	for _, w := range []int{1, 5, 20, 80} {
+		b.Run(benchName("w", w), func(b *testing.B) {
+			opts := EncodeOptions{Strategy: StrategyBP, Breakpoints: w}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Encode(d, opts, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMinPieceWidth sweeps the monochromatic piece width
+// threshold of ChooseMaxMP.
+func BenchmarkAblationMinPieceWidth(b *testing.B) {
+	d := benchData(b, 10000)
+	for _, mw := range []int{1, 5, 25} {
+		b.Run(benchName("minwidth", mw), func(b *testing.B) {
+			opts := EncodeOptions{Strategy: StrategyMaxMP, MinPieceWidth: mw}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Encode(d, opts, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCriterion compares gini and entropy induction cost.
+func BenchmarkAblationCriterion(b *testing.B) {
+	d := benchData(b, 20000)
+	for _, sub := range []struct {
+		name string
+		crit tree.Criterion
+	}{{"gini", tree.Gini}, {"entropy", tree.Entropy}} {
+		b.Run(sub.name, func(b *testing.B) {
+			cfg := tree.Config{MinLeaf: 5, Criterion: sub.crit}
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Build(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrientation compares canonical-orientation mining
+// (the default, anti-monotone safe) against raw orientation.
+func BenchmarkAblationOrientation(b *testing.B) {
+	d := benchData(b, 20000)
+	for _, sub := range []struct {
+		name string
+		o    tree.Orientation
+	}{{"canonical", tree.OrientationCanonical}, {"raw", tree.OrientationRaw}} {
+		b.Run(sub.name, func(b *testing.B) {
+			cfg := tree.Config{MinLeaf: 5, Orientation: sub.o}
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Build(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStrategy compares the encoding cost of the three
+// breakpoint strategies.
+func BenchmarkAblationStrategy(b *testing.B) {
+	d := benchData(b, 10000)
+	for _, sub := range []struct {
+		name  string
+		strat transform.Strategy
+	}{
+		{"none", StrategyNone}, {"choosebp", StrategyBP}, {"choosemaxmp", StrategyMaxMP},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			opts := EncodeOptions{Strategy: sub.strat}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Encode(d, opts, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	digits := ""
+	if v == 0 {
+		digits = "0"
+	}
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return prefix + "=" + digits
+}
+
+// BenchmarkProtections regenerates the unified protection-mechanism
+// comparison (order-preserving / k-anonymity / perturbation / piecewise).
+func BenchmarkProtections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Protections(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkSVMExt regenerates the Section 7 SVM future-work
+// demonstration.
+func BenchmarkSVMExt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.SVMExt(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkBadKP regenerates the Section 6.2.1 bad-knowledge-point
+// sensitivity sweep.
+func BenchmarkBadKP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.BadKP(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkAblationRisk regenerates the risk-level ablation sweeps
+// (breakpoint count U-shape, min piece width).
+func BenchmarkAblationRisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Ablation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkAssoc regenerates the §2 association-rule (MASK) contrast.
+func BenchmarkAssoc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(int64(i))
+		res, err := experiments.Assoc(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"covertype", "census", "figure1"} {
+		out := filepath.Join(dir, kind+".csv")
+		if err := run(kind, 50, 1, out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		want := 51 // header + 50 tuples
+		if kind == "figure1" {
+			want = 7
+		}
+		if len(lines) != want {
+			t.Errorf("%s: %d lines, want %d", kind, len(lines), want)
+		}
+		if !strings.HasSuffix(lines[0], ",class") {
+			t.Errorf("%s: header = %q", kind, lines[0])
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 10, 1, ""); err == nil {
+		t.Error("expected unknown-kind error")
+	}
+	if err := run("covertype", 0, 1, ""); err == nil {
+		t.Error("expected error for zero tuples")
+	}
+	if err := run("figure1", 5, 1, filepath.Join(t.TempDir(), "no", "dir", "x.csv")); err == nil {
+		t.Error("expected error for unwritable path")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	if err := run("census", 30, 7, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("census", 30, 7, b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Error("same seed should reproduce identical data")
+	}
+}

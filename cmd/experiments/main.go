@@ -1,0 +1,45 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 6) on the calibrated synthetic covertype workload.
+//
+// Usage:
+//
+//	experiments -run fig9                 # one experiment
+//	experiments -run all                  # the whole suite
+//	experiments -run fig9 -n 60000 -trials 101 -rho 0.02
+//
+// Experiments: fig8, fig9, fig10, fig11, fig12, table622, table64,
+// guarantee, perturb.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"privtree/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Default()
+	run := flag.String("run", "all", "experiment to run: all or one of "+strings.Join(experiments.Names(), ", "))
+	flag.IntVar(&cfg.N, "n", cfg.N, "number of synthetic tuples")
+	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "randomized trials per reported median (paper: 500)")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.Float64Var(&cfg.RhoFrac, "rho", cfg.RhoFrac, "crack radius as a fraction of the dynamic range width")
+	flag.IntVar(&cfg.W, "w", cfg.W, "minimum number of breakpoints")
+	flag.IntVar(&cfg.MinWidth, "minwidth", cfg.MinWidth, "monochromatic piece width threshold")
+	flag.StringVar(&cfg.Workload, "data", "covertype", "workload: covertype, covertype-full, census, or wdbc")
+	flag.Parse()
+
+	var err error
+	if *run == "all" {
+		err = experiments.RunAll(cfg, os.Stdout)
+	} else {
+		err = experiments.Run(*run, cfg, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

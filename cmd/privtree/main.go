@@ -1,0 +1,325 @@
+// Command privtree is the custodian's command-line workflow around the
+// privtree library:
+//
+//	privtree encode -in train.csv -out encoded.csv -key key.json [-strategy maxmp] [-w 20] [-seed 7]
+//	    Transform a training data set with a fresh piecewise key. Ship
+//	    encoded.csv to the mining service; keep key.json private.
+//
+//	privtree mine -in encoded.csv [-out tree.json] [-criterion gini] [-minleaf 1] [-maxdepth 0]
+//	    Mine a decision tree (what the service provider runs; it sees
+//	    only encoded values). With -out, write the tree as JSON — the
+//	    artifact the service ships back to the custodian.
+//
+//	privtree decode (-tree tree.json | -in encoded.csv) -orig train.csv -key key.json [...]
+//	    Decode the service's tree (or re-mine the encoded data) into the
+//	    original attribute space — exactly the tree direct mining would
+//	    produce.
+//
+//	privtree risk -in train.csv [-trials 31] [-rho 0.02] [-seed 7]
+//	    Encode and run the attack suite, reporting per-attribute domain
+//	    disclosure, sorting worst case, and pattern disclosure risks.
+//
+//	privtree append -orig train.csv -batch new.csv -key key.json -out batch_enc.csv
+//	    Check that a new batch can reuse the existing key without voiding
+//	    the guarantee, and encode it for shipping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"privtree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "encode":
+		err = cmdEncode(os.Args[2:])
+	case "mine":
+		err = cmdMine(os.Args[2:])
+	case "decode":
+		err = cmdDecode(os.Args[2:])
+	case "risk":
+		err = cmdRisk(os.Args[2:])
+	case "append":
+		err = cmdAppend(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privtree:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: privtree <encode|mine|decode|risk|append> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'privtree <command> -h' for command flags")
+}
+
+// strategyFlag parses the breakpoint strategy names.
+func strategyFlag(s string) (opt privtree.EncodeOptions, err error) {
+	switch s {
+	case "none":
+		opt.Strategy = privtree.StrategyNone
+	case "bp":
+		opt.Strategy = privtree.StrategyBP
+	case "maxmp":
+		opt.Strategy = privtree.StrategyMaxMP
+	default:
+		err = fmt.Errorf("unknown strategy %q (none, bp, maxmp)", s)
+	}
+	return opt, err
+}
+
+func cmdEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV (last column = class)")
+	out := fs.String("out", "", "output CSV for the transformed data")
+	keyPath := fs.String("key", "", "output JSON file for the secret key")
+	strategy := fs.String("strategy", "maxmp", "breakpoint strategy: none, bp, maxmp")
+	w := fs.Int("w", 20, "minimum number of breakpoints")
+	minWidth := fs.Int("minwidth", 5, "monochromatic piece width threshold")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *keyPath == "" {
+		return fmt.Errorf("encode needs -in, -out and -key")
+	}
+	opts, err := strategyFlag(*strategy)
+	if err != nil {
+		return err
+	}
+	opts.Breakpoints = *w
+	opts.MinPieceWidth = *minWidth
+	d, err := privtree.ReadCSVFile(*in)
+	if err != nil {
+		return err
+	}
+	enc, key, err := privtree.Encode(d, opts, *seed)
+	if err != nil {
+		return err
+	}
+	if err := privtree.WriteCSVFile(enc, *out); err != nil {
+		return err
+	}
+	blob, err := privtree.MarshalKey(key)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*keyPath, blob, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d tuples × %d attributes → %s (key: %s)\n",
+		d.NumTuples(), d.NumAttrs(), *out, *keyPath)
+	return nil
+}
+
+// treeFlags registers the shared mining flags.
+func treeFlags(fs *flag.FlagSet) (criterion *string, minLeaf, maxDepth *int) {
+	criterion = fs.String("criterion", "gini", "split criterion: gini or entropy")
+	minLeaf = fs.Int("minleaf", 1, "minimum tuples per leaf")
+	maxDepth = fs.Int("maxdepth", 0, "maximum depth (0 = unlimited)")
+	return
+}
+
+func treeConfig(criterion string, minLeaf, maxDepth int) (privtree.TreeConfig, error) {
+	cfg := privtree.TreeConfig{MinLeaf: minLeaf, MaxDepth: maxDepth}
+	switch criterion {
+	case "gini":
+		cfg.Criterion = privtree.Gini
+	case "entropy":
+		cfg.Criterion = privtree.Entropy
+	default:
+		return cfg, fmt.Errorf("unknown criterion %q", criterion)
+	}
+	return cfg, nil
+}
+
+func cmdMine(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV")
+	out := fs.String("out", "", "optional JSON file for the mined tree (what the service ships back)")
+	criterion, minLeaf, maxDepth := treeFlags(fs)
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("mine needs -in")
+	}
+	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
+	if err != nil {
+		return err
+	}
+	d, err := privtree.ReadCSVFile(*in)
+	if err != nil {
+		return err
+	}
+	t, err := privtree.Mine(d, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tree: %d nodes, %d leaves, depth %d, training accuracy %.2f%%\n",
+		t.NumNodes(), t.NumLeaves(), t.Depth(), 100*t.Accuracy(d))
+	if *out != "" {
+		blob, err := privtree.MarshalTree(t)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("tree written to", *out)
+		return nil
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func cmdDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	in := fs.String("in", "", "encoded CSV (as shipped to the service); used to re-mine when -tree is absent")
+	treePath := fs.String("tree", "", "tree JSON returned by the service (skips re-mining)")
+	orig := fs.String("orig", "", "original CSV (the custodian's copy)")
+	keyPath := fs.String("key", "", "secret key JSON")
+	criterion, minLeaf, maxDepth := treeFlags(fs)
+	fs.Parse(args)
+	if (*in == "" && *treePath == "") || *orig == "" || *keyPath == "" {
+		return fmt.Errorf("decode needs -orig, -key, and one of -in or -tree")
+	}
+	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
+	if err != nil {
+		return err
+	}
+	d, err := privtree.ReadCSVFile(*orig)
+	if err != nil {
+		return err
+	}
+	blob, err := os.ReadFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	key, err := privtree.UnmarshalKey(blob)
+	if err != nil {
+		return err
+	}
+	var mined *privtree.Tree
+	if *treePath != "" {
+		tb, err := os.ReadFile(*treePath)
+		if err != nil {
+			return err
+		}
+		if mined, err = privtree.UnmarshalTree(tb); err != nil {
+			return err
+		}
+	} else {
+		enc, err := privtree.ReadCSVFile(*in)
+		if err != nil {
+			return err
+		}
+		if mined, err = privtree.Mine(enc, cfg); err != nil {
+			return err
+		}
+	}
+	decoded, err := privtree.DecodeTree(mined, key, d)
+	if err != nil {
+		return err
+	}
+	direct, err := privtree.Mine(d, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decoded tree (%d nodes, depth %d); identical to direct mining: %v\n",
+		decoded.NumNodes(), decoded.Depth(), privtree.SameOutcome(direct, decoded, d))
+	fmt.Print(decoded)
+	return nil
+}
+
+// cmdAppend checks whether a new batch can be encoded under an existing
+// key and, if so, writes the encoded batch for shipping to the service.
+func cmdAppend(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	orig := fs.String("orig", "", "original CSV already covered by the key")
+	batchPath := fs.String("batch", "", "new batch CSV to encode under the same key")
+	keyPath := fs.String("key", "", "secret key JSON")
+	out := fs.String("out", "", "output CSV for the encoded batch")
+	fs.Parse(args)
+	if *orig == "" || *batchPath == "" || *keyPath == "" || *out == "" {
+		return fmt.Errorf("append needs -orig, -batch, -key and -out")
+	}
+	d, err := privtree.ReadCSVFile(*orig)
+	if err != nil {
+		return err
+	}
+	b, err := privtree.ReadCSVFile(*batchPath)
+	if err != nil {
+		return err
+	}
+	blob, err := os.ReadFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	key, err := privtree.UnmarshalKey(blob)
+	if err != nil {
+		return err
+	}
+	if err := privtree.CanAppend(key, d, b); err != nil {
+		return fmt.Errorf("batch cannot reuse this key (re-encode everything with a fresh key): %w", err)
+	}
+	encBatch, err := key.Apply(b)
+	if err != nil {
+		return err
+	}
+	if err := privtree.WriteCSVFile(encBatch, *out); err != nil {
+		return err
+	}
+	fmt.Printf("batch of %d tuples encoded under the existing key → %s\n", b.NumTuples(), *out)
+	return nil
+}
+
+func cmdRisk(args []string) error {
+	fs := flag.NewFlagSet("risk", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV")
+	trials := fs.Int("trials", 31, "randomized trials per median")
+	rho := fs.Float64("rho", 0.02, "crack radius as a fraction of range width")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("risk needs -in")
+	}
+	d, err := privtree.ReadCSVFile(*in)
+	if err != nil {
+		return err
+	}
+	enc, key, err := privtree.Encode(d, privtree.EncodeOptions{}, *seed)
+	if err != nil {
+		return err
+	}
+	rep, err := privtree.AssessRisk(d, enc, key, privtree.RiskOptions{
+		RhoFrac: *rho, Trials: *trials, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %10s %14s %10s %10s\n", "attribute", "ignorant", "knowledgeable", "expert", "sorting")
+	for _, ar := range rep.Attrs {
+		names := make([]string, 0, len(ar.Domain))
+		for n := range ar.Domain {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("%-18s %9.1f%% %13.1f%% %9.1f%% %9.1f%%\n", ar.Attr,
+			100*ar.Domain["ignorant"], 100*ar.Domain["knowledgeable"],
+			100*ar.Domain["expert"], 100*ar.SortingWorstCase)
+	}
+	fmt.Printf("pattern disclosure risk: %.2f%%\n", 100*rep.PatternRisk)
+	return nil
+}

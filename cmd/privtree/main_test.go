@@ -1,0 +1,150 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privtree"
+	"privtree/internal/synth"
+)
+
+func writeFixture(t *testing.T, dir string) string {
+	t.Helper()
+	d, err := synth.Covertype(rand.New(rand.NewSource(1)), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "train.csv")
+	if err := privtree.WriteCSVFile(d, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEncodeMineDecodeWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFixture(t, dir)
+	enc := filepath.Join(dir, "enc.csv")
+	key := filepath.Join(dir, "key.json")
+
+	if err := cmdEncode([]string{"-in", train, "-out", enc, "-key", key, "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(enc); err != nil {
+		t.Fatal("encoded CSV missing")
+	}
+	if fi, err := os.Stat(key); err != nil || fi.Size() == 0 {
+		t.Fatal("key file missing or empty")
+	}
+	if err := cmdMine([]string{"-in", enc, "-minleaf", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecode([]string{"-in", enc, "-orig", train, "-key", key, "-minleaf", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRisk([]string{"-in", train, "-trials", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandFlagValidation(t *testing.T) {
+	if err := cmdEncode([]string{"-in", "x"}); err == nil {
+		t.Error("encode without -out/-key should fail")
+	}
+	if err := cmdMine(nil); err == nil {
+		t.Error("mine without -in should fail")
+	}
+	if err := cmdDecode(nil); err == nil {
+		t.Error("decode without flags should fail")
+	}
+	if err := cmdRisk(nil); err == nil {
+		t.Error("risk without -in should fail")
+	}
+	if err := cmdMine([]string{"-in", "missing.csv"}); err == nil {
+		t.Error("mine of missing file should fail")
+	}
+	if err := cmdMine([]string{"-in", "x.csv", "-criterion", "nope"}); err == nil {
+		t.Error("unknown criterion should fail")
+	}
+	dir := t.TempDir()
+	train := writeFixture(t, dir)
+	if err := cmdEncode([]string{"-in", train, "-out", filepath.Join(dir, "e.csv"), "-key", filepath.Join(dir, "k.json"), "-strategy", "bogus"}); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestStrategyFlag(t *testing.T) {
+	for name, want := range map[string]privtree.EncodeOptions{
+		"none":  {Strategy: privtree.StrategyNone},
+		"bp":    {Strategy: privtree.StrategyBP},
+		"maxmp": {Strategy: privtree.StrategyMaxMP},
+	} {
+		got, err := strategyFlag(name)
+		if err != nil || got.Strategy != want.Strategy {
+			t.Errorf("strategyFlag(%q) = %v, %v", name, got.Strategy, err)
+		}
+	}
+	if _, err := strategyFlag("?"); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}
+
+func TestMineToFileAndDecodeFromTree(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFixture(t, dir)
+	enc := filepath.Join(dir, "enc.csv")
+	key := filepath.Join(dir, "key.json")
+	treeJSON := filepath.Join(dir, "tree.json")
+	if err := cmdEncode([]string{"-in", train, "-out", enc, "-key", key}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMine([]string{"-in", enc, "-minleaf", "20", "-out", treeJSON}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(treeJSON); err != nil || fi.Size() == 0 {
+		t.Fatal("tree JSON missing")
+	}
+	if err := cmdDecode([]string{"-tree", treeJSON, "-orig", train, "-key", key, "-minleaf", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecode([]string{"-tree", filepath.Join(dir, "missing.json"), "-orig", train, "-key", key}); err == nil {
+		t.Error("expected error for missing tree file")
+	}
+}
+
+func TestAppendWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFixture(t, dir)
+	enc := filepath.Join(dir, "enc.csv")
+	key := filepath.Join(dir, "key.json")
+	if err := cmdEncode([]string{"-in", train, "-out", enc, "-key", key}); err != nil {
+		t.Fatal(err)
+	}
+	// A batch that repeats the first rows of the training data is
+	// always key-compatible.
+	d, err := privtree.ReadCSVFile(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Subset([]int{0, 1, 2})
+	batchPath := filepath.Join(dir, "batch.csv")
+	if err := privtree.WriteCSVFile(b, batchPath); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "batch_enc.csv")
+	if err := cmdAppend([]string{"-orig", train, "-batch", batchPath, "-key", key, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	encBatch, err := privtree.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encBatch.NumTuples() != 3 {
+		t.Errorf("encoded batch has %d tuples", encBatch.NumTuples())
+	}
+	if err := cmdAppend(nil); err == nil {
+		t.Error("append without flags should fail")
+	}
+}

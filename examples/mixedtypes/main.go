@@ -1,0 +1,86 @@
+// Mixedtypes demonstrates the categorical extension: the real forest
+// covertype data has categorical attributes (wilderness area, soil type)
+// that the paper's evaluation excluded. privtree encodes them with a
+// random code permutation — category names are anonymized, multiway
+// decision-tree splits are permutation-invariant, and the
+// no-outcome-change guarantee carries over.
+//
+// Run with: go run ./examples/mixedtypes
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"privtree"
+	"privtree/internal/synth"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	d, err := synth.CovertypeFull(rng, 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wi := d.AttrIndex("wilderness")
+	fmt.Printf("data: %d tuples, %d attributes (%q and %q categorical)\n",
+		d.NumTuples(), d.NumAttrs(), "wilderness", "soil")
+	fmt.Printf("wilderness categories: %v\n", d.CatValues(wi))
+
+	enc, key, err := privtree.Encode(d, privtree.EncodeOptions{}, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded wilderness categories (anonymized): %v\n", enc.CatValues(wi))
+	fmt.Printf("first 8 wilderness codes, original:  %v\n", d.Cols[wi][:8])
+	fmt.Printf("first 8 wilderness codes, encoded:   %v\n", enc.Cols[wi][:8])
+
+	cfg := privtree.TreeConfig{MinLeaf: 25}
+	mined, err := privtree.Mine(enc, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := privtree.DecodeTree(mined, key, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := privtree.Mine(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntree: %d nodes, depth %d; identical to direct mining: %v\n",
+		decoded.NumNodes(), decoded.Depth(), privtree.SameOutcome(direct, decoded, d))
+
+	// Show a decoded path that tests a categorical attribute.
+	for _, p := range decoded.Paths() {
+		hasCat := false
+		for _, c := range p.Conds {
+			if d.IsCategorical(c.Attr) {
+				hasCat = true
+			}
+		}
+		if hasCat {
+			fmt.Println("a decoded path using a categorical split:")
+			fmt.Println("  " + p.Format(d.AttrNames, d.ClassNames))
+			break
+		}
+	}
+
+	// Risk assessment: categorical attributes face the
+	// frequency-matching attack instead of curve fitting.
+	rep, err := privtree.AssessRisk(d, enc, key, privtree.RiskOptions{Trials: 11, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndisclosure risks:")
+	for _, ar := range rep.Attrs {
+		kind := "numeric (curve fit / sorting)"
+		if ar.Categorical {
+			kind = "categorical (frequency match)"
+		}
+		fmt.Printf("  %-15s %-31s expert %5.1f%%  worst-case %5.1f%%\n",
+			ar.Attr, kind, 100*ar.Domain["expert"], 100*ar.SortingWorstCase)
+	}
+	fmt.Printf("pattern disclosure: %.2f%%\n", 100*rep.PatternRisk)
+}

@@ -1,0 +1,3 @@
+module privtree
+
+go 1.22

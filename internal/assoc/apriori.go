@@ -1,0 +1,268 @@
+// Package assoc implements a from-scratch association-rule substrate —
+// Apriori frequent-itemset mining plus the MASK-style randomized
+// bit-flip perturbation of Rizvi & Haritsa (VLDB 2002) with its support
+// reconstruction — the neighboring privacy approach the paper's Section
+// 2 contrasts against: under randomization "the mining outcome is
+// changed; output privacy is not a stated design objective", whereas the
+// piecewise framework guarantees no outcome change for its mining task.
+package assoc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Transactions is a market-basket data set: each transaction lists its
+// item ids (each in [0, Items)).
+type Transactions struct {
+	Items int
+	Rows  [][]int
+}
+
+// NewTransactions validates and wraps raw rows; item lists are sorted
+// and deduplicated.
+func NewTransactions(items int, rows [][]int) (*Transactions, error) {
+	if items <= 0 {
+		return nil, errors.New("assoc: need at least one item")
+	}
+	t := &Transactions{Items: items, Rows: make([][]int, len(rows))}
+	for r, row := range rows {
+		cp := append([]int(nil), row...)
+		sort.Ints(cp)
+		out := cp[:0]
+		for i, v := range cp {
+			if v < 0 || v >= items {
+				return nil, fmt.Errorf("assoc: row %d: item %d out of range", r, v)
+			}
+			if i > 0 && v == cp[i-1] {
+				continue
+			}
+			out = append(out, v)
+		}
+		t.Rows[r] = out
+	}
+	return t, nil
+}
+
+// Itemset is a sorted list of item ids.
+type Itemset []int
+
+// Key renders a canonical map key.
+func (s Itemset) Key() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// contains reports whether the sorted transaction row holds every item
+// of the sorted itemset.
+func contains(row []int, set Itemset) bool {
+	i := 0
+	for _, item := range set {
+		for i < len(row) && row[i] < item {
+			i++
+		}
+		if i == len(row) || row[i] != item {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Support counts the transactions containing the itemset.
+func (t *Transactions) Support(set Itemset) int {
+	n := 0
+	for _, row := range t.Rows {
+		if contains(row, set) {
+			n++
+		}
+	}
+	return n
+}
+
+// FrequentItemsets runs Apriori with the given absolute minimum support
+// and returns the support of every frequent itemset, keyed canonically.
+func FrequentItemsets(t *Transactions, minSupport int) map[string]int {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	out := map[string]int{}
+	// Level 1.
+	counts := make([]int, t.Items)
+	for _, row := range t.Rows {
+		for _, v := range row {
+			counts[v]++
+		}
+	}
+	var level []Itemset
+	for v, c := range counts {
+		if c >= minSupport {
+			set := Itemset{v}
+			out[set.Key()] = c
+			level = append(level, set)
+		}
+	}
+	// Level k+1 from level k: join sets sharing a (k-1)-prefix, prune by
+	// the Apriori property, then count.
+	for len(level) > 1 {
+		var next []Itemset
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				cand, ok := join(level[i], level[j])
+				if !ok {
+					continue
+				}
+				if !allSubsetsFrequent(cand, out) {
+					continue
+				}
+				if c := t.Support(cand); c >= minSupport {
+					out[cand.Key()] = c
+					next = append(next, cand)
+				}
+			}
+		}
+		sort.Slice(next, func(a, b int) bool { return lessItemset(next[a], next[b]) })
+		level = next
+	}
+	return out
+}
+
+// join merges two k-itemsets sharing their first k-1 items.
+func join(a, b Itemset) (Itemset, bool) {
+	k := len(a)
+	for i := 0; i < k-1; i++ {
+		if a[i] != b[i] {
+			return nil, false
+		}
+	}
+	if a[k-1] >= b[k-1] {
+		return nil, false
+	}
+	cand := make(Itemset, k+1)
+	copy(cand, a)
+	cand[k] = b[k-1]
+	return cand, true
+}
+
+// allSubsetsFrequent applies the Apriori pruning property.
+func allSubsetsFrequent(cand Itemset, freq map[string]int) bool {
+	if len(cand) <= 1 {
+		return true
+	}
+	sub := make(Itemset, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, v := range cand {
+			if i != skip {
+				sub = append(sub, v)
+			}
+		}
+		if _, ok := freq[sub.Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func lessItemset(a, b Itemset) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Rule is an association rule X → Y with its support and confidence.
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	Support    int
+	Confidence float64
+}
+
+// Rules derives association rules with the given minimum confidence from
+// the frequent itemsets (single-item consequents, the classic setting).
+func Rules(freq map[string]int, minConfidence float64) []Rule {
+	var out []Rule
+	for key, sup := range freq {
+		set := parseKey(key)
+		if len(set) < 2 {
+			continue
+		}
+		ante := make(Itemset, 0, len(set)-1)
+		for skip, cons := range set {
+			ante = ante[:0]
+			for i, v := range set {
+				if i != skip {
+					ante = append(ante, v)
+				}
+			}
+			anteSup, ok := freq[ante.Key()]
+			if !ok || anteSup == 0 {
+				continue
+			}
+			conf := float64(sup) / float64(anteSup)
+			if conf >= minConfidence {
+				out = append(out, Rule{
+					Antecedent: append(Itemset(nil), ante...),
+					Consequent: Itemset{cons},
+					Support:    sup,
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !itemsetEqual(out[i].Antecedent, out[j].Antecedent) {
+			return lessItemset(out[i].Antecedent, out[j].Antecedent)
+		}
+		return lessItemset(out[i].Consequent, out[j].Consequent)
+	})
+	return out
+}
+
+func itemsetEqual(a, b Itemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parseKey(key string) Itemset {
+	parts := strings.Split(key, ",")
+	out := make(Itemset, len(parts))
+	for i, p := range parts {
+		fmt.Sscan(p, &out[i])
+	}
+	return out
+}
+
+// RuleSetEqual reports whether two rule sets contain exactly the same
+// (antecedent, consequent) pairs.
+func RuleSetEqual(a, b []Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(r Rule) string { return r.Antecedent.Key() + "=>" + r.Consequent.Key() }
+	seen := map[string]bool{}
+	for _, r := range a {
+		seen[key(r)] = true
+	}
+	for _, r := range b {
+		if !seen[key(r)] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package assoc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// basket builds a synthetic market-basket data set with planted
+// associations: item 1 implies item 2 strongly, item 3 co-occurs with 4.
+func basket(rng *rand.Rand, n int) *Transactions {
+	rows := make([][]int, n)
+	for i := range rows {
+		var row []int
+		if rng.Float64() < 0.4 {
+			row = append(row, 1)
+			if rng.Float64() < 0.9 {
+				row = append(row, 2)
+			}
+		}
+		if rng.Float64() < 0.3 {
+			row = append(row, 3, 4)
+		}
+		if rng.Float64() < 0.2 {
+			row = append(row, 0)
+		}
+		if rng.Float64() < 0.1 {
+			row = append(row, 5)
+		}
+		rows[i] = row
+	}
+	t, err := NewTransactions(6, rows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestNewTransactionsValidation(t *testing.T) {
+	if _, err := NewTransactions(0, nil); err == nil {
+		t.Error("expected error for zero items")
+	}
+	if _, err := NewTransactions(3, [][]int{{5}}); err == nil {
+		t.Error("expected error for out-of-range item")
+	}
+	tr, err := NewTransactions(3, [][]int{{2, 0, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rows[0]) != 3 || tr.Rows[0][0] != 0 {
+		t.Errorf("row not sorted/deduped: %v", tr.Rows[0])
+	}
+}
+
+func TestSupportAndContains(t *testing.T) {
+	tr, err := NewTransactions(4, [][]int{{0, 1}, {1, 2}, {0, 1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Support(Itemset{1}) != 3 {
+		t.Errorf("support({1}) = %d", tr.Support(Itemset{1}))
+	}
+	if tr.Support(Itemset{0, 1}) != 2 {
+		t.Errorf("support({0,1}) = %d", tr.Support(Itemset{0, 1}))
+	}
+	if tr.Support(Itemset{0, 3}) != 0 {
+		t.Errorf("support({0,3}) = %d", tr.Support(Itemset{0, 3}))
+	}
+}
+
+func TestFrequentItemsetsKnown(t *testing.T) {
+	// Classic textbook example.
+	tr, err := NewTransactions(5, [][]int{
+		{0, 1, 2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := FrequentItemsets(tr, 3)
+	wants := map[string]int{
+		"0": 4, "1": 4, "2": 4,
+		"0,1": 3, "0,2": 3, "1,2": 3,
+		"0,1,2": 2, // below min support — must be absent
+	}
+	for key, sup := range wants {
+		got, ok := freq[key]
+		if key == "0,1,2" {
+			if ok {
+				t.Errorf("itemset %s should not be frequent", key)
+			}
+			continue
+		}
+		if !ok || got != sup {
+			t.Errorf("freq[%s] = %d (%v), want %d", key, got, ok, sup)
+		}
+	}
+	if _, ok := freq["3"]; ok {
+		t.Error("item 3 should not be frequent")
+	}
+}
+
+func TestAprioriMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := basket(rng, 200)
+	const minSup = 20
+	freq := FrequentItemsets(tr, minSup)
+	// Brute force over all itemsets up to size 3.
+	var check func(set Itemset, next int)
+	check = func(set Itemset, next int) {
+		if len(set) > 0 {
+			sup := tr.Support(set)
+			got, ok := freq[set.Key()]
+			if sup >= minSup {
+				if !ok || got != sup {
+					t.Errorf("missing/wrong frequent set %v: got %d (%v), want %d", set, got, ok, sup)
+				}
+			} else if ok {
+				t.Errorf("infrequent set %v reported", set)
+			}
+		}
+		if len(set) == 3 {
+			return
+		}
+		for v := next; v < tr.Items; v++ {
+			check(append(set, v), v+1)
+		}
+	}
+	check(nil, 0)
+}
+
+func TestRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := basket(rng, 1000)
+	freq := FrequentItemsets(tr, 50)
+	rules := Rules(freq, 0.8)
+	// The planted implication 1 → 2 must appear with high confidence.
+	found := false
+	for _, r := range rules {
+		if r.Antecedent.Key() == "1" && r.Consequent.Key() == "2" {
+			found = true
+			if r.Confidence < 0.8 {
+				t.Errorf("rule 1→2 confidence = %v", r.Confidence)
+			}
+		}
+		if r.Confidence < 0.8 {
+			t.Errorf("rule %v→%v below min confidence", r.Antecedent, r.Consequent)
+		}
+	}
+	if !found {
+		t.Error("planted rule 1→2 not mined")
+	}
+}
+
+func TestMaskChangesOutcomeButReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := basket(rng, 4000)
+	const p = 0.9
+	masked, err := Mask(tr, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input-privacy leak: ~p of the bits survive unchanged.
+	if frac := UnchangedBitFraction(tr, masked); math.Abs(frac-p) > 0.02 {
+		t.Errorf("unchanged bit fraction = %v, want ~%v", frac, p)
+	}
+	// Outcome change: mining the masked data directly yields a
+	// different rule set.
+	origRules := Rules(FrequentItemsets(tr, 200), 0.7)
+	maskRules := Rules(FrequentItemsets(masked, 200), 0.7)
+	if RuleSetEqual(origRules, maskRules) {
+		t.Error("masking should change the mined rule set")
+	}
+	// Reconstruction recovers supports approximately (but the custodian
+	// still cannot recover the exact outcome — the paper's point).
+	sets := []Itemset{{1}, {2}, {3}, {1, 2}, {3, 4}, {1, 2, 3}}
+	errRate, err := SupportError(tr, masked, sets, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate > 0.15 {
+		t.Errorf("reconstruction error = %v, want < 0.15", errRate)
+	}
+	// Naive (no reconstruction) supports are much worse for pairs:
+	// compare directly on the planted pair.
+	truth := float64(tr.Support(Itemset{1, 2}))
+	naive := float64(masked.Support(Itemset{1, 2}))
+	est, err := ReconstructSupport(masked, Itemset{1, 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) >= math.Abs(naive-truth) {
+		t.Errorf("reconstruction (%v) should beat naive (%v) for truth %v", est, naive, truth)
+	}
+}
+
+func TestMaskErrors(t *testing.T) {
+	tr, _ := NewTransactions(2, [][]int{{0}})
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Mask(tr, 0, rng); err == nil {
+		t.Error("expected error for p=0")
+	}
+	if _, err := Mask(tr, 1, rng); err == nil {
+		t.Error("expected error for p=1")
+	}
+	if _, err := ReconstructSupport(tr, Itemset{0, 1, 0, 1}, 0.9); err == nil {
+		t.Error("expected error for oversized itemset")
+	}
+	if _, err := ReconstructSupport(tr, Itemset{0}, 0.5); err == nil {
+		t.Error("expected error for p=0.5")
+	}
+	if _, err := SupportError(tr, tr, nil, 0.9); err == nil {
+		t.Error("expected error for empty itemsets")
+	}
+}
+
+func TestRuleSetEqual(t *testing.T) {
+	a := []Rule{{Antecedent: Itemset{1}, Consequent: Itemset{2}}}
+	b := []Rule{{Antecedent: Itemset{1}, Consequent: Itemset{2}, Confidence: 0.9}}
+	if !RuleSetEqual(a, b) {
+		t.Error("same structure should be equal regardless of stats")
+	}
+	c := []Rule{{Antecedent: Itemset{2}, Consequent: Itemset{1}}}
+	if RuleSetEqual(a, c) {
+		t.Error("different rules should differ")
+	}
+	if RuleSetEqual(a, nil) {
+		t.Error("length mismatch should differ")
+	}
+}

@@ -1,0 +1,154 @@
+package assoc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Mask applies the MASK perturbation (Rizvi & Haritsa, VLDB 2002): each
+// bit of each transaction's item vector is kept with probability p and
+// flipped with probability 1-p. Flipping 1→0 hides purchases; flipping
+// 0→1 injects fake ones. The released data supports approximate support
+// reconstruction but — the paper's Section 2 point — it leaves a 100·p%
+// chance per bit that the true value is released unchanged, and mining
+// it yields a different rule set.
+func Mask(t *Transactions, p float64, rng *rand.Rand) (*Transactions, error) {
+	if p <= 0 || p >= 1 {
+		return nil, errors.New("assoc: mask keep-probability must be in (0,1)")
+	}
+	out := &Transactions{Items: t.Items, Rows: make([][]int, len(t.Rows))}
+	has := make([]bool, t.Items)
+	for r, row := range t.Rows {
+		for i := range has {
+			has[i] = false
+		}
+		for _, v := range row {
+			has[v] = true
+		}
+		var masked []int
+		for item := 0; item < t.Items; item++ {
+			bit := has[item]
+			if rng.Float64() > p {
+				bit = !bit
+			}
+			if bit {
+				masked = append(masked, item)
+			}
+		}
+		out.Rows[r] = masked
+	}
+	return out, nil
+}
+
+// ReconstructSupport estimates the true support of an itemset from the
+// masked data. For an itemset of size k, the observed counts over the
+// 2^k presence patterns relate to the true counts through the k-fold
+// Kronecker power of the per-bit distortion matrix
+//
+//	M = [ p  1-p ]
+//	    [1-p  p ]
+//
+// whose inverse is the Kronecker power of M^{-1}. The estimate is the
+// entry of M^{-k}·observed for the all-present pattern. Supports sizes
+// 1–3, which covers the classic evaluation.
+func ReconstructSupport(masked *Transactions, set Itemset, p float64) (float64, error) {
+	k := len(set)
+	if k < 1 || k > 3 {
+		return 0, errors.New("assoc: reconstruction supports itemset sizes 1-3")
+	}
+	if p <= 0.5 || p >= 1 {
+		return 0, errors.New("assoc: reconstruction needs keep-probability in (0.5, 1)")
+	}
+	// Observed pattern counts: index bit i set = item i present.
+	counts := make([]float64, 1<<k)
+	for _, row := range masked.Rows {
+		pattern := 0
+		for i, item := range set {
+			if contains(row, Itemset{item}) {
+				pattern |= 1 << i
+			}
+		}
+		counts[pattern]++
+	}
+	// invRow holds the all-present row of M^{-1⊗k}: entry for observed
+	// pattern b is Π_i inv[1][bit_i], with inv = M^{-1}.
+	det := 2*p - 1
+	inv := [2][2]float64{
+		{p / det, -(1 - p) / det},
+		{-(1 - p) / det, p / det},
+	}
+	// true[all-present] = Σ_observed Π_i M^{-1}[1][observed bit i].
+	est := 0.0
+	for b := 0; b < 1<<k; b++ {
+		w := 1.0
+		for i := 0; i < k; i++ {
+			bit := (b >> i) & 1
+			w *= inv[1][bit]
+		}
+		est += w * counts[b]
+	}
+	if est < 0 {
+		est = 0
+	}
+	if n := float64(len(masked.Rows)); est > n {
+		est = n
+	}
+	return est, nil
+}
+
+// UnchangedBitFraction measures how many presence bits the mask released
+// unchanged — the input-privacy leak the paper highlights (each bit
+// survives with probability p).
+func UnchangedBitFraction(orig, masked *Transactions) float64 {
+	if orig.Items != masked.Items || len(orig.Rows) != len(masked.Rows) {
+		return 0
+	}
+	total := orig.Items * len(orig.Rows)
+	if total == 0 {
+		return 0
+	}
+	same := 0
+	hasO := make([]bool, orig.Items)
+	hasM := make([]bool, orig.Items)
+	for r := range orig.Rows {
+		for i := range hasO {
+			hasO[i] = false
+			hasM[i] = false
+		}
+		for _, v := range orig.Rows[r] {
+			hasO[v] = true
+		}
+		for _, v := range masked.Rows[r] {
+			hasM[v] = true
+		}
+		for i := range hasO {
+			if hasO[i] == hasM[i] {
+				same++
+			}
+		}
+	}
+	return float64(same) / float64(total)
+}
+
+// SupportError returns the mean absolute relative error of reconstructed
+// supports over the given itemsets.
+func SupportError(orig, masked *Transactions, sets []Itemset, p float64) (float64, error) {
+	if len(sets) == 0 {
+		return 0, errors.New("assoc: no itemsets to evaluate")
+	}
+	sum := 0.0
+	for _, set := range sets {
+		truth := float64(orig.Support(set))
+		est, err := ReconstructSupport(masked, set, p)
+		if err != nil {
+			return 0, err
+		}
+		den := truth
+		if den < 1 {
+			den = 1
+		}
+		sum += math.Abs(est-truth) / den
+	}
+	return sum / float64(len(sets)), nil
+}

@@ -1,0 +1,120 @@
+// Package attack implements the hacker side of the paper's evaluation
+// (Sections 3.3 and 6): prior knowledge modeled as knowledge points,
+// curve-fitting attacks (least-squares regression line, polyline,
+// natural cubic spline), the sorting attack, and the combination attack
+// that fuses the verdicts of several attacks.
+//
+// An attack produces a crack function g: δ'(A) → δ(A) — the hacker's
+// guess of the original value behind each transformed value
+// (Definition 1). Whether a guess is a crack (within radius ρ of the
+// truth) is judged by package risk.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CrackFunc is the hacker's guess g for one attribute: it maps a
+// transformed value ν' to a guessed original value.
+type CrackFunc interface {
+	// Guess returns the hacker's estimate of f^{-1}(ν').
+	Guess(encVal float64) float64
+	// Name identifies the attack for reporting.
+	Name() string
+}
+
+// KnowledgePoint is a pair (ν, ν') the hacker believes correspond
+// (Definition 4): ν' is a transformed value observed in D' and ν the
+// hacker's prior estimate of its original value.
+type KnowledgePoint struct {
+	// Orig is the hacker's believed original value ν.
+	Orig float64
+	// Enc is the observed transformed value ν'.
+	Enc float64
+}
+
+// Oracle reveals the true inverse transformation. The experiments use it
+// to synthesize knowledge points and to judge cracks; hackers never call
+// it directly.
+type Oracle func(encVal float64) float64
+
+// GenKPOptions configures knowledge-point synthesis.
+type GenKPOptions struct {
+	// Good is the number of accurate knowledge points: the reported ν
+	// deviates from the truth by at most Rho (Definition 4).
+	Good int
+	// Bad is the number of inaccurate knowledge points: the reported ν
+	// deviates by more than 5*Rho (Section 6.1).
+	Bad int
+	// Rho is the knowledge-point accuracy radius, typically 1–5% of the
+	// attribute's dynamic range width.
+	Rho float64
+}
+
+// GenerateKPs synthesizes knowledge points for an attribute: it samples
+// distinct transformed values from encVals and reports original values
+// with the configured accuracy. The returned points are sorted by
+// transformed value, the order curve fitting needs.
+func GenerateKPs(rng *rand.Rand, encVals []float64, truth Oracle, opts GenKPOptions) ([]KnowledgePoint, error) {
+	total := opts.Good + opts.Bad
+	if total == 0 {
+		return nil, nil
+	}
+	if len(encVals) == 0 {
+		return nil, errors.New("attack: no transformed values to sample")
+	}
+	if opts.Rho < 0 {
+		return nil, fmt.Errorf("attack: negative rho %v", opts.Rho)
+	}
+	// Sample without replacement when possible so the fit has distinct
+	// abscissae.
+	picks := samplePositions(rng, len(encVals), total)
+	kps := make([]KnowledgePoint, 0, total)
+	for i, p := range picks {
+		enc := encVals[p]
+		tru := truth(enc)
+		var rep float64
+		if i < opts.Good {
+			rep = tru + opts.Rho*(2*rng.Float64()-1)
+		} else {
+			// A bad KP is off by more than 5*rho; draw the magnitude in
+			// (5*rho, 15*rho] with random sign. A zero rho still yields
+			// a clearly wrong point by falling back to a unit offset.
+			mag := opts.Rho * (5 + 10*rng.Float64())
+			if mag == 0 {
+				mag = 1 + 10*rng.Float64()
+			}
+			if rng.Intn(2) == 0 {
+				mag = -mag
+			}
+			rep = tru + mag
+		}
+		kps = append(kps, KnowledgePoint{Orig: rep, Enc: enc})
+	}
+	sort.Slice(kps, func(i, j int) bool { return kps[i].Enc < kps[j].Enc })
+	// Collapse duplicate abscissae (possible when total > len(encVals)).
+	out := kps[:0]
+	for _, kp := range kps {
+		if len(out) > 0 && out[len(out)-1].Enc == kp.Enc {
+			continue
+		}
+		out = append(out, kp)
+	}
+	return out, nil
+}
+
+// samplePositions draws n positions from [0, size), without replacement
+// while n <= size, then with replacement for the excess.
+func samplePositions(rng *rand.Rand, size, n int) []int {
+	if n <= size {
+		return rng.Perm(size)[:n]
+	}
+	out := rng.Perm(size)
+	for len(out) < n {
+		out = append(out, rng.Intn(size))
+	}
+	return out
+}

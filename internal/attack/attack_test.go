@@ -1,0 +1,313 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// linearOracle is a truth function for f(x) = 2x + 10, i.e.
+// f^{-1}(y) = (y-10)/2.
+func linearOracle(y float64) float64 { return (y - 10) / 2 }
+
+func encRange(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func TestGenerateKPsGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	enc := encRange(10, 110, 50)
+	kps, err := GenerateKPs(rng, enc, linearOracle, GenKPOptions{Good: 4, Rho: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kps) != 4 {
+		t.Fatalf("got %d KPs", len(kps))
+	}
+	for i, kp := range kps {
+		if i > 0 && kps[i-1].Enc >= kp.Enc {
+			t.Error("KPs must be sorted with distinct abscissae")
+		}
+		if d := math.Abs(kp.Orig - linearOracle(kp.Enc)); d > 2 {
+			t.Errorf("good KP off by %v > rho", d)
+		}
+	}
+}
+
+func TestGenerateKPsBad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	enc := encRange(10, 110, 50)
+	kps, err := GenerateKPs(rng, enc, linearOracle, GenKPOptions{Good: 0, Bad: 5, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kp := range kps {
+		if d := math.Abs(kp.Orig - linearOracle(kp.Enc)); d <= 5 {
+			t.Errorf("bad KP only off by %v, want > 5*rho", d)
+		}
+	}
+	// Zero rho still produces clearly wrong bad KPs.
+	kps, err = GenerateKPs(rng, enc, linearOracle, GenKPOptions{Bad: 3, Rho: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kp := range kps {
+		if kp.Orig == linearOracle(kp.Enc) {
+			t.Error("bad KP with rho=0 must still be wrong")
+		}
+	}
+}
+
+func TestGenerateKPsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if kps, err := GenerateKPs(rng, nil, linearOracle, GenKPOptions{}); err != nil || kps != nil {
+		t.Error("zero KPs requested should be a no-op")
+	}
+	if _, err := GenerateKPs(rng, nil, linearOracle, GenKPOptions{Good: 1}); err == nil {
+		t.Error("expected error for empty value pool")
+	}
+	if _, err := GenerateKPs(rng, []float64{1}, linearOracle, GenKPOptions{Good: 1, Rho: -1}); err == nil {
+		t.Error("expected error for negative rho")
+	}
+	// More KPs than distinct values: duplicates collapse.
+	kps, err := GenerateKPs(rng, []float64{5, 6}, linearOracle, GenKPOptions{Good: 10, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kps) > 2 {
+		t.Errorf("expected at most 2 distinct KPs, got %d", len(kps))
+	}
+}
+
+func TestCurveFitRegressionRecoversLinear(t *testing.T) {
+	// With exact KPs on a linear transformation, regression recovers the
+	// inverse perfectly.
+	kps := []KnowledgePoint{}
+	for _, e := range []float64{10, 40, 70, 110} {
+		kps = append(kps, KnowledgePoint{Orig: linearOracle(e), Enc: e})
+	}
+	g, err := CurveFit(Regression, kps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []float64{15, 55, 95} {
+		if d := math.Abs(g.Guess(e) - linearOracle(e)); d > 1e-9 {
+			t.Errorf("regression guess off by %v at %v", d, e)
+		}
+	}
+	if g.Name() != "regression" {
+		t.Error("name wrong")
+	}
+}
+
+func TestCurveFitPolylineAndSpline(t *testing.T) {
+	kps := []KnowledgePoint{
+		{Orig: 0, Enc: 0}, {Orig: 1, Enc: 2}, {Orig: 4, Enc: 6}, {Orig: 9, Enc: 12},
+	}
+	for _, m := range []Method{Polyline, Spline} {
+		g, err := CurveFit(m, kps)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// Both interpolants pass through the knowledge points.
+		for _, kp := range kps {
+			if d := math.Abs(g.Guess(kp.Enc) - kp.Orig); d > 1e-9 {
+				t.Errorf("%v misses KP at %v by %v", m, kp.Enc, d)
+			}
+		}
+		if g.Name() != m.String() {
+			t.Errorf("%v name = %q", m, g.Name())
+		}
+	}
+}
+
+func TestCurveFitDegenerate(t *testing.T) {
+	if _, err := CurveFit(Regression, nil); err == nil {
+		t.Error("expected error for no KPs")
+	}
+	// One point: regression is a constant, spline degrades to polyline.
+	one := []KnowledgePoint{{Orig: 7, Enc: 3}}
+	for _, m := range []Method{Regression, Polyline, Spline} {
+		g, err := CurveFit(m, one)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if g.Guess(100) != 7 {
+			t.Errorf("%v single-KP guess = %v, want 7", m, g.Guess(100))
+		}
+	}
+	if _, err := CurveFit(Method(42), one); err == nil {
+		t.Error("expected unknown method error")
+	}
+}
+
+func TestMethodStringAndList(t *testing.T) {
+	if Regression.String() != "regression" || Polyline.String() != "polyline" || Spline.String() != "spline" {
+		t.Error("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method should render")
+	}
+	if len(Methods()) != 3 {
+		t.Error("Methods() should list all three")
+	}
+}
+
+func TestIdentityAttack(t *testing.T) {
+	var g IdentityAttack
+	if g.Guess(42) != 42 || g.Name() != "identity" {
+		t.Error("identity attack misbehaves")
+	}
+}
+
+func TestSortingAttackExactRecovery(t *testing.T) {
+	// When the original values are consecutive integers and the hacker
+	// knows the true range, the sorting attack recovers everything —
+	// the paper's worst case for attributes without discontinuities.
+	orig := encRange(20, 65, 46) // ages 20..65
+	enc := make([]float64, len(orig))
+	for i, v := range orig {
+		enc[i] = 1000 - 3*v // anti-monotone encoding
+	}
+	s, err := NewSortingAttack(enc, 20, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attack maps rank order; an anti-monotone encoding reverses
+	// ranks, so guesses mirror. The attack still cracks the midpoint and
+	// the overall structure; verify rank mapping on a monotone encoding.
+	enc2 := make([]float64, len(orig))
+	for i, v := range orig {
+		enc2[i] = 3*v + 100
+	}
+	s2, err := NewSortingAttack(enc2, 20, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range orig {
+		if got := s2.Guess(enc2[i]); math.Abs(got-v) > 1e-9 {
+			t.Errorf("sorting guess for %v = %v", v, got)
+		}
+	}
+	if s.Name() != "sorting" {
+		t.Error("name wrong")
+	}
+}
+
+func TestSortingAttackErrorsAndSingleton(t *testing.T) {
+	if _, err := NewSortingAttack(nil, 0, 1); err == nil {
+		t.Error("expected error for no values")
+	}
+	if _, err := NewSortingAttack([]float64{1}, 5, 2); err == nil {
+		t.Error("expected error for empty range")
+	}
+	s, err := NewSortingAttack([]float64{3, 3, 3}, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Guess(3); got != 15 {
+		t.Errorf("singleton guess = %v, want range midpoint", got)
+	}
+}
+
+func TestRankCrackProbabilityPaperExample(t *testing.T) {
+	// Section 5.4's worked example: domain [1,44], 5 values ranked ahead
+	// and 3 after give R_g = [6,41]; truth 29 with crack width 2 gives
+	// R_ρ = [27,31]; probability 5/36.
+	got := RankCrackProbability(1, 44, 5, 3, 29, 2)
+	if math.Abs(got-5.0/36) > 1e-12 {
+		t.Errorf("probability = %v, want 5/36", got)
+	}
+}
+
+func TestRankCrackProbabilityBounds(t *testing.T) {
+	// Truth outside the feasible range: zero.
+	if got := RankCrackProbability(0, 100, 50, 0, 10, 2); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	// Rank pins the value exactly (no slack): certain crack.
+	if got := RankCrackProbability(0, 10, 5, 5, 5, 0); got != 1 {
+		t.Errorf("pinned = %v, want 1", got)
+	}
+	// Full overlap: certain crack.
+	if got := RankCrackProbability(0, 100, 0, 0, 50, 200); got != 1 {
+		t.Errorf("full overlap = %v, want 1", got)
+	}
+}
+
+func TestExpectedSortingCrackRateNoDiscontinuities(t *testing.T) {
+	// A dense integer attribute (no discontinuities) is fully cracked in
+	// the worst case — the paper's attribute 2.
+	orig := encRange(0, 99, 100)
+	if got := ExpectedSortingCrackRate(orig, 0, 99, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("dense attribute crack rate = %v, want 1", got)
+	}
+	if ExpectedSortingCrackRate(nil, 0, 1, 1) != 0 {
+		t.Error("empty attribute should be 0")
+	}
+}
+
+func TestExpectedSortingCrackRateWithDiscontinuities(t *testing.T) {
+	// Sparse values in a wide range: the rank leaves much slack, so the
+	// crack rate falls well below 1.
+	orig := []float64{0, 30, 60, 90, 120, 150, 180, 210, 240, 270}
+	got := ExpectedSortingCrackRate(orig, 0, 270, 2)
+	if got >= 0.2 {
+		t.Errorf("sparse attribute crack rate = %v, want well below 0.2", got)
+	}
+	if got <= 0 {
+		t.Errorf("crack rate should be positive, got %v", got)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	results := [][]bool{
+		//            item: 0      1      2      3
+		{true, true, false, false},  // a
+		{true, false, true, false},  // b
+		{false, false, true, false}, // c
+	}
+	c, err := Combine(names, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Items != 4 {
+		t.Errorf("items = %d", c.Items)
+	}
+	if c.Venn[cellKey([]string{"a", "b"})] != 1 ||
+		c.Venn[cellKey([]string{"a"})] != 1 ||
+		c.Venn[cellKey([]string{"b", "c"})] != 1 {
+		t.Errorf("venn = %v", c.Venn)
+	}
+	if math.Abs(c.UnionRate-0.75) > 1e-12 {
+		t.Errorf("union = %v, want 0.75", c.UnionRate)
+	}
+	// Expected: item0 2/3, item1 1/3, item2 2/3, item3 0 -> (5/3)/4.
+	if math.Abs(c.ExpectedRate-5.0/12) > 1e-12 {
+		t.Errorf("expected = %v, want 5/12", c.ExpectedRate)
+	}
+	if math.Abs(c.MajorityRate-0.5) > 1e-12 {
+		t.Errorf("majority = %v, want 0.5", c.MajorityRate)
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	if _, err := Combine(nil, nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := Combine([]string{"a"}, [][]bool{{true}, {false}}); err == nil {
+		t.Error("expected error for mismatched names")
+	}
+	if _, err := Combine([]string{"a", "b"}, [][]bool{{true}, {}}); err == nil {
+		t.Error("expected error for ragged results")
+	}
+	c, err := Combine([]string{"a"}, [][]bool{{}})
+	if err != nil || c.Items != 0 || c.UnionRate != 0 {
+		t.Error("empty item set should produce zero rates")
+	}
+}

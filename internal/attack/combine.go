@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"errors"
+	"sort"
+)
+
+// VennCell identifies one region of the crack Venn diagram: the set of
+// attack names that cracked an item.
+type VennCell string
+
+// cellKey builds a canonical VennCell from the attacks that cracked.
+func cellKey(names []string) VennCell {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	key := ""
+	for i, n := range sorted {
+		if i > 0 {
+			key += "+"
+		}
+		key += n
+	}
+	return VennCell(key)
+}
+
+// Combination summarizes a combination attack (Section 6.2.2 / Figure
+// 10): per-item crack verdicts from several attacks, fused three ways.
+type Combination struct {
+	// Attacks lists the attack names in input order.
+	Attacks []string
+	// Items is the number of items judged.
+	Items int
+	// Venn counts items per crack-set region; items cracked by nobody
+	// are not included.
+	Venn map[VennCell]int
+	// UnionRate is the fraction of items cracked by at least one attack
+	// — the naive "add up all the percentages" over-estimate.
+	UnionRate float64
+	// ExpectedRate is the expected crack fraction when the hacker
+	// trusts all attacks equally and must pick one guess per item: an
+	// item cracked by k of m attacks contributes k/m.
+	ExpectedRate float64
+	// MajorityRate counts only items cracked by two or more attacks.
+	MajorityRate float64
+}
+
+// Combine fuses per-item crack verdicts. results[name][i] reports
+// whether attack name cracked item i; all slices must share one length.
+func Combine(names []string, results [][]bool) (*Combination, error) {
+	if len(names) == 0 || len(names) != len(results) {
+		return nil, errors.New("attack: combine needs matching names and results")
+	}
+	n := len(results[0])
+	for _, r := range results {
+		if len(r) != n {
+			return nil, errors.New("attack: combine result lengths differ")
+		}
+	}
+	c := &Combination{
+		Attacks: append([]string(nil), names...),
+		Items:   n,
+		Venn:    map[VennCell]int{},
+	}
+	if n == 0 {
+		return c, nil
+	}
+	m := float64(len(names))
+	var unionCnt, majorityCnt int
+	var expected float64
+	var crackers []string
+	for i := 0; i < n; i++ {
+		crackers = crackers[:0]
+		for a := range names {
+			if results[a][i] {
+				crackers = append(crackers, names[a])
+			}
+		}
+		if len(crackers) == 0 {
+			continue
+		}
+		c.Venn[cellKey(crackers)]++
+		unionCnt++
+		expected += float64(len(crackers)) / m
+		if len(crackers) >= 2 {
+			majorityCnt++
+		}
+	}
+	c.UnionRate = float64(unionCnt) / float64(n)
+	c.ExpectedRate = expected / float64(n)
+	c.MajorityRate = float64(majorityCnt) / float64(n)
+	return c, nil
+}

@@ -1,0 +1,110 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"privtree/internal/stats"
+)
+
+// Method selects a curve-fitting model for Definition 5's curve fitting
+// attack.
+type Method int
+
+const (
+	// Regression fits a least-squares line through the knowledge points.
+	Regression Method = iota
+	// Polyline connects the knowledge points piecewise linearly.
+	Polyline
+	// Spline fits a natural cubic spline through the knowledge points.
+	Spline
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Regression:
+		return "regression"
+	case Polyline:
+		return "polyline"
+	case Spline:
+		return "spline"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all curve-fitting methods, in the order the paper's
+// Section 6.2.2 table reports them.
+func Methods() []Method { return []Method{Regression, Spline, Polyline} }
+
+// regressionAttack implements CrackFunc via a fitted line.
+type regressionAttack struct{ fit stats.LinearFit }
+
+func (a regressionAttack) Guess(encVal float64) float64 { return a.fit.Eval(encVal) }
+func (a regressionAttack) Name() string                 { return "regression" }
+
+// polylineAttack implements CrackFunc via piecewise-linear interpolation
+// of the knowledge points.
+type polylineAttack struct{ xs, ys []float64 }
+
+func (a polylineAttack) Guess(encVal float64) float64 {
+	return stats.PolylineEval(a.xs, a.ys, encVal)
+}
+func (a polylineAttack) Name() string { return "polyline" }
+
+// splineAttack implements CrackFunc via a natural cubic spline.
+type splineAttack struct{ s *stats.CubicSpline }
+
+func (a splineAttack) Guess(encVal float64) float64 { return a.s.Eval(encVal) }
+func (a splineAttack) Name() string                 { return "spline" }
+
+// CurveFit builds the crack function of Definition 5 from the hacker's
+// knowledge points. The points must be sorted by transformed value with
+// distinct abscissae (GenerateKPs guarantees both). At least one point
+// is required; methods degrade gracefully when given fewer points than
+// they'd like (a one-point polyline is a constant, a two-knot spline is
+// a line).
+func CurveFit(m Method, kps []KnowledgePoint) (CrackFunc, error) {
+	if len(kps) == 0 {
+		return nil, errors.New("attack: curve fitting needs at least one knowledge point")
+	}
+	xs := make([]float64, len(kps))
+	ys := make([]float64, len(kps))
+	for i, kp := range kps {
+		xs[i] = kp.Enc
+		ys[i] = kp.Orig
+	}
+	switch m {
+	case Regression:
+		fit, err := stats.FitLine(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("attack: regression: %w", err)
+		}
+		return regressionAttack{fit: fit}, nil
+	case Polyline:
+		return polylineAttack{xs: xs, ys: ys}, nil
+	case Spline:
+		if len(kps) < 2 {
+			return polylineAttack{xs: xs, ys: ys}, nil
+		}
+		s, err := stats.FitCubicSpline(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("attack: spline: %w", err)
+		}
+		return splineAttack{s: s}, nil
+	default:
+		return nil, fmt.Errorf("attack: unknown method %v", m)
+	}
+}
+
+// IdentityAttack models the ignorant hacker with no prior knowledge: the
+// best available guess is that the data was never encoded, i.e.
+// g(ν') = ν'.
+type IdentityAttack struct{}
+
+// Guess implements CrackFunc.
+func (IdentityAttack) Guess(encVal float64) float64 { return encVal }
+
+// Name implements CrackFunc.
+func (IdentityAttack) Name() string { return "identity" }

@@ -1,0 +1,96 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFrequencyMatchRecoversSkewedDistribution(t *testing.T) {
+	// Categories with clearly distinct frequencies: the rank-matching
+	// attack recovers the permutation exactly.
+	rng := rand.New(rand.NewSource(1))
+	trueCounts := []int{500, 250, 120, 60, 20}
+	perm := rng.Perm(len(trueCounts)) // encoding: code c -> perm[c]
+	var enc []float64
+	for c, n := range trueCounts {
+		for i := 0; i < n; i++ {
+			enc = append(enc, float64(perm[c]))
+		}
+	}
+	f, err := NewFrequencyMatch(enc, trueCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(e float64) float64 {
+		for c, p := range perm {
+			if p == int(e) {
+				return float64(c)
+			}
+		}
+		return -1
+	}
+	if rate := CategoricalCrackRate(f, enc, truth); rate != 1 {
+		t.Errorf("crack rate = %v, want 1 for distinct frequencies", rate)
+	}
+	if f.Name() != "frequency" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFrequencyMatchUniformDistributionConfused(t *testing.T) {
+	// Exactly uniform frequencies give the attack no signal: rank ties
+	// are broken arbitrarily, so expected success approaches 1/k (the
+	// permutation's fixed points).
+	rng := rand.New(rand.NewSource(2))
+	const k = 8
+	trueCounts := make([]int, k)
+	var enc []float64
+	perm := rng.Perm(k)
+	for c := 0; c < k; c++ {
+		trueCounts[c] = 1000
+		for i := 0; i < 1000; i++ {
+			enc = append(enc, float64(perm[c]))
+		}
+	}
+	f, err := NewFrequencyMatch(enc, trueCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(e float64) float64 {
+		for c, p := range perm {
+			if p == int(e) {
+				return float64(c)
+			}
+		}
+		return -1
+	}
+	rate := CategoricalCrackRate(f, enc, truth)
+	if rate > 0.5 {
+		t.Errorf("crack rate = %v on near-uniform categories, want low", rate)
+	}
+}
+
+func TestFrequencyMatchEdgeCases(t *testing.T) {
+	if _, err := NewFrequencyMatch(nil, []int{1}); err == nil {
+		t.Error("expected error for no encoded data")
+	}
+	if _, err := NewFrequencyMatch([]float64{0}, nil); err == nil {
+		t.Error("expected error for no prior")
+	}
+	// More encoded codes than prior categories: the excess guesses -1.
+	f, err := NewFrequencyMatch([]float64{0, 0, 1, 2}, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Guess(1) != 0 && f.Guess(2) != 0 {
+		// exactly one of the singleton codes may match the only prior;
+		// the others must be -1
+	}
+	if f.Guess(99) != -1 {
+		t.Error("unknown code should guess -1")
+	}
+	truth := func(e float64) float64 { return e }
+	if CategoricalCrackRate(f, nil, truth) != 0 {
+		t.Error("empty column should rate 0")
+	}
+}

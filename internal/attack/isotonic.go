@@ -1,0 +1,79 @@
+package attack
+
+import "privtree/internal/stats"
+
+// IsotonicAttack is a curve-fitting attack that exploits what the hacker
+// knows about the framework itself: each attribute map is (piecewise)
+// monotone, so the inverse should be fitted monotonically.
+// Pool-adjacent-violators regression (PAVA) projects the knowledge
+// points onto the nearest non-decreasing sequence. With consistent
+// knowledge points the fit coincides with the polyline; a
+// monotonicity-breaking bad point is pooled — least-squares averaged
+// into its neighbors rather than discarded — so, perhaps surprisingly,
+// the monotonicity prior does not buy robustness against bad priors
+// (see TestIsotonicPoolsBadKPs).
+type IsotonicAttack struct {
+	xs, ys []float64
+}
+
+// NewIsotonicAttack fits a non-decreasing step/linear curve through the
+// knowledge points (sorted by transformed value, as GenerateKPs
+// returns). At least one point is required.
+func NewIsotonicAttack(kps []KnowledgePoint) (*IsotonicAttack, error) {
+	if len(kps) == 0 {
+		return nil, errNoKPs
+	}
+	xs := make([]float64, len(kps))
+	raw := make([]float64, len(kps))
+	for i, kp := range kps {
+		xs[i] = kp.Enc
+		raw[i] = kp.Orig
+	}
+	return &IsotonicAttack{xs: xs, ys: pava(raw)}, nil
+}
+
+var errNoKPs = errString("attack: isotonic fit needs at least one knowledge point")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// pava runs the pool-adjacent-violators algorithm: the least-squares
+// non-decreasing fit to ys (unit weights).
+func pava(ys []float64) []float64 {
+	n := len(ys)
+	// Blocks of pooled values: value and weight per block.
+	vals := make([]float64, 0, n)
+	wts := make([]int, 0, n)
+	for _, y := range ys {
+		vals = append(vals, y)
+		wts = append(wts, 1)
+		// Merge backwards while the monotonicity is violated.
+		for len(vals) > 1 && vals[len(vals)-2] > vals[len(vals)-1] {
+			last := len(vals) - 1
+			w := wts[last-1] + wts[last]
+			v := (vals[last-1]*float64(wts[last-1]) + vals[last]*float64(wts[last])) / float64(w)
+			vals = vals[:last]
+			wts = wts[:last]
+			vals[last-1] = v
+			wts[last-1] = w
+		}
+	}
+	// Expand the blocks back to per-point fitted values.
+	out := make([]float64, 0, n)
+	for b, v := range vals {
+		for k := 0; k < wts[b]; k++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Guess implements CrackFunc: linear interpolation through the isotonic
+// fit (which keeps the guess monotone in the transformed value).
+func (a *IsotonicAttack) Guess(encVal float64) float64 {
+	return stats.PolylineEval(a.xs, a.ys, encVal)
+}
+
+// Name implements CrackFunc.
+func (a *IsotonicAttack) Name() string { return "isotonic" }

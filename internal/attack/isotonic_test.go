@@ -1,0 +1,130 @@
+package attack
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPAVA(t *testing.T) {
+	cases := []struct {
+		in, want []float64
+	}{
+		{[]float64{1, 2, 3}, []float64{1, 2, 3}},                         // already monotone
+		{[]float64{3, 2, 1}, []float64{2, 2, 2}},                         // full pool
+		{[]float64{1, 3, 2, 4}, []float64{1, 2.5, 2.5, 4}},               // one violation
+		{[]float64{5, 1, 1, 9}, []float64{7.0 / 3, 7.0 / 3, 7.0 / 3, 9}}, // cascade
+		{[]float64{7}, []float64{7}},
+	}
+	for _, c := range cases {
+		got := pava(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("pava(%v) = %v", c.in, got)
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Errorf("pava(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+		// The output must be non-decreasing.
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				t.Errorf("pava(%v) not monotone: %v", c.in, got)
+			}
+		}
+	}
+}
+
+func TestIsotonicAttackMonotoneGuess(t *testing.T) {
+	kps := []KnowledgePoint{
+		{Enc: 0, Orig: 10},
+		{Enc: 1, Orig: 30}, // bad KP: overshoots
+		{Enc: 2, Orig: 20},
+		{Enc: 3, Orig: 40},
+	}
+	a, err := NewIsotonicAttack(kps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := a.Guess(-1)
+	for x := -0.5; x <= 4; x += 0.25 {
+		cur := a.Guess(x)
+		if cur < prev-1e-12 {
+			t.Fatalf("guess not monotone at %v", x)
+		}
+		prev = cur
+	}
+	if a.Name() != "isotonic" {
+		t.Error("name wrong")
+	}
+	if _, err := NewIsotonicAttack(nil); err == nil {
+		t.Error("expected error for no KPs")
+	}
+}
+
+func TestIsotonicMatchesPolylineOnConsistentKPs(t *testing.T) {
+	// With monotone-consistent knowledge points PAVA is the identity,
+	// so the isotonic guess equals the polyline guess everywhere.
+	kps := []KnowledgePoint{
+		{Enc: 10, Orig: 5}, {Enc: 20, Orig: 11}, {Enc: 35, Orig: 30}, {Enc: 40, Orig: 31},
+	}
+	iso, err := NewIsotonicAttack(kps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := CurveFit(Polyline, kps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 5.0; y <= 45; y += 0.5 {
+		if math.Abs(iso.Guess(y)-poly.Guess(y)) > 1e-12 {
+			t.Fatalf("isotonic differs from polyline at %v", y)
+		}
+	}
+}
+
+func TestIsotonicPoolsBadKPs(t *testing.T) {
+	// A documented (and initially counter-intuitive) finding: PAVA
+	// least-squares-averages a monotonicity-breaking bad KP into its
+	// pool instead of discarding it, dragging the good neighbors along.
+	// Against a wildly wrong prior the plain polyline — which confines
+	// the damage to the two adjacent segments — actually cracks more.
+	kps := []KnowledgePoint{
+		{Enc: 10, Orig: 10},
+		{Enc: 20, Orig: 90}, // bad: true value is 20
+		{Enc: 30, Orig: 30},
+		{Enc: 40, Orig: 40},
+	}
+	iso, err := NewIsotonicAttack(kps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := CurveFit(Polyline, kps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(y float64) float64 { return y }
+	const rho = 5.0
+	crackCount := func(g CrackFunc) int {
+		n := 0
+		for y := 10.0; y <= 40; y++ {
+			if math.Abs(g.Guess(y)-truth(y)) <= rho {
+				n++
+			}
+		}
+		return n
+	}
+	ci, cp := crackCount(iso), crackCount(poly)
+	if ci >= cp {
+		t.Errorf("expected pooling to hurt the isotonic hacker: isotonic %d vs polyline %d", ci, cp)
+	}
+	// The fit must still be monotone even through the bad point.
+	prev := iso.Guess(9)
+	for y := 9.5; y <= 41; y += 0.5 {
+		cur := iso.Guess(y)
+		if cur < prev-1e-12 {
+			t.Fatal("isotonic fit lost monotonicity")
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,125 @@
+package attack
+
+import (
+	"errors"
+	"sort"
+)
+
+// SortingAttack implements Section 3.3's sorting attack: the hacker
+// sorts the observed transformed values and maps them, in rank order,
+// onto a guessed original range [GuessMin, GuessMax]. The Figure 11
+// "worst case" arms the attack with the true minimum and maximum.
+type SortingAttack struct {
+	encSorted []float64
+	guessMin  float64
+	guessMax  float64
+}
+
+// NewSortingAttack builds a sorting attack over the distinct transformed
+// values observed in D'.
+func NewSortingAttack(encVals []float64, guessMin, guessMax float64) (*SortingAttack, error) {
+	if len(encVals) == 0 {
+		return nil, errors.New("attack: sorting attack needs observed values")
+	}
+	if guessMax < guessMin {
+		return nil, errors.New("attack: sorting attack range is empty")
+	}
+	sorted := append([]float64(nil), encVals...)
+	sort.Float64s(sorted)
+	// Deduplicate: the attack reasons over distinct values.
+	out := sorted[:1]
+	for _, v := range sorted[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return &SortingAttack{encSorted: out, guessMin: guessMin, guessMax: guessMax}, nil
+}
+
+// Guess implements CrackFunc: the i-th smallest transformed value maps
+// to the i-th of n evenly spaced positions across the guessed range —
+// "consecutive values starting with the (guessed) minimum all the way to
+// the (guessed) maximum".
+func (s *SortingAttack) Guess(encVal float64) float64 {
+	n := len(s.encSorted)
+	if n == 1 {
+		return (s.guessMin + s.guessMax) / 2
+	}
+	rank := sort.SearchFloat64s(s.encSorted, encVal)
+	if rank >= n {
+		rank = n - 1
+	}
+	return s.guessMin + float64(rank)*(s.guessMax-s.guessMin)/float64(n-1)
+}
+
+// Name implements CrackFunc.
+func (s *SortingAttack) Name() string { return "sorting" }
+
+// RankCrackProbability computes the refined per-value crack probability
+// of Section 5.4: with nBelow distinct values ranked before ν' and
+// nAbove after it, the original value is known to lie in
+// R_g = [domMin + nBelow, domMax - nAbove] on the unit grid; the crack
+// probability is |R_g ∩ R_ρ| / |R_g| with R_ρ = [ν - ρ, ν + ρ].
+// All widths are measured in unit-grid points, matching the paper's
+// integer-valued attributes.
+func RankCrackProbability(domMin, domMax float64, nBelow, nAbove int, truth, rho float64) float64 {
+	gLo := domMin + float64(nBelow)
+	gHi := domMax - float64(nAbove)
+	if gHi < gLo {
+		return 1 // degenerate: the rank pins the value exactly
+	}
+	rLo := truth - rho
+	rHi := truth + rho
+	iLo := maxf(gLo, rLo)
+	iHi := minf(gHi, rHi)
+	if iHi < iLo {
+		return 0
+	}
+	// Grid-point counts: an interval [a,b] holds b-a+1 unit-grid points.
+	return (iHi - iLo + 1) / (gHi - gLo + 1)
+}
+
+// ExpectedSortingCrackRate averages RankCrackProbability over the
+// distinct original values of an attribute — the Figure 11 worst-case
+// crack percentage, where the hacker knows the true dynamic range.
+// origSorted must hold the distinct original values in ascending order.
+func ExpectedSortingCrackRate(origSorted []float64, domMin, domMax, rho float64) float64 {
+	return SortingCrackRateMasked(origSorted, nil, domMin, domMax, rho)
+}
+
+// SortingCrackRateMasked is ExpectedSortingCrackRate with per-value
+// immunity: immune[i] marks values encoded inside a monochromatic piece
+// by a random bijection, which destroys the rank correspondence the
+// sorting attack relies on — those values never crack (Section 5.2:
+// "a sorting attack is blocked"). Pass a nil mask to treat every value
+// as rank-attackable. This mono-exclusion is what reproduces the
+// paper's Figure 11 numbers exactly (e.g. attribute 1: 74.2% mono ×
+// full rank exposure → 26% worst case).
+func SortingCrackRateMasked(origSorted []float64, immune []bool, domMin, domMax, rho float64) float64 {
+	n := len(origSorted)
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, v := range origSorted {
+		if immune != nil && immune[i] {
+			continue
+		}
+		sum += RankCrackProbability(domMin, domMax, i, n-1-i, v, rho)
+	}
+	return sum / float64(n)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

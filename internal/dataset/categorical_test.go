@@ -1,0 +1,105 @@
+package dataset
+
+import "testing"
+
+func mixedDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d := New([]string{"age", "region"}, []string{"N", "P"})
+	rows := []struct {
+		age, region float64
+		label       int
+	}{
+		{25, 0, 0}, {30, 1, 0}, {45, 2, 1}, {50, 0, 1}, {35, 1, 0}, {60, 2, 1},
+	}
+	for _, r := range rows {
+		if err := d.Append([]float64{r.age, r.region}, r.label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.MarkCategorical(1, []string{"north", "south", "west"}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMarkCategorical(t *testing.T) {
+	d := mixedDataset(t)
+	if !d.IsCategorical(1) || d.IsCategorical(0) {
+		t.Error("categorical flags wrong")
+	}
+	if d.NumCategories(1) != 3 || d.NumCategories(0) != 0 {
+		t.Error("category counts wrong")
+	}
+	if d.CatName(1, 2) != "west" || d.CatName(1, 9) != "cat9" {
+		t.Error("category names wrong")
+	}
+	if d.CatValues(0) != nil || len(d.CatValues(1)) != 3 {
+		t.Error("CatValues wrong")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMarkCategoricalErrors(t *testing.T) {
+	d := New([]string{"a"}, []string{"x"})
+	if err := d.MarkCategorical(5, []string{"y"}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if err := d.MarkCategorical(0, nil); err == nil {
+		t.Error("expected empty-names error")
+	}
+	if err := d.Append([]float64{2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MarkCategorical(0, []string{"only"}); err == nil {
+		t.Error("expected invalid-code error")
+	}
+	d2 := New([]string{"a"}, []string{"x"})
+	if err := d2.Append([]float64{0.5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.MarkCategorical(0, []string{"y"}); err == nil {
+		t.Error("expected non-integer-code error")
+	}
+}
+
+func TestCategoricalValidateCatchesCorruption(t *testing.T) {
+	d := mixedDataset(t)
+	d.Cols[1][0] = 7
+	if err := d.Validate(); err == nil {
+		t.Error("expected invalid-code error after corruption")
+	}
+}
+
+func TestCategoricalCloneSubsetEqual(t *testing.T) {
+	d := mixedDataset(t)
+	c := d.Clone()
+	if !d.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	if !c.IsCategorical(1) {
+		t.Error("clone lost categorical metadata")
+	}
+	s := d.Subset([]int{0, 2})
+	if !s.IsCategorical(1) || s.NumCategories(1) != 3 {
+		t.Error("subset lost categorical metadata")
+	}
+	// Changing category names must break equality.
+	c2 := d.Clone()
+	if err := c2.MarkCategorical(1, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Equal(c2) {
+		t.Error("renamed categories not detected")
+	}
+	plain := New([]string{"age", "region"}, []string{"N", "P"})
+	for i := 0; i < d.NumTuples(); i++ {
+		if err := plain.Append(d.Tuple(i), d.Labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Equal(plain) {
+		t.Error("categorical metadata difference not detected")
+	}
+}

@@ -1,0 +1,37 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV parser against arbitrary input: it must
+// never panic, and anything it accepts must validate and round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b,class\n1,2,x\n3,4,y\n")
+	f.Add("a,class\n1.5,x\n")
+	f.Add("")
+	f.Add("a,class\nNaN,x\n")
+	f.Add("a,class\n1e308,x\n1e308,x\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted CSV fails validation: %v\ninput: %q", err, in)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if back.NumTuples() != d.NumTuples() || back.NumAttrs() != d.NumAttrs() {
+			t.Fatalf("round trip changed dimensions")
+		}
+	})
+}

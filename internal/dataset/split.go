@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// TrainTestSplit shuffles the tuples and splits them into a training set
+// with trainFrac of the tuples and a test set with the rest. The split
+// is stratification-free; with the usual class balances of the
+// synthetic workloads this is adequate for holdout evaluation.
+func (d *Dataset) TrainTestSplit(rng *rand.Rand, trainFrac float64) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, errors.New("dataset: train fraction must be in (0,1)")
+	}
+	n := d.NumTuples()
+	if n < 2 {
+		return nil, nil, errors.New("dataset: need at least 2 tuples to split")
+	}
+	perm := rng.Perm(n)
+	cut := int(float64(n) * trainFrac)
+	if cut == 0 {
+		cut = 1
+	}
+	if cut == n {
+		cut = n - 1
+	}
+	return d.Subset(perm[:cut]), d.Subset(perm[cut:]), nil
+}
+
+// Fold returns the i-th of k cross-validation folds: train holds all
+// tuples outside the fold, test the fold itself. The same permutation is
+// reproduced from the rng seed by the caller passing an identically
+// seeded rng for each fold index.
+func (d *Dataset) Fold(perm []int, i, k int) (train, test *Dataset, err error) {
+	n := d.NumTuples()
+	if k < 2 || k > n {
+		return nil, nil, errors.New("dataset: fold count out of range")
+	}
+	if i < 0 || i >= k {
+		return nil, nil, errors.New("dataset: fold index out of range")
+	}
+	if len(perm) != n {
+		return nil, nil, errors.New("dataset: permutation length mismatch")
+	}
+	lo := i * n / k
+	hi := (i + 1) * n / k
+	var trainIdx, testIdx []int
+	for p, t := range perm {
+		if p >= lo && p < hi {
+			testIdx = append(testIdx, t)
+		} else {
+			trainIdx = append(trainIdx, t)
+		}
+	}
+	return d.Subset(trainIdx), d.Subset(testIdx), nil
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func splitFixture(t *testing.T, n int) *Dataset {
+	t.Helper()
+	d := New([]string{"a"}, []string{"x", "y"})
+	for i := 0; i < n; i++ {
+		if err := d.Append([]float64{float64(i)}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	d := splitFixture(t, 100)
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := d.TrainTestSplit(rng, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumTuples() != 80 || test.NumTuples() != 20 {
+		t.Errorf("split sizes = %d/%d", train.NumTuples(), test.NumTuples())
+	}
+	// Every tuple appears exactly once across the two halves.
+	seen := map[float64]int{}
+	for _, v := range train.Cols[0] {
+		seen[v]++
+	}
+	for _, v := range test.Cols[0] {
+		seen[v]++
+	}
+	if len(seen) != 100 {
+		t.Errorf("tuples lost: %d distinct", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Errorf("tuple %v appears %d times", v, c)
+		}
+	}
+}
+
+func TestTrainTestSplitErrors(t *testing.T) {
+	d := splitFixture(t, 10)
+	rng := rand.New(rand.NewSource(1))
+	for _, frac := range []float64{0, 1, -0.5, 2} {
+		if _, _, err := d.TrainTestSplit(rng, frac); err == nil {
+			t.Errorf("frac %v: expected error", frac)
+		}
+	}
+	tiny := splitFixture(t, 1)
+	if _, _, err := tiny.TrainTestSplit(rng, 0.5); err == nil {
+		t.Error("expected error for tiny dataset")
+	}
+	// Extreme fractions still leave both sides non-empty.
+	train, test, err := d.TrainTestSplit(rng, 0.999)
+	if err != nil || train.NumTuples() == 0 || test.NumTuples() == 0 {
+		t.Errorf("extreme split = %d/%d, %v", train.NumTuples(), test.NumTuples(), err)
+	}
+}
+
+func TestFolds(t *testing.T) {
+	d := splitFixture(t, 25)
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(25)
+	const k = 5
+	counts := map[float64]int{}
+	for i := 0; i < k; i++ {
+		train, test, err := d.Fold(perm, i, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if train.NumTuples()+test.NumTuples() != 25 {
+			t.Error("fold does not partition")
+		}
+		if test.NumTuples() != 5 {
+			t.Errorf("fold %d test size = %d", i, test.NumTuples())
+		}
+		for _, v := range test.Cols[0] {
+			counts[v]++
+		}
+	}
+	// Every tuple is tested exactly once across the folds.
+	for v, c := range counts {
+		if c != 1 {
+			t.Errorf("tuple %v tested %d times", v, c)
+		}
+	}
+}
+
+func TestFoldErrors(t *testing.T) {
+	d := splitFixture(t, 10)
+	perm := rand.New(rand.NewSource(1)).Perm(10)
+	if _, _, err := d.Fold(perm, 0, 1); err == nil {
+		t.Error("expected fold-count error")
+	}
+	if _, _, err := d.Fold(perm, 5, 5); err == nil {
+		t.Error("expected fold-index error")
+	}
+	if _, _, err := d.Fold(perm[:5], 0, 2); err == nil {
+		t.Error("expected permutation-length error")
+	}
+}

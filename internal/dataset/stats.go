@@ -1,0 +1,61 @@
+package dataset
+
+import "math"
+
+// BasicStats summarizes one attribute the way Figure 8 of the paper does
+// for the forest covertype data: the width of the dynamic range, the
+// number of distinct values, and the number of discontinuities.
+//
+// A discontinuity (Section 5.4) is a value inside the dynamic range
+// [min, max] that does not occur in the data. The paper's attributes are
+// integer-valued, so discontinuities are counted on the unit grid:
+// width(range)+1 candidate values minus the distinct values present.
+// For non-integer data, Discontinuities is reported as 0 because the
+// unit grid is not meaningful.
+type BasicStats struct {
+	Min, Max        float64
+	RangeWidth      float64 // Max - Min
+	Distinct        int
+	Discontinuities int
+	IntegerValued   bool
+}
+
+// Stats computes BasicStats for attribute a. An empty column yields the
+// zero value.
+func (d *Dataset) Stats(a int) BasicStats {
+	dom := d.ActiveDomain(a)
+	if len(dom) == 0 {
+		return BasicStats{}
+	}
+	s := BasicStats{
+		Min:           dom[0],
+		Max:           dom[len(dom)-1],
+		Distinct:      len(dom),
+		IntegerValued: true,
+	}
+	s.RangeWidth = s.Max - s.Min
+	for _, v := range dom {
+		if v != math.Trunc(v) {
+			s.IntegerValued = false
+			break
+		}
+	}
+	if s.IntegerValued {
+		grid := int(s.RangeWidth) + 1
+		s.Discontinuities = grid - s.Distinct
+		if s.Discontinuities < 0 {
+			s.Discontinuities = 0
+		}
+	}
+	return s
+}
+
+// GridSize returns the number of unit-grid points in the dynamic range
+// of an integer-valued attribute, or the distinct count otherwise. It is
+// the denominator the sorting attack reasons over.
+func (s BasicStats) GridSize() int {
+	if s.IntegerValued {
+		return int(s.RangeWidth) + 1
+	}
+	return s.Distinct
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"privtree/internal/assoc"
+)
+
+// AssocResult quantifies the Section 2 contrast with randomized
+// association-rule mining (Rizvi & Haritsa's MASK): the released bits
+// leak, mining the released data changes the rule set, and support
+// reconstruction is approximate — while this paper's framework gives its
+// mining task (decision trees) an exact guarantee.
+type AssocResult struct {
+	// KeepProb is the MASK bit-keep probability p.
+	KeepProb float64
+	// UnchangedBits is the fraction of presence bits released verbatim.
+	UnchangedBits float64
+	// OrigRules and MaskedRules count rules mined at the same thresholds
+	// before and after masking; SharedRules counts the overlap.
+	OrigRules, MaskedRules, SharedRules int
+	// ReconstructionError is the mean absolute relative support error
+	// of the Kronecker-inverse estimator over the true frequent 1–3
+	// itemsets.
+	ReconstructionError float64
+}
+
+// Assoc runs the comparison on a synthetic market-basket workload with
+// planted associations.
+func Assoc(cfg *Config) (*AssocResult, error) {
+	rng := cfg.rng(55)
+	n := cfg.N / 4
+	if n < 500 {
+		n = 500
+	}
+	tr := syntheticBasket(rng, n)
+	const p = 0.9
+	masked, err := assoc.Mask(tr, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	minSup := n / 20
+	origFreq := assoc.FrequentItemsets(tr, minSup)
+	maskFreq := assoc.FrequentItemsets(masked, minSup)
+	origRules := assoc.Rules(origFreq, 0.7)
+	maskRules := assoc.Rules(maskFreq, 0.7)
+	shared := 0
+	seen := map[string]bool{}
+	for _, r := range origRules {
+		seen[r.Antecedent.Key()+"=>"+r.Consequent.Key()] = true
+	}
+	for _, r := range maskRules {
+		if seen[r.Antecedent.Key()+"=>"+r.Consequent.Key()] {
+			shared++
+		}
+	}
+	var sets []assoc.Itemset
+	for key := range origFreq {
+		set := parseItemsetKey(key)
+		if len(set) <= 3 {
+			sets = append(sets, set)
+		}
+	}
+	recErr, err := assoc.SupportError(tr, masked, sets, p)
+	if err != nil {
+		return nil, err
+	}
+	return &AssocResult{
+		KeepProb:            p,
+		UnchangedBits:       assoc.UnchangedBitFraction(tr, masked),
+		OrigRules:           len(origRules),
+		MaskedRules:         len(maskRules),
+		SharedRules:         shared,
+		ReconstructionError: recErr,
+	}, nil
+}
+
+// syntheticBasket plants a handful of strong associations among 12
+// items.
+func syntheticBasket(rng *rand.Rand, n int) *assoc.Transactions {
+	rows := make([][]int, n)
+	for i := range rows {
+		var row []int
+		if rng.Float64() < 0.4 {
+			row = append(row, 1)
+			if rng.Float64() < 0.85 {
+				row = append(row, 2)
+			}
+		}
+		if rng.Float64() < 0.3 {
+			row = append(row, 3, 4)
+			if rng.Float64() < 0.6 {
+				row = append(row, 5)
+			}
+		}
+		for item := 6; item < 12; item++ {
+			if rng.Float64() < 0.15 {
+				row = append(row, item)
+			}
+		}
+		rows[i] = row
+	}
+	t, err := assoc.NewTransactions(12, rows)
+	if err != nil {
+		panic(err) // generator values are in range by construction
+	}
+	return t
+}
+
+func parseItemsetKey(key string) assoc.Itemset {
+	var out assoc.Itemset
+	v := 0
+	has := false
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ',' {
+			if has {
+				out = append(out, v)
+			}
+			v, has = 0, false
+			continue
+		}
+		v = v*10 + int(key[i]-'0')
+		has = true
+	}
+	return out
+}
+
+// Print renders the contrast.
+func (r *AssocResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Related work (§2) — randomized association-rule mining (MASK)")
+	fmt.Fprintf(w, "bit-keep probability p:                  %.2f\n", r.KeepProb)
+	fmt.Fprintf(w, "presence bits released unchanged:        %s (the input-privacy leak)\n", pct(r.UnchangedBits))
+	fmt.Fprintf(w, "rules mined: original %d, masked %d, shared %d — outcome changed\n",
+		r.OrigRules, r.MaskedRules, r.SharedRules)
+	fmt.Fprintf(w, "support reconstruction error (1–3 sets): %s — approximate, never exact\n",
+		pct(r.ReconstructionError))
+	fmt.Fprintln(w, "contrast: the piecewise framework gives decision-tree mining an exact,")
+	fmt.Fprintln(w, "decodable outcome with every value changed (see -run guarantee)")
+}

@@ -1,0 +1,460 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallConfig keeps the full suite fast enough for go test.
+func smallConfig() *Config {
+	return &Config{N: 3000, Trials: 7, Seed: 3, RhoFrac: 0.02, W: 20, MinWidth: 5}
+}
+
+func TestFig8(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Structural shape: aspect (attr 2) has no mono values; elevation
+	// (attr 1) is strongly monochromatic.
+	if res.Rows[1].PctMonoValues > 0.02 {
+		t.Errorf("aspect mono = %v, want ~0", res.Rows[1].PctMonoValues)
+	}
+	if res.Rows[0].PctMonoValues < 0.5 {
+		t.Errorf("elevation mono = %v, want high", res.Rows[0].PctMonoValues)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Error("print header missing")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The headline shape of Figure 9, averaged across attributes:
+	// baseline >= ChooseBP >= ChooseMaxMP; knowledgeable <= expert;
+	// ignorant below 5%.
+	var base, bp, mp, knowl, ign float64
+	for _, row := range res.Rows {
+		base += row.BaselineExpert
+		bp += row.BPExpert
+		mp += row.MaxMPExpert
+		knowl += row.MaxMPKnowledgeable
+		ign += row.MaxMPIgnorant
+	}
+	n := float64(len(res.Rows))
+	base, bp, mp, knowl, ign = base/n, bp/n, mp/n, knowl/n, ign/n
+	if !(base > bp) {
+		t.Errorf("baseline (%v) should exceed ChooseBP (%v)", base, bp)
+	}
+	if !(bp >= mp) {
+		t.Errorf("ChooseBP (%v) should be >= ChooseMaxMP (%v)", bp, mp)
+	}
+	if !(mp >= knowl) {
+		t.Errorf("expert (%v) should be >= knowledgeable (%v)", mp, knowl)
+	}
+	if ign > 0.05 {
+		t.Errorf("ignorant hacker risk = %v, want < 5%%", ign)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Error("print header missing")
+	}
+}
+
+func TestTable622Shape(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Table622(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Risk) != 3 || len(res.Risk[0]) != 3 {
+		t.Fatalf("grid = %dx%d", len(res.Risk), len(res.Risk[0]))
+	}
+	for i := range res.Risk {
+		for j := range res.Risk[i] {
+			if r := res.Risk[i][j]; r < 0 || r > 0.6 {
+				t.Errorf("cell [%d][%d] = %v out of plausible range", i, j, r)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "polynomial") {
+		t.Error("print should label the polynomial family")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scoring order: majority <= union, expected <= union.
+	if res.ExpectedRisk > res.UnionRisk+1e-9 {
+		t.Errorf("expected (%v) must not exceed union (%v)", res.ExpectedRisk, res.UnionRisk)
+	}
+	if res.MajorityRisk > res.UnionRisk+1e-9 {
+		t.Errorf("majority (%v) must not exceed union (%v)", res.MajorityRisk, res.UnionRisk)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Venn") {
+		t.Error("print header missing")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Aspect (attr 2: dense, no mono) is fully cracked; the wide sparse
+	// attributes (6, 10) are nearly safe.
+	if res.Rows[1].WorstCaseCrack < 0.95 {
+		t.Errorf("aspect sorting risk = %v, want ~1", res.Rows[1].WorstCaseCrack)
+	}
+	if res.Rows[5].WorstCaseCrack > 0.35 || res.Rows[9].WorstCaseCrack > 0.35 {
+		t.Errorf("sparse attrs sorting risk = %v / %v, want low",
+			res.Rows[5].WorstCaseCrack, res.Rows[9].WorstCaseCrack)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 11") {
+		t.Error("print header missing")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bars := map[string]float64{}
+	for _, b := range res.Bars {
+		key := ""
+		for i, a := range b.Attrs {
+			if i > 0 {
+				key += ","
+			}
+			key += string(rune('0' + a%10))
+		}
+		bars[key] = b.Risk
+	}
+	// Association risk of a subspace must not exceed the smallest member
+	// domain risk, and must shrink as the subspace grows.
+	if bars["4,7,0"] > bars["4,7"]+1e-9 || bars["4,7"] > bars["4"]+1e-9 {
+		t.Errorf("subspace risks should shrink: %v", bars)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 12") {
+		t.Error("print header missing")
+	}
+}
+
+func TestTable64Shape(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Table64(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPaths == 0 {
+		t.Fatal("no paths mined")
+	}
+	// The paper's invariant: longer paths are conjunctions of more
+	// conditions and essentially never crack. At this tiny scale short
+	// paths exist and a few may crack; assert the structural property:
+	// nothing beyond length 6 cracks, long paths exist, and the overall
+	// rate stays small.
+	for l := 7; l < len(res.CracksByLen); l++ {
+		if res.CracksByLen[l] > 0 {
+			t.Errorf("a path of length %d was cracked", l)
+		}
+	}
+	long := 0
+	for l := 7; l < len(res.PathsByLen); l++ {
+		long += res.PathsByLen[l]
+	}
+	if long == 0 {
+		t.Error("expected some paths longer than 6")
+	}
+	if rate := float64(res.TotalCracks) / float64(res.TotalPaths); rate > 0.2 {
+		t.Errorf("pattern disclosure = %.1f%%, too high", 100*rate)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Output Privacy") {
+		t.Error("print header missing")
+	}
+}
+
+func TestGuarantee(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Guarantee(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 12 {
+		t.Fatalf("cases = %d, want 12", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if !c.OK {
+			t.Errorf("guarantee failed for %v/%v anti=%v: %s", c.Strategy, c.Criterion, c.Anti, c.Err)
+		}
+	}
+	if res.Unchanged > 0.01 {
+		t.Errorf("encoding left %v of values unchanged", res.Unchanged)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Error("print should report PASS")
+	}
+}
+
+func TestPerturbBaseline(t *testing.T) {
+	cfg := smallConfig()
+	res, err := PerturbBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The discretized ±2 perturbation leaks a significant fraction of
+	// unchanged values; the piecewise row leaks none and is exact.
+	if res.Rows[0].Unchanged < 0.1 {
+		t.Errorf("perturbation unchanged = %v, want significant", res.Rows[0].Unchanged)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.Unchanged > 0.01 || !last.ExactTree || last.Agreement < 1 {
+		t.Errorf("piecewise row = %+v, want exact and fully changed", last)
+	}
+	// Perturbation must change the outcome somewhere.
+	anyChanged := false
+	for _, row := range res.Rows[:3] {
+		if !row.ExactTree {
+			anyChanged = true
+		}
+	}
+	if !anyChanged {
+		t.Error("no perturbation setting changed the tree")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "piecewise") {
+		t.Error("print should include the piecewise row")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Names()) != 14 {
+		t.Errorf("names = %v", Names())
+	}
+	var buf bytes.Buffer
+	if err := Run("fig11", smallConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+	if err := Run("nope", smallConfig(), &buf); err == nil {
+		t.Error("expected unknown-experiment error")
+	}
+}
+
+func TestProtections(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Protections(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byLabel := map[string]ProtectionRow{}
+	for _, r := range res.Rows {
+		byLabel[r.Label] = r
+	}
+	ope := byLabel["order-preserving (no BP)"]
+	kan := byLabel["k-anonymity (k=25)"]
+	pw := byLabel["piecewise (ChooseMaxMP)"]
+	if !ope.ExactTree || !pw.ExactTree {
+		t.Error("order-preserving and piecewise must both preserve the tree")
+	}
+	if kan.ExactTree {
+		t.Error("k-anonymity should change the mined tree")
+	}
+	if pw.SortingCrack >= ope.SortingCrack {
+		t.Errorf("piecewise sorting exposure (%v) must beat order-preserving (%v)",
+			pw.SortingCrack, ope.SortingCrack)
+	}
+	if kan.SortingCrack >= 0 {
+		t.Error("k-anonymity sorting column should be n/a")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "three pillars") {
+		t.Error("print header missing")
+	}
+}
+
+func TestSVMExt(t *testing.T) {
+	cfg := smallConfig()
+	res, err := SVMExt(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AffineAgreement != 1 {
+		t.Errorf("affine agreement = %v, want 1", res.AffineAgreement)
+	}
+	if res.AffineWeightError > 1e-6 {
+		t.Errorf("affine weight error = %v", res.AffineWeightError)
+	}
+	if res.PiecewiseAgreement >= 1 {
+		t.Error("piecewise encoding should change the SVM outcome")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "SVM") {
+		t.Error("print header missing")
+	}
+}
+
+func TestCensusWorkload(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workload = "census"
+	res, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("census rows = %d", len(res.Rows))
+	}
+	bad := smallConfig()
+	bad.Workload = "nope"
+	if _, err := Fig8(bad); err == nil {
+		t.Error("expected unknown workload error")
+	}
+}
+
+func TestBadKP(t *testing.T) {
+	cfg := smallConfig()
+	res, err := BadKP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rhos) != 3 || len(res.GoodOnly) != 3 || len(res.OneBad) != 3 || len(res.TwoBad) != 3 {
+		t.Fatalf("sweep shape wrong: %+v", res)
+	}
+	// The paper's claim: bad KPs hurt the hacker. Averaged across the
+	// rho settings, one bad KP must not help and should typically hurt.
+	var good, bad float64
+	for i := range res.Rhos {
+		good += res.GoodOnly[i]
+		bad += res.OneBad[i]
+	}
+	if bad > good+0.02 {
+		t.Errorf("a bad KP helped the hacker: %v vs %v", bad/3, good/3)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "bad knowledge points") {
+		t.Error("print header missing")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WRisk) != len(res.Ws) || len(res.MWRisk) != len(res.MinWidths) {
+		t.Fatal("sweep shape wrong")
+	}
+	// The w sweep is U-shaped: too few pieces leave a fittable smooth
+	// map, too many collapse the map to a rank mapping whose ρ-radius
+	// the curve fit covers. The optimum is interior — which is why the
+	// paper's minimum of w=20 is a good default.
+	minRisk, minAt := res.WRisk[0], 0
+	for i, r := range res.WRisk {
+		if r < minRisk {
+			minRisk, minAt = r, i
+		}
+	}
+	if minAt == 0 || minAt == len(res.WRisk)-1 {
+		t.Errorf("w sweep should be U-shaped with an interior optimum: %v", res.WRisk)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "ablations") {
+		t.Error("print header missing")
+	}
+}
+
+func TestAssocExperiment(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Assoc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnchangedBits < 0.85 || res.UnchangedBits > 0.95 {
+		t.Errorf("unchanged bits = %v, want ~0.9", res.UnchangedBits)
+	}
+	if res.SharedRules == res.OrigRules && res.MaskedRules == res.OrigRules {
+		t.Error("masking should change the rule set")
+	}
+	if res.ReconstructionError > 0.25 {
+		t.Errorf("reconstruction error = %v, too high", res.ReconstructionError)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "MASK") {
+		t.Error("print header missing")
+	}
+}
+
+func TestDefaultAndRunAll(t *testing.T) {
+	def := Default()
+	if def.N != 60000 || def.Trials != 101 || def.W != 20 {
+		t.Errorf("default config = %+v", def)
+	}
+	// RunAll at a tiny scale exercises every experiment through the
+	// registry in one pass.
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	cfg := &Config{N: 1200, Trials: 3, Seed: 5, RhoFrac: 0.02, W: 10, MinWidth: 5}
+	var buf bytes.Buffer
+	if err := RunAll(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 8", "Figure 9", "Figure 10", "Figure 11", "Figure 12",
+		"6.2.2", "Output Privacy", "guarantee", "perturbation", "three pillars", "SVM", "MASK", "ablations"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}

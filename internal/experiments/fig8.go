@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"privtree/internal/runs"
+)
+
+// Fig8Row is one row of the Figure 8 attribute-statistics table.
+type Fig8Row struct {
+	Attr            string
+	RangeWidth      float64
+	Distinct        int
+	Discontinuities int
+	MonoPieces      int
+	AvgMonoLen      float64
+	PctMonoValues   float64
+}
+
+// Fig8Result reproduces Figure 8: the structural statistics of the 10
+// attributes.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Fig8 computes the attribute statistics table.
+func Fig8(cfg *Config) (*Fig8Result, error) {
+	d, err := cfg.Data()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{}
+	for a := 0; a < d.NumAttrs(); a++ {
+		p := runs.ProfileAttr(d, a, cfg.MinWidth)
+		res.Rows = append(res.Rows, Fig8Row{
+			Attr:            d.AttrNames[a],
+			RangeWidth:      p.Stats.RangeWidth,
+			Distinct:        p.Stats.Distinct,
+			Discontinuities: p.Stats.Discontinuities,
+			MonoPieces:      p.MonoPieces,
+			AvgMonoLen:      p.AvgMonoLen,
+			PctMonoValues:   p.PctMonoValues,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the table in the paper's Figure 8 layout.
+func (r *Fig8Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8 — Statistics of Attributes")
+	fmt.Fprintf(w, "%-4s %-16s %8s %9s %9s %7s %8s %8s\n",
+		"attr", "name", "range", "distinct", "discont", "mono#", "avgLen", "%mono")
+	rule(w, 78)
+	for i, row := range r.Rows {
+		fmt.Fprintf(w, "#%-3d %-16s %8.0f %9d %9d %7d %8.1f %8s\n",
+			i+1, row.Attr, row.RangeWidth, row.Distinct, row.Discontinuities,
+			row.MonoPieces, row.AvgMonoLen, pct(row.PctMonoValues))
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"privtree/internal/dataset"
+
+	"privtree/internal/attack"
+	"privtree/internal/risk"
+	"privtree/internal/runs"
+	"privtree/internal/transform"
+)
+
+// Fig9Row holds the four bars of one attribute in Figure 9: domain
+// disclosure risk under the polyline attack.
+type Fig9Row struct {
+	Attr string
+	// BaselineExpert: no breakpoints, expert hacker (4 good KPs).
+	BaselineExpert float64
+	// BPExpert: ChooseBP with the same breakpoint count as ChooseMaxMP.
+	BPExpert float64
+	// MaxMPExpert: ChooseMaxMP, expert hacker.
+	MaxMPExpert float64
+	// MaxMPKnowledgeable: ChooseMaxMP, knowledgeable hacker (2 KPs).
+	MaxMPKnowledgeable float64
+	// MaxMPIgnorant: ChooseMaxMP, no prior knowledge (the text's
+	// "consistently below 5%" reference point).
+	MaxMPIgnorant float64
+}
+
+// Fig9Result reproduces Figure 9: domain disclosure risks for all 10
+// attributes across breakpoint strategies and hacker profiles.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 computes the domain-disclosure comparison. For a fair comparison
+// (Section 6.2.1), ChooseBP uses the same number of breakpoints that
+// ChooseMaxMP produced for the attribute, with a minimum of cfg.W.
+// Attributes are evaluated in parallel, each cell on its own
+// deterministic random stream, so results are reproducible regardless of
+// scheduling.
+func Fig9(cfg *Config) (*Fig9Result, error) {
+	d, err := cfg.Data()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rows: make([]Fig9Row, d.NumAttrs())}
+	var wg sync.WaitGroup
+	errs := make([]error, d.NumAttrs())
+	for a := 0; a < d.NumAttrs(); a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			errs[a] = fig9Attr(cfg, d, a, &res.Rows[a])
+		}(a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// fig9Attr fills one attribute's row.
+func fig9Attr(cfg *Config, d *dataset.Dataset, a int, row *Fig9Row) error {
+	// Determine the ChooseMaxMP piece count for breakpoint parity.
+	groups := runs.GroupValues(d.SortedProjection(a))
+	pieces := runs.MaxMonoPieces(groups, cfg.MinWidth)
+	w := len(pieces)
+	if w < cfg.W {
+		w = cfg.W
+	}
+	row.Attr = d.AttrNames[a]
+	type cell struct {
+		dst      *float64
+		strategy transform.Strategy
+		hacker   risk.Hacker
+	}
+	cells := []cell{
+		{&row.BaselineExpert, transform.StrategyNone, risk.Expert},
+		{&row.BPExpert, transform.StrategyBP, risk.Expert},
+		{&row.MaxMPExpert, transform.StrategyMaxMP, risk.Expert},
+		{&row.MaxMPKnowledgeable, transform.StrategyMaxMP, risk.Knowledgeable},
+		{&row.MaxMPIgnorant, transform.StrategyMaxMP, risk.Ignorant},
+	}
+	for ci, c := range cells {
+		rng := cfg.rng(int64(9000 + a*10 + ci))
+		opts := cfg.encodeOptions(c.strategy)
+		opts.Breakpoints = w
+		med, err := risk.MedianOfTrials(cfg.Trials, func(int) float64 {
+			ctx, _, err := attrContext(d, a, opts, cfg.RhoFrac, rng)
+			if err != nil {
+				panic(err)
+			}
+			r, err := ctx.DomainTrial(rng, attack.Polyline, c.hacker)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		})
+		if err != nil {
+			return err
+		}
+		*c.dst = med
+	}
+	return nil
+}
+
+// Print renders the Figure 9 bars as a table.
+func (r *Fig9Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9 — Domain Disclosure Risk (polyline attack, median of trials)")
+	fmt.Fprintf(w, "%-4s %-16s %10s %10s %10s %12s %10s\n",
+		"attr", "name", "none/exp", "bp/exp", "maxmp/exp", "maxmp/knowl", "maxmp/ign")
+	rule(w, 80)
+	for i, row := range r.Rows {
+		fmt.Fprintf(w, "#%-3d %-16s %10s %10s %10s %12s %10s\n",
+			i+1, row.Attr, pct(row.BaselineExpert), pct(row.BPExpert),
+			pct(row.MaxMPExpert), pct(row.MaxMPKnowledgeable), pct(row.MaxMPIgnorant))
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"privtree/internal/perturb"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+// PerturbRow contrasts one perturbation setting against the piecewise
+// framework.
+type PerturbRow struct {
+	Label string
+	// Unchanged is the fraction of values left exactly unchanged
+	// (input-privacy leak; Section 6.2.1 cites ~30% for [8]).
+	Unchanged float64
+	// Agreement is the fraction of tuples on which the tree mined from
+	// the protected data classifies like the tree mined from D.
+	Agreement float64
+	// ExactTree reports whether the (decoded) tree is behaviorally
+	// identical to direct mining.
+	ExactTree bool
+	// Accuracy is the protected-tree training accuracy on D.
+	Accuracy float64
+	// NaiveCrack is the fraction of values recovered within a 2% radius
+	// by reading the protected data directly.
+	NaiveCrack float64
+	// SpectralCrack is the fraction recovered after PCA-based noise
+	// filtering (Kargupta et al. / Huang et al.) — the stronger attack
+	// the paper cites against perturbation; it gains nothing against
+	// the piecewise framework.
+	SpectralCrack float64
+}
+
+// PerturbResult reproduces the paper's contrast with random
+// perturbation: perturbation trades outcome fidelity for privacy and
+// still leaks unchanged values, while the piecewise framework delivers
+// both exactly.
+type PerturbResult struct {
+	// BaselineAccuracy is the accuracy of direct mining on D.
+	BaselineAccuracy float64
+	Rows             []PerturbRow
+}
+
+// PerturbBaseline runs the comparison on the covertype workload.
+func PerturbBaseline(cfg *Config) (*PerturbResult, error) {
+	d, err := cfg.Data()
+	if err != nil {
+		return nil, err
+	}
+	rng := cfg.rng(99)
+	treeCfg := tree.Config{MinLeaf: 5}
+	orig, err := tree.Build(d, treeCfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &PerturbResult{BaselineAccuracy: orig.Accuracy(d)}
+	// Perturbation settings: noise scale as a fraction of each
+	// attribute's typical width is impractical per-attribute with one
+	// global Noise, so the scales are absolute and chosen to be
+	// meaningful for the byte-range attributes while small for the wide
+	// ones — matching how a custodian would have to compromise.
+	for _, setting := range []struct {
+		label string
+		noise perturb.Noise
+	}{
+		{"uniform ±2 (discretized)", perturb.Noise{Kind: perturb.Uniform, Scale: 2, Discretize: true}},
+		{"uniform ±10 (discretized)", perturb.Noise{Kind: perturb.Uniform, Scale: 10, Discretize: true}},
+		{"gaussian σ=25 (discretized)", perturb.Noise{Kind: perturb.Gaussian, Scale: 25, Discretize: true}},
+	} {
+		pd := perturb.Perturb(d, setting.noise, rng)
+		pt, err := tree.Build(pd, treeCfg)
+		if err != nil {
+			return nil, err
+		}
+		nv := setting.noise.Scale * setting.noise.Scale
+		if setting.noise.Kind == perturb.Uniform {
+			nv = setting.noise.Scale * setting.noise.Scale / 3
+		}
+		filter, err := perturb.NewSpectralFilter(pd, []float64{nv})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, PerturbRow{
+			Label:         setting.label,
+			Unchanged:     perturb.UnchangedFraction(d, pd),
+			Agreement:     tree.Agreement(orig, pt, d),
+			ExactTree:     tree.EquivalentOn(orig, pt, d),
+			Accuracy:      pt.Accuracy(d),
+			NaiveCrack:    perturb.CrackRate(d, pd, cfg.RhoFrac),
+			SpectralCrack: perturb.CrackRate(d, filter.Apply(pd), cfg.RhoFrac),
+		})
+	}
+	// The piecewise framework row.
+	enc, key, err := transform.Encode(d, cfg.encodeOptions(transform.StrategyMaxMP), rng)
+	if err != nil {
+		return nil, err
+	}
+	mined, err := tree.Build(enc, treeCfg)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := tree.DecodeWithData(mined, key, d)
+	if err != nil {
+		return nil, err
+	}
+	encFilter, err := perturb.NewSpectralFilter(enc, []float64{1})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, PerturbRow{
+		Label:         "piecewise (ChooseMaxMP)",
+		Unchanged:     perturb.UnchangedFraction(d, enc),
+		Agreement:     tree.Agreement(orig, decoded, d),
+		ExactTree:     tree.EquivalentOn(orig, decoded, d),
+		Accuracy:      decoded.Accuracy(d),
+		NaiveCrack:    perturb.CrackRate(d, enc, cfg.RhoFrac),
+		SpectralCrack: perturb.CrackRate(d, encFilter.Apply(enc), cfg.RhoFrac),
+	})
+	return res, nil
+}
+
+// Print renders the comparison table.
+func (r *PerturbResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Random-perturbation baseline vs piecewise framework")
+	fmt.Fprintf(w, "direct-mining training accuracy: %s\n", pct(r.BaselineAccuracy))
+	fmt.Fprintf(w, "%-30s %10s %10s %10s %6s %10s %10s\n",
+		"protection", "unchanged", "agreement", "accuracy", "exact", "naive", "spectral")
+	rule(w, 94)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-30s %10s %10s %10s %6v %10s %10s\n",
+			row.Label, pct(row.Unchanged), pct(row.Agreement), pct(row.Accuracy), row.ExactTree,
+			pct(row.NaiveCrack), pct(row.SpectralCrack))
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Printer is a computed experiment result that can render itself.
+type Printer interface {
+	Print(w io.Writer)
+}
+
+// registry maps experiment names to their compute functions.
+var registry = map[string]func(*Config) (Printer, error){
+	"fig8":        func(c *Config) (Printer, error) { return Fig8(c) },
+	"fig9":        func(c *Config) (Printer, error) { return Fig9(c) },
+	"table622":    func(c *Config) (Printer, error) { return Table622(c) },
+	"fig10":       func(c *Config) (Printer, error) { return Fig10(c) },
+	"fig11":       func(c *Config) (Printer, error) { return Fig11(c) },
+	"fig12":       func(c *Config) (Printer, error) { return Fig12(c) },
+	"table64":     func(c *Config) (Printer, error) { return Table64(c) },
+	"guarantee":   func(c *Config) (Printer, error) { return Guarantee(c) },
+	"perturb":     func(c *Config) (Printer, error) { return PerturbBaseline(c) },
+	"protections": func(c *Config) (Printer, error) { return Protections(c) },
+	"svmext":      func(c *Config) (Printer, error) { return SVMExt(c) },
+	"badkp":       func(c *Config) (Printer, error) { return BadKP(c) },
+	"ablation":    func(c *Config) (Printer, error) { return Ablation(c) },
+	"assoc":       func(c *Config) (Printer, error) { return Assoc(c) },
+}
+
+// Names lists the registered experiments in stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run computes the named experiment and prints it to w.
+func Run(name string, cfg *Config, w io.Writer) error {
+	fn, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	res, err := fn(cfg)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	res.Print(w)
+	return nil
+}
+
+// RunAll computes every experiment in a stable order.
+func RunAll(cfg *Config, w io.Writer) error {
+	for _, name := range Names() {
+		if err := Run(name, cfg, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"privtree/internal/attack"
+	"privtree/internal/risk"
+	"privtree/internal/transform"
+)
+
+// Table622Result reproduces the Section 6.2.2 table: domain disclosure
+// risk on attribute 10 under every combination of curve-fitting attack
+// and transformation family, with ChooseMaxMP and an expert hacker.
+type Table622Result struct {
+	// Families lists the transformation families (columns).
+	Families []string
+	// Methods lists the attack methods (rows).
+	Methods []attack.Method
+	// Risk[m][f] is the median crack rate for Methods[m] against
+	// Families[f].
+	Risk [][]float64
+}
+
+// Table622Attr is the paper's choice of attribute for the table (1-based
+// attribute 10 → index 9).
+const Table622Attr = 9
+
+// Table622 computes the attack × transformation grid.
+func Table622(cfg *Config) (*Table622Result, error) {
+	d, err := cfg.Data()
+	if err != nil {
+		return nil, err
+	}
+	rng := cfg.rng(622)
+	res := &Table622Result{
+		Families: []string{"power", "log", "sqrtlog"},
+		Methods:  attack.Methods(),
+	}
+	for _, m := range res.Methods {
+		var row []float64
+		for _, fam := range res.Families {
+			opts := cfg.encodeOptions(transform.StrategyMaxMP, fam)
+			med, err := risk.MedianOfTrials(cfg.Trials, func(int) float64 {
+				ctx, _, err := attrContext(d, Table622Attr, opts, cfg.RhoFrac, rng)
+				if err != nil {
+					panic(err)
+				}
+				r, err := ctx.DomainTrial(rng, m, risk.Expert)
+				if err != nil {
+					panic(err)
+				}
+				return r
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, med)
+		}
+		res.Risk = append(res.Risk, row)
+	}
+	return res, nil
+}
+
+// Print renders the grid in the paper's layout (attacks as rows,
+// transformation families as columns).
+func (r *Table622Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Section 6.2.2 table — attack × transformation on attribute 10 (expert hacker)")
+	fmt.Fprintf(w, "%-18s", "")
+	for _, f := range r.Families {
+		label := f
+		if f == "power" {
+			label = "polynomial"
+		}
+		fmt.Fprintf(w, "%12s", label)
+	}
+	fmt.Fprintln(w)
+	rule(w, 18+12*len(r.Families))
+	for i, m := range r.Methods {
+		fmt.Fprintf(w, "%-18s", m.String()+" attack")
+		for j := range r.Families {
+			fmt.Fprintf(w, "%12s", pct(r.Risk[i][j]))
+		}
+		fmt.Fprintln(w)
+	}
+}

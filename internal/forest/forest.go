@@ -1,0 +1,238 @@
+// Package forest implements a seeded random forest over the repository's
+// decision trees, demonstrating that the paper's no-outcome-change
+// guarantee composes to ensembles: bootstrap resampling and per-tree
+// attribute bagging are data-independent given the seed, and each
+// member tree is preserved by Theorem 2, so the forest mined from the
+// transformed data decodes member-for-member into the forest direct
+// training produces.
+//
+// (Per-node feature sampling would also be preserved — tree growth on D
+// and D' is node-for-node identical, so a shared random stream is
+// consumed in the same order — but per-tree bagging keeps the
+// construction simply and verifiably deterministic.)
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"privtree/internal/dataset"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+// Config controls forest training.
+type Config struct {
+	// Trees is the ensemble size. Default 25.
+	Trees int
+	// Attrs is the number of attributes each tree sees (attribute
+	// bagging); 0 means ceil(sqrt(m)).
+	Attrs int
+	// Tree configures the member trees. MinLeaf defaults to 5.
+	Tree tree.Config
+	// Seed drives bootstrap and bagging; the same seed reproduces the
+	// same forest.
+	Seed int64
+}
+
+func (c Config) withDefaults(m int) Config {
+	if c.Trees <= 0 {
+		c.Trees = 25
+	}
+	if c.Attrs <= 0 {
+		c.Attrs = 1
+		for c.Attrs*c.Attrs < m {
+			c.Attrs++
+		}
+	}
+	if c.Attrs > m {
+		c.Attrs = m
+	}
+	if c.Tree.MinLeaf == 0 {
+		c.Tree.MinLeaf = 5
+	}
+	return c
+}
+
+// Forest is a trained ensemble. Member trees vote with equal weight.
+type Forest struct {
+	Trees []*tree.Tree
+	// attrs[i] lists the attribute indices member i was trained on
+	// (indices into the full schema; member trees address the full
+	// tuple through maskedDataset, so Predict takes full tuples).
+	attrs [][]int
+	// inBag[i][t] reports whether tuple t appeared in member i's
+	// bootstrap sample; used by OOBError.
+	inBag      [][]bool
+	numClasses int
+}
+
+// Train builds a seeded random forest.
+func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
+	if d.NumTuples() == 0 || d.NumAttrs() == 0 {
+		return nil, errors.New("forest: empty training data")
+	}
+	cfg = cfg.withDefaults(d.NumAttrs())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{numClasses: d.NumClasses()}
+	n := d.NumTuples()
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample: indices only — data-independent given seed.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot := d.Subset(idx)
+		bagMask := make([]bool, n)
+		for _, i := range idx {
+			bagMask[i] = true
+		}
+		// Attribute bag: hide the other attributes by collapsing them to
+		// a constant, preserving tuple arity so Predict sees full tuples.
+		bag := rng.Perm(d.NumAttrs())[:cfg.Attrs]
+		masked := maskedDataset(boot, bag)
+		member, err := tree.Build(masked, cfg.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("forest: member %d: %w", t, err)
+		}
+		f.Trees = append(f.Trees, member)
+		f.attrs = append(f.attrs, bag)
+		f.inBag = append(f.inBag, bagMask)
+	}
+	return f, nil
+}
+
+// OOBError returns the out-of-bag error estimate on the training data d:
+// each tuple is voted on only by the members whose bootstrap missed it.
+// Tuples in every bag are skipped; the second result counts the tuples
+// actually evaluated.
+func (f *Forest) OOBError(d *dataset.Dataset) (float64, int) {
+	if len(f.inBag) != len(f.Trees) {
+		return 0, 0
+	}
+	wrong, evaluated := 0, 0
+	vals := make([]float64, d.NumAttrs())
+	votes := make([]int, f.numClasses)
+	for i := 0; i < d.NumTuples(); i++ {
+		for c := range votes {
+			votes[c] = 0
+		}
+		voters := 0
+		for m, t := range f.Trees {
+			if i < len(f.inBag[m]) && f.inBag[m][i] {
+				continue
+			}
+			for a := range vals {
+				vals[a] = d.Cols[a][i]
+			}
+			votes[t.Predict(vals)]++
+			voters++
+		}
+		if voters == 0 {
+			continue
+		}
+		best, bi := -1, 0
+		for c, v := range votes {
+			if v > best {
+				best, bi = v, c
+			}
+		}
+		evaluated++
+		if bi != d.Labels[i] {
+			wrong++
+		}
+	}
+	if evaluated == 0 {
+		return 0, 0
+	}
+	return float64(wrong) / float64(evaluated), evaluated
+}
+
+// maskedDataset zeroes every attribute outside the bag. A constant
+// column can never be split on, so the member tree uses only the bag —
+// while keeping the full schema so decode keys line up.
+func maskedDataset(d *dataset.Dataset, bag []int) *dataset.Dataset {
+	keep := make([]bool, d.NumAttrs())
+	for _, a := range bag {
+		keep[a] = true
+	}
+	out := d.Clone()
+	for a := range out.Cols {
+		if keep[a] {
+			continue
+		}
+		col := out.Cols[a]
+		for i := range col {
+			col[i] = 0
+		}
+	}
+	return out
+}
+
+// Predict returns the majority vote over the member trees.
+func (f *Forest) Predict(vals []float64) int {
+	votes := make([]int, f.numClasses)
+	for _, t := range f.Trees {
+		votes[t.Predict(vals)]++
+	}
+	best, bi := -1, 0
+	for c, v := range votes {
+		if v > best {
+			best, bi = v, c
+		}
+	}
+	return bi
+}
+
+// Accuracy is the voted accuracy on d.
+func (f *Forest) Accuracy(d *dataset.Dataset) float64 {
+	if d.NumTuples() == 0 {
+		return 0
+	}
+	correct := 0
+	vals := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumTuples(); i++ {
+		for a := range vals {
+			vals[a] = d.Cols[a][i]
+		}
+		if f.Predict(vals) == d.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.NumTuples())
+}
+
+// Decode translates a forest mined from transformed data back into the
+// original space: each member tree is decoded with the custodian's key
+// against the member's own bootstrap view of the original data. cfg must
+// be the configuration used at training time (it reproduces the
+// bootstrap indices and bags).
+func Decode(f *Forest, key *transform.Key, orig *dataset.Dataset, cfg Config) (*Forest, error) {
+	cfg = cfg.withDefaults(orig.NumAttrs())
+	if len(f.Trees) != cfg.Trees {
+		return nil, fmt.Errorf("forest: config has %d trees, forest has %d", cfg.Trees, len(f.Trees))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := &Forest{numClasses: f.numClasses}
+	n := orig.NumTuples()
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot := orig.Subset(idx)
+		bag := rng.Perm(orig.NumAttrs())[:cfg.Attrs]
+		masked := maskedDataset(boot, bag)
+		// Decoding uses the masked view the member was (equivalently)
+		// trained on: masked attributes are constant in both spaces and
+		// never split on.
+		decoded, err := tree.DecodeWithData(f.Trees[t], key, masked)
+		if err != nil {
+			return nil, fmt.Errorf("forest: member %d: %w", t, err)
+		}
+		out.Trees = append(out.Trees, decoded)
+		out.attrs = append(out.attrs, bag)
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/synth"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+func TestTrainAndPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := synth.Covertype(rng, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Train(d, Config{Trees: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 15 {
+		t.Fatalf("trees = %d", len(f.Trees))
+	}
+	counts := d.ClassCounts()
+	maj := counts[0]
+	if counts[1] > maj {
+		maj = counts[1]
+	}
+	if acc := f.Accuracy(d); acc <= float64(maj)/float64(d.NumTuples()) {
+		t.Errorf("forest accuracy %v not above baseline", acc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := synth.Covertype(rng, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Trees: 5, Seed: 9}
+	f1, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1.Trees {
+		if !tree.Equal(f1.Trees[i], f2.Trees[i], 0) {
+			t.Fatalf("member %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	empty := dataset.New([]string{"a"}, []string{"x"})
+	if _, err := Train(empty, Config{}); err == nil {
+		t.Error("expected error for empty data")
+	}
+}
+
+func TestForestNoOutcomeChange(t *testing.T) {
+	// The guarantee composes to ensembles: the forest mined from D'
+	// decodes member-for-member into the forest mined from D.
+	rng := rand.New(rand.NewSource(4))
+	d, err := synth.Covertype(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, key, err := transform.Encode(d, transform.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Trees: 9, Seed: 77, Tree: tree.Config{MinLeaf: 10}}
+	direct, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Train(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(mined, key, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member-for-member behavioral identity on the original tuples.
+	for i := range direct.Trees {
+		if !tree.EquivalentOn(direct.Trees[i], decoded.Trees[i], d) {
+			t.Errorf("member %d differs after decode", i)
+		}
+	}
+	// And therefore identical ensemble votes.
+	vals := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumTuples(); i++ {
+		for a := range vals {
+			vals[a] = d.Cols[a][i]
+		}
+		if direct.Predict(vals) != decoded.Predict(vals) {
+			t.Fatalf("ensemble vote differs on tuple %d", i)
+		}
+	}
+}
+
+func TestDecodeConfigMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, err := synth.Covertype(rng, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, key, err := transform.Encode(d, transform.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Train(enc, Config{Trees: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(f, key, d, Config{Trees: 7, Seed: 1}); err == nil {
+		t.Error("expected tree-count mismatch error")
+	}
+}
+
+func TestMaskedDataset(t *testing.T) {
+	d := dataset.New([]string{"a", "b", "c"}, []string{"x"})
+	if err := d.Append([]float64{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := maskedDataset(d, []int{1})
+	if m.Cols[0][0] != 0 || m.Cols[1][0] != 2 || m.Cols[2][0] != 0 {
+		t.Errorf("masked = %v %v %v", m.Cols[0][0], m.Cols[1][0], m.Cols[2][0])
+	}
+	// The original must be untouched.
+	if d.Cols[0][0] != 1 {
+		t.Error("masking mutated the source")
+	}
+}
+
+func TestOOBError(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d, err := synth.Covertype(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Train(d, Config{Trees: 21, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oob, evaluated := f.OOBError(d)
+	if evaluated < d.NumTuples()/2 {
+		t.Errorf("only %d tuples evaluated out of bag", evaluated)
+	}
+	// OOB error estimates generalization: it should be worse than (or
+	// equal to) training error but far better than chance.
+	trainErr := 1 - f.Accuracy(d)
+	if oob < trainErr-1e-9 {
+		t.Errorf("OOB error %v below training error %v", oob, trainErr)
+	}
+	if oob > 0.4 {
+		t.Errorf("OOB error %v, model barely better than chance", oob)
+	}
+	// A forest decoded from an encoding has no bag bookkeeping: the
+	// zero-value answer is returned.
+	empty := &Forest{Trees: f.Trees, numClasses: 2}
+	if e, n := empty.OOBError(d); e != 0 || n != 0 {
+		t.Error("forest without bag info should return 0,0")
+	}
+}

@@ -1,0 +1,143 @@
+package kanon
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/synth"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+func TestAnonymizeSatisfiesK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := synth.Covertype(rng, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 10, 50} {
+		anon, err := Anonymize(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minClass, ok := Verify(anon, k)
+		if !ok {
+			t.Errorf("k=%d: smallest equivalence class = %d", k, minClass)
+		}
+		if anon.NumTuples() != d.NumTuples() {
+			t.Errorf("k=%d: tuple count changed", k)
+		}
+		// Labels survive (the usual release model).
+		for i := range d.Labels {
+			if anon.Labels[i] != d.Labels[i] {
+				t.Fatalf("k=%d: label changed", k)
+			}
+		}
+	}
+}
+
+func TestAnonymizeErrors(t *testing.T) {
+	d := dataset.New([]string{"a"}, []string{"x"})
+	for i := 0; i < 5; i++ {
+		if err := d.Append([]float64{float64(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Anonymize(d, 1); err == nil {
+		t.Error("expected error for k < 2")
+	}
+	if _, err := Anonymize(d, 10); err == nil {
+		t.Error("expected error for k > n")
+	}
+}
+
+func TestAnonymizeConstantData(t *testing.T) {
+	// Every attribute constant: one big equivalence class.
+	d := dataset.New([]string{"a", "b"}, []string{"x", "y"})
+	for i := 0; i < 20; i++ {
+		if err := d.Append([]float64{5, 7}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	anon, err := Anonymize(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minClass, ok := Verify(anon, 4)
+	if !ok || minClass != 20 {
+		t.Errorf("constant data: minClass = %d", minClass)
+	}
+}
+
+func TestKAnonymityChangesMiningOutcome(t *testing.T) {
+	// The paper's related-work claim: mining k-anonymized data directly
+	// changes the outcome — unlike the piecewise transformation.
+	rng := rand.New(rand.NewSource(2))
+	d, err := synth.Covertype(rng, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tree.Config{MinLeaf: 5}
+	orig, err := tree.Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := Anonymize(d, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := tree.Build(anon, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.EquivalentOn(orig, at, d) {
+		t.Error("k-anonymization should change the mined tree")
+	}
+	if at.Accuracy(d) >= orig.Accuracy(d) {
+		t.Errorf("generalization should cost accuracy: %v vs %v", at.Accuracy(d), orig.Accuracy(d))
+	}
+	// Contrast: the piecewise framework preserves it exactly.
+	enc, key, err := transform.Encode(d, transform.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := tree.Build(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tree.DecodeWithData(mined, key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.EquivalentOn(orig, dec, d) {
+		t.Error("piecewise framework must preserve the tree")
+	}
+}
+
+func TestLargerKCoarsensMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := synth.Census(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(dd *dataset.Dataset) int {
+		total := 0
+		for a := 0; a < dd.NumAttrs(); a++ {
+			total += len(dd.ActiveDomain(a))
+		}
+		return total
+	}
+	a10, err := Anonymize(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a100, err := Anonymize(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(distinct(a100) < distinct(a10) && distinct(a10) < distinct(d)) {
+		t.Errorf("coarsening should grow with k: %d, %d, %d",
+			distinct(d), distinct(a10), distinct(a100))
+	}
+}

@@ -1,0 +1,225 @@
+package perturb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+func intDataset(t *testing.T, rng *rand.Rand, n int) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New([]string{"x"}, []string{"N", "P"})
+	for i := 0; i < n; i++ {
+		v := float64(rng.Intn(60))
+		label := 0
+		if v > 30 {
+			label = 1
+		}
+		if rng.Float64() < 0.1 {
+			label = 1 - label
+		}
+		if err := d.Append([]float64{v}, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestNoiseSampleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Noise{Kind: Uniform, Scale: 3}
+	for i := 0; i < 1000; i++ {
+		s := u.Sample(rng)
+		if s < -3 || s > 3 {
+			t.Fatalf("uniform sample %v out of bounds", s)
+		}
+	}
+	g := Noise{Kind: Gaussian, Scale: 2}
+	var sum, sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s := g.Sample(rng)
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.1 || math.Abs(sd-2) > 0.1 {
+		t.Errorf("gaussian sample stats: mean %v sd %v", mean, sd)
+	}
+}
+
+func TestNoiseDensity(t *testing.T) {
+	u := Noise{Kind: Uniform, Scale: 2}
+	if u.Density(0) != 0.25 || u.Density(2) != 0.25 || u.Density(2.1) != 0 {
+		t.Error("uniform density wrong")
+	}
+	g := Noise{Kind: Gaussian, Scale: 1}
+	if math.Abs(g.Density(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Error("gaussian density wrong at 0")
+	}
+	if g.Density(1) >= g.Density(0) {
+		t.Error("gaussian density must decrease")
+	}
+	zero := Noise{Scale: 0}
+	if zero.Density(0) != 0 || (Noise{Kind: Gaussian}).Density(0) != 0 {
+		t.Error("zero-scale density must be 0, not NaN")
+	}
+	if Uniform.String() != "uniform" || Gaussian.String() != "gaussian" || NoiseKind(7).String() == "" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestPerturbChangesValuesButNotLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := intDataset(t, rng, 300)
+	p := Perturb(d, Noise{Kind: Uniform, Scale: 10}, rng)
+	if p.NumTuples() != d.NumTuples() {
+		t.Fatal("tuple count changed")
+	}
+	for i := range d.Labels {
+		if p.Labels[i] != d.Labels[i] {
+			t.Fatal("labels must be unchanged")
+		}
+	}
+	// Continuous noise leaves (almost) nothing unchanged…
+	if frac := UnchangedFraction(d, p); frac > 0.01 {
+		t.Errorf("continuous noise left %.2f%% unchanged", 100*frac)
+	}
+}
+
+func TestDiscretizedPerturbationLeaksValues(t *testing.T) {
+	// The paper's reference point: discretized perturbation leaves a
+	// significant fraction of discrete values unchanged, unlike the
+	// piecewise transformations which change every value.
+	rng := rand.New(rand.NewSource(3))
+	d := intDataset(t, rng, 2000)
+	p := Perturb(d, Noise{Kind: Uniform, Scale: 2, Discretize: true}, rng)
+	frac := UnchangedFraction(d, p)
+	// Uniform on [-2,2] rounded: P(round to 0 offset) = 1/4.
+	if frac < 0.15 || frac > 0.4 {
+		t.Errorf("unchanged fraction = %v, want around 0.25", frac)
+	}
+	// Contrast: the piecewise transformation changes everything.
+	enc, _, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := UnchangedFraction(d, enc); f > 0.02 {
+		t.Errorf("piecewise transform left %.2f%% unchanged", 100*f)
+	}
+}
+
+func TestUnchangedFractionEmpty(t *testing.T) {
+	d := dataset.New([]string{"x"}, []string{"a"})
+	if UnchangedFraction(d, d.Clone()) != 0 {
+		t.Error("empty dataset should report 0")
+	}
+}
+
+func TestPerturbationChangesOutcome(t *testing.T) {
+	// Outcome change: the tree mined on perturbed data is not the tree
+	// mined on the original data, while the piecewise encoding preserves
+	// it exactly.
+	rng := rand.New(rand.NewSource(4))
+	d := intDataset(t, rng, 500)
+	orig, err := tree.Build(d, tree.Config{MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Perturb(d, Noise{Kind: Uniform, Scale: 15}, rng)
+	pt, err := tree.Build(p, tree.Config{MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.EquivalentOn(orig, pt, d) {
+		t.Error("heavy perturbation should change the mined tree")
+	}
+	if tree.Agreement(orig, pt, d) >= 1 {
+		t.Error("perturbed tree should disagree somewhere")
+	}
+	// The piecewise transformation preserves it exactly.
+	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := tree.Build(enc, tree.Config{MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tree.DecodeWithData(mined, key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.EquivalentOn(orig, dec, d) {
+		t.Error("piecewise encoding must preserve the tree")
+	}
+}
+
+func TestReconstructRecoversDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Original values: bimodal over [0, 100].
+	var orig, pert []float64
+	noise := Noise{Kind: Gaussian, Scale: 5}
+	for i := 0; i < 4000; i++ {
+		var v float64
+		if i%2 == 0 {
+			v = 20 + 5*rng.NormFloat64()
+		} else {
+			v = 70 + 5*rng.NormFloat64()
+		}
+		orig = append(orig, v)
+		pert = append(pert, v+noise.Sample(rng))
+	}
+	rec, err := Reconstruct(pert, noise, 0, 100, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := rec.L1Distance(orig, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the naive estimate (treat perturbed values as
+	// original): reconstruction must be closer.
+	naive := &Reconstruction{Centers: rec.Centers, Densities: histDensities(t, pert, 0, 100, 20)}
+	dNaive, err := naive.L1Distance(orig, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 >= dNaive {
+		t.Errorf("reconstruction (L1 %v) should beat naive (L1 %v)", d1, dNaive)
+	}
+	if d1 > 0.35 {
+		t.Errorf("reconstruction too far from truth: L1 = %v", d1)
+	}
+}
+
+func histDensities(t *testing.T, xs []float64, lo, hi float64, bins int) []float64 {
+	t.Helper()
+	rec, err := Reconstruct(xs, Noise{Kind: Uniform, Scale: 1e-9}, lo, hi, bins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A near-zero noise reconstruction is just the empirical histogram.
+	return rec.Densities
+}
+
+func TestReconstructErrors(t *testing.T) {
+	n := Noise{Kind: Uniform, Scale: 1}
+	if _, err := Reconstruct(nil, n, 0, 1, 4, 4); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := Reconstruct([]float64{1}, n, 0, 1, 0, 4); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := Reconstruct([]float64{1}, n, 0, 1, 4, 0); err == nil {
+		t.Error("expected error for zero iters")
+	}
+	if _, err := Reconstruct([]float64{1}, n, 1, 1, 4, 4); err == nil {
+		t.Error("expected error for empty range")
+	}
+}

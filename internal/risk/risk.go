@@ -1,0 +1,136 @@
+// Package risk implements the paper's three disclosure-risk metrics:
+// domain disclosure (Definition 1), subspace association disclosure
+// (Definition 2) and pattern disclosure (Definition 3), plus the
+// randomized multi-trial median evaluation of Section 6.1.
+package risk
+
+import (
+	"errors"
+	"math"
+
+	"privtree/internal/attack"
+	"privtree/internal/stats"
+	"privtree/internal/tree"
+)
+
+// DomainVerdicts judges the hacker's guess on every distinct transformed
+// value: verdict i is true when |g(ν'_i) - f^{-1}(ν'_i)| <= rho
+// (Definition 1). encVals must hold the distinct values of A' in D'.
+func DomainVerdicts(g attack.CrackFunc, encVals []float64, truth attack.Oracle, rho float64) []bool {
+	out := make([]bool, len(encVals))
+	for i, e := range encVals {
+		out[i] = math.Abs(g.Guess(e)-truth(e)) <= rho
+	}
+	return out
+}
+
+// Rate returns the fraction of true verdicts.
+func Rate(verdicts []bool) float64 {
+	if len(verdicts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range verdicts {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(verdicts))
+}
+
+// DomainRate is the domain disclosure risk: cracked distinct values over
+// all distinct values.
+func DomainRate(g attack.CrackFunc, encVals []float64, truth attack.Oracle, rho float64) float64 {
+	return Rate(DomainVerdicts(g, encVals, truth, rho))
+}
+
+// SubspaceRate computes the subspace association disclosure risk
+// (Definition 2) over the S-tuples of D'. encCols holds one column per
+// attribute of the subspace (full tuple columns, not deduplicated);
+// a tuple is cracked only when every coordinate guess lands within its
+// radius.
+func SubspaceRate(gs []attack.CrackFunc, encCols [][]float64, truths []attack.Oracle, rhos []float64) (float64, error) {
+	s := len(gs)
+	if s == 0 || len(encCols) != s || len(truths) != s || len(rhos) != s {
+		return 0, errors.New("risk: subspace inputs must align")
+	}
+	n := len(encCols[0])
+	for _, col := range encCols {
+		if len(col) != n {
+			return 0, errors.New("risk: subspace columns must share a length")
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	cracked := 0
+	for i := 0; i < n; i++ {
+		all := true
+		for a := 0; a < s; a++ {
+			e := encCols[a][i]
+			if math.Abs(gs[a].Guess(e)-truths[a](e)) > rhos[a] {
+				all = false
+				break
+			}
+		}
+		if all {
+			cracked++
+		}
+	}
+	return float64(cracked) / float64(n), nil
+}
+
+// PatternVerdicts judges output privacy (Definition 3): a path of T' is
+// cracked when the hacker's guess of every condition value along the
+// path lands within the attribute's radius. gs, truths and rhos map
+// attribute index to the attack, inverse oracle and radius.
+func PatternVerdicts(paths []tree.Path, gs map[int]attack.CrackFunc, truths map[int]attack.Oracle, rhos map[int]float64) ([]bool, error) {
+	out := make([]bool, len(paths))
+	for i, p := range paths {
+		cracked := true
+		for _, c := range p.Conds {
+			g, ok := gs[c.Attr]
+			if !ok {
+				return nil, errors.New("risk: missing attack for a path attribute")
+			}
+			truth, ok := truths[c.Attr]
+			if !ok {
+				return nil, errors.New("risk: missing oracle for a path attribute")
+			}
+			rho, ok := rhos[c.Attr]
+			if !ok {
+				return nil, errors.New("risk: missing radius for a path attribute")
+			}
+			if math.Abs(g.Guess(c.Value)-truth(c.Value)) > rho {
+				cracked = false
+				break
+			}
+		}
+		out[i] = cracked && len(p.Conds) > 0
+	}
+	return out, nil
+}
+
+// PatternRate is the pattern disclosure risk: cracked paths over all
+// paths.
+func PatternRate(paths []tree.Path, gs map[int]attack.CrackFunc, truths map[int]attack.Oracle, rhos map[int]float64) (float64, error) {
+	v, err := PatternVerdicts(paths, gs, truths, rhos)
+	if err != nil {
+		return 0, err
+	}
+	return Rate(v), nil
+}
+
+// MedianOfTrials runs fn for trials indices 0..n-1 and returns the
+// median of the results — the aggregation of Section 6.1's 500 random
+// trials.
+func MedianOfTrials(n int, fn func(trial int) float64) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("risk: need at least one trial")
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = fn(i)
+	}
+	return stats.MedianInPlace(xs)
+}

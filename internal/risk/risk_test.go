@@ -1,0 +1,243 @@
+package risk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privtree/internal/attack"
+	"privtree/internal/dataset"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+// perfect is a crack function that knows the truth.
+type perfect struct{ truth attack.Oracle }
+
+func (p perfect) Guess(e float64) float64 { return p.truth(e) }
+func (p perfect) Name() string            { return "perfect" }
+
+// hopeless always guesses far away.
+type hopeless struct{}
+
+func (hopeless) Guess(e float64) float64 { return e + 1e9 }
+func (hopeless) Name() string            { return "hopeless" }
+
+func TestDomainVerdictsAndRate(t *testing.T) {
+	truth := func(e float64) float64 { return e / 2 }
+	enc := []float64{2, 4, 6, 8}
+	v := DomainVerdicts(perfect{truth}, enc, truth, 0)
+	if Rate(v) != 1 {
+		t.Error("perfect attack should crack everything")
+	}
+	v = DomainVerdicts(hopeless{}, enc, truth, 10)
+	if Rate(v) != 0 {
+		t.Error("hopeless attack should crack nothing")
+	}
+	if Rate(nil) != 0 {
+		t.Error("empty verdicts should rate 0")
+	}
+	// Radius matters: a guess off by 3 cracks at rho=3 but not rho=2.
+	off := attack.IdentityAttack{} // guesses e, truth is e/2 -> off by e/2
+	got := DomainRate(off, []float64{4}, truth, 2)
+	if got != 1 {
+		t.Errorf("identity off by exactly rho should crack, got %v", got)
+	}
+	got = DomainRate(off, []float64{4}, truth, 1.9)
+	if got != 0 {
+		t.Errorf("identity off by > rho should not crack, got %v", got)
+	}
+}
+
+func TestSubspaceRate(t *testing.T) {
+	truth := func(e float64) float64 { return e }
+	gs := []attack.CrackFunc{attack.IdentityAttack{}, attack.IdentityAttack{}}
+	truths := []attack.Oracle{truth, truth}
+	cols := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	r, err := SubspaceRate(gs, cols, truths, []float64{0, 0})
+	if err != nil || r != 1 {
+		t.Errorf("rate = %v, %v; want 1", r, err)
+	}
+	// One hopeless coordinate kills every tuple crack.
+	gs[1] = hopeless{}
+	r, err = SubspaceRate(gs, cols, truths, []float64{0, 0})
+	if err != nil || r != 0 {
+		t.Errorf("rate = %v, %v; want 0", r, err)
+	}
+}
+
+func TestSubspaceRateErrors(t *testing.T) {
+	truth := func(e float64) float64 { return e }
+	if _, err := SubspaceRate(nil, nil, nil, nil); err == nil {
+		t.Error("expected error for empty subspace")
+	}
+	gs := []attack.CrackFunc{attack.IdentityAttack{}}
+	if _, err := SubspaceRate(gs, [][]float64{{1}}, []attack.Oracle{truth}, nil); err == nil {
+		t.Error("expected error for missing radii")
+	}
+	gs2 := []attack.CrackFunc{attack.IdentityAttack{}, attack.IdentityAttack{}}
+	if _, err := SubspaceRate(gs2, [][]float64{{1}, {1, 2}}, []attack.Oracle{truth, truth}, []float64{0, 0}); err == nil {
+		t.Error("expected error for ragged columns")
+	}
+	r, err := SubspaceRate(gs, [][]float64{{}}, []attack.Oracle{truth}, []float64{0})
+	if err != nil || r != 0 {
+		t.Error("empty tuples should rate 0")
+	}
+}
+
+func TestPatternVerdicts(t *testing.T) {
+	truth := func(e float64) float64 { return e }
+	paths := []tree.Path{
+		{Conds: []tree.Condition{{Attr: 0, Op: tree.LE, Value: 5}}, Class: 0},
+		{Conds: []tree.Condition{{Attr: 0, Op: tree.GT, Value: 5}, {Attr: 1, Op: tree.LE, Value: 9}}, Class: 1},
+	}
+	gs := map[int]attack.CrackFunc{0: attack.IdentityAttack{}, 1: hopeless{}}
+	truths := map[int]attack.Oracle{0: truth, 1: truth}
+	rhos := map[int]float64{0: 0.1, 1: 0.1}
+	v, err := PatternVerdicts(paths, gs, truths, rhos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v[0] || v[1] {
+		t.Errorf("verdicts = %v, want [true false]", v)
+	}
+	rate, err := PatternRate(paths, gs, truths, rhos)
+	if err != nil || rate != 0.5 {
+		t.Errorf("rate = %v", rate)
+	}
+	// Missing attack for an attribute is an error.
+	delete(gs, 1)
+	if _, err := PatternVerdicts(paths, gs, truths, rhos); err == nil {
+		t.Error("expected missing-attack error")
+	}
+	gs[1] = hopeless{}
+	delete(truths, 1)
+	if _, err := PatternVerdicts(paths, gs, truths, rhos); err == nil {
+		t.Error("expected missing-oracle error")
+	}
+	truths[1] = truth
+	delete(rhos, 1)
+	if _, err := PatternVerdicts(paths, gs, truths, rhos); err == nil {
+		t.Error("expected missing-radius error")
+	}
+	// An empty path (leaf-only tree) is never counted as cracked.
+	v, err = PatternVerdicts([]tree.Path{{Class: 0}}, gs, truths, map[int]float64{0: 1, 1: 1})
+	if err != nil || v[0] {
+		t.Error("empty path must not crack")
+	}
+}
+
+func TestMedianOfTrials(t *testing.T) {
+	vals := []float64{0.9, 0.1, 0.5}
+	m, err := MedianOfTrials(3, func(i int) float64 { return vals[i] })
+	if err != nil || m != 0.5 {
+		t.Errorf("median = %v, %v", m, err)
+	}
+	if _, err := MedianOfTrials(0, nil); err == nil {
+		t.Error("expected error for zero trials")
+	}
+}
+
+// encodedFixture builds a small dataset and a MaxMP encoding of it.
+func encodedFixture(t *testing.T, seed int64) (*dataset.Dataset, *dataset.Dataset, *transform.Key) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New([]string{"x", "y"}, []string{"N", "P"})
+	for i := 0; i < 200; i++ {
+		a := float64(rng.Intn(100))
+		b := float64(rng.Intn(50))
+		label := 0
+		if a+2*b > 90 {
+			label = 1
+		}
+		if rng.Float64() < 0.1 {
+			label = 1 - label
+		}
+		if err := d.Append([]float64{a, b}, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, enc, key
+}
+
+func TestNewAttrContext(t *testing.T) {
+	d, enc, key := encodedFixture(t, 7)
+	c, err := NewAttrContext(d, enc, key, 0, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Attr != 0 || len(c.EncDistinct) == 0 || len(c.EncCol) != d.NumTuples() {
+		t.Errorf("context = %+v", c)
+	}
+	st := d.Stats(0)
+	if math.Abs(c.Rho-0.02*st.RangeWidth) > 1e-12 {
+		t.Errorf("rho = %v", c.Rho)
+	}
+	// Truth must invert the encoding exactly on the active domain.
+	for i, e := range enc.Cols[0][:20] {
+		if math.Abs(c.Truth(e)-d.Cols[0][i]) > 1e-6 {
+			t.Errorf("oracle wrong at %d", i)
+		}
+	}
+	if _, err := NewAttrContext(d, enc, key, 9, 0.02); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestDomainTrialProfiles(t *testing.T) {
+	d, enc, key := encodedFixture(t, 8)
+	c, err := NewAttrContext(d, enc, key, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	// More knowledge points must not systematically hurt the hacker:
+	// compare median rates of expert vs ignorant.
+	med := func(h Hacker) float64 {
+		m, err := MedianOfTrials(31, func(int) float64 {
+			r, err := c.DomainTrial(rng, attack.Polyline, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ign := med(Ignorant)
+	exp := med(Expert)
+	if exp < ign {
+		t.Errorf("expert (%v) should crack at least as much as ignorant (%v)", exp, ign)
+	}
+	if exp <= 0 {
+		t.Error("expert should crack something on a single-attribute profile")
+	}
+	v, err := c.DomainVerdictsTrial(rng, attack.Spline, Expert)
+	if err != nil || len(v) != len(c.EncDistinct) {
+		t.Errorf("verdicts length = %d, err %v", len(v), err)
+	}
+}
+
+func TestHackerProfilesNamed(t *testing.T) {
+	if Ignorant.Good != 0 || Knowledgeable.Good != 2 || Expert.Good != 4 || Insider.Good != 8 {
+		t.Error("profile KP counts wrong")
+	}
+}
+
+func TestSortingWorstCase(t *testing.T) {
+	d, enc, key := encodedFixture(t, 10)
+	c, err := NewAttrContext(d, enc, key, 0, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := c.SortingWorstCase(d.ActiveDomain(0))
+	if rate <= 0 || rate > 1 {
+		t.Errorf("sorting worst case = %v", rate)
+	}
+}

@@ -1,0 +1,128 @@
+package risk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privtree/internal/attack"
+	"privtree/internal/dataset"
+	"privtree/internal/transform"
+)
+
+// Hacker is a prior-knowledge profile from Section 6.1: the number of
+// good and bad knowledge points the hacker holds. The paper names four
+// profiles: ignorant (0 KPs), knowledgeable (2), expert (4) and insider
+// (8).
+type Hacker struct {
+	Name string
+	Good int
+	Bad  int
+}
+
+// Standard hacker profiles.
+var (
+	Ignorant      = Hacker{Name: "ignorant", Good: 0}
+	Knowledgeable = Hacker{Name: "knowledgeable", Good: 2}
+	Expert        = Hacker{Name: "expert", Good: 4}
+	Insider       = Hacker{Name: "insider", Good: 8}
+)
+
+// AttrContext bundles everything needed to attack one attribute of an
+// encoded data set: the observable transformed values, the ground-truth
+// inverse, and the crack radius. Definition 4 uses the same radius ρ for
+// knowledge-point accuracy and crack judgment.
+type AttrContext struct {
+	// Attr is the attribute index.
+	Attr int
+	// EncDistinct holds the distinct transformed values in D'.
+	EncDistinct []float64
+	// EncCol is the full transformed column (for subspace metrics).
+	EncCol []float64
+	// Truth is the exact inverse f^{-1}.
+	Truth attack.Oracle
+	// Rho is the absolute crack radius.
+	Rho float64
+	// DomMin and DomMax delimit the original dynamic range — the
+	// worst-case prior of the sorting attack.
+	DomMin, DomMax float64
+	// SortImmune marks, per sorted distinct original value, the values
+	// encoded by a random bijection (monochromatic pieces): the rank
+	// correspondence the sorting attack exploits does not survive for
+	// them. nil means no value is immune.
+	SortImmune []bool
+}
+
+// NewAttrContext builds the attack context for attribute a. rhoFrac is
+// the crack radius as a fraction of the attribute's dynamic range width
+// (the paper uses 1%, 2% and 5%).
+func NewAttrContext(orig, enc *dataset.Dataset, key *transform.Key, a int, rhoFrac float64) (AttrContext, error) {
+	if a < 0 || a >= orig.NumAttrs() || a >= len(key.Attrs) {
+		return AttrContext{}, fmt.Errorf("risk: attribute %d out of range", a)
+	}
+	st := orig.Stats(a)
+	ak := key.Attrs[a]
+	origDistinct := orig.ActiveDomain(a)
+	immune := make([]bool, len(origDistinct))
+	for i, v := range origDistinct {
+		immune[i] = ak.PermutationEncoded(v)
+	}
+	return AttrContext{
+		Attr:        a,
+		EncDistinct: enc.ActiveDomain(a),
+		EncCol:      enc.Cols[a],
+		Truth:       ak.Invert,
+		Rho:         rhoFrac * st.RangeWidth,
+		DomMin:      st.Min,
+		DomMax:      st.Max,
+		SortImmune:  immune,
+	}, nil
+}
+
+// Fit draws the hacker's knowledge points and builds the curve-fitting
+// crack function. A hacker without knowledge points falls back to the
+// identity guess (the ignorant hacker).
+func (c AttrContext) Fit(rng *rand.Rand, m attack.Method, h Hacker) (attack.CrackFunc, error) {
+	if h.Good+h.Bad == 0 {
+		return attack.IdentityAttack{}, nil
+	}
+	kps, err := attack.GenerateKPs(rng, c.EncDistinct, c.Truth, attack.GenKPOptions{
+		Good: h.Good, Bad: h.Bad, Rho: c.Rho,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return attack.CurveFit(m, kps)
+}
+
+// DomainTrial runs one randomized domain-disclosure trial: draw KPs, fit
+// the attack, and measure the crack rate over the distinct values.
+func (c AttrContext) DomainTrial(rng *rand.Rand, m attack.Method, h Hacker) (float64, error) {
+	g, err := c.Fit(rng, m, h)
+	if err != nil {
+		return 0, err
+	}
+	return DomainRate(g, c.EncDistinct, c.Truth, c.Rho), nil
+}
+
+// DomainVerdictsTrial is DomainTrial returning the per-value verdicts,
+// which the combination attack consumes.
+func (c AttrContext) DomainVerdictsTrial(rng *rand.Rand, m attack.Method, h Hacker) ([]bool, error) {
+	g, err := c.Fit(rng, m, h)
+	if err != nil {
+		return nil, err
+	}
+	return DomainVerdicts(g, c.EncDistinct, c.Truth, c.Rho), nil
+}
+
+// SortingWorstCase evaluates the Figure 11 worst case: the hacker knows
+// the true dynamic range and runs the rank-mapping attack; the expected
+// crack rate accounts for the slack left by discontinuities
+// (Section 5.4) and for the immunity of bijection-encoded monochromatic
+// values (SortImmune).
+func (c AttrContext) SortingWorstCase(origDistinct []float64) float64 {
+	immune := c.SortImmune
+	if len(immune) != len(origDistinct) {
+		immune = nil
+	}
+	return attack.SortingCrackRateMasked(origDistinct, immune, c.DomMin, c.DomMax, c.Rho)
+}

@@ -1,0 +1,150 @@
+// Package runs implements the class-string machinery of Sections 3–5 of
+// the paper: class strings (Definition 6), label runs (Definition 7),
+// monochromatic values and maximal monochromatic pieces (Definition 9),
+// and the attribute profile statistics reported in Figure 8.
+//
+// Everything operates on A-projected tuples sorted by value, which is
+// what both the decision-tree split search (Lemma 2) and the piecewise
+// transformation framework (Section 5) consume.
+package runs
+
+import (
+	"strings"
+
+	"privtree/internal/dataset"
+)
+
+// ValueGroup aggregates the projected tuples sharing one distinct value
+// of an attribute.
+type ValueGroup struct {
+	// Value is the shared attribute value.
+	Value float64
+	// Count is the number of tuples with this value.
+	Count int
+	// Mono reports whether the value is monochromatic: all tuples with
+	// this value agree on the class label (Definition 9).
+	Mono bool
+	// Label is the shared class label when Mono is true; otherwise the
+	// label of the first tuple in canonical order.
+	Label int
+}
+
+// GroupValues collapses a value-sorted projection into one ValueGroup per
+// distinct value. The input must be sorted by value (ties in any order).
+func GroupValues(proj []dataset.ProjectedTuple) []ValueGroup {
+	var out []ValueGroup
+	for _, p := range proj {
+		if n := len(out); n > 0 && out[n-1].Value == p.Value {
+			g := &out[n-1]
+			g.Count++
+			if p.Label != g.Label {
+				g.Mono = false
+			}
+			continue
+		}
+		out = append(out, ValueGroup{Value: p.Value, Count: 1, Mono: true, Label: p.Label})
+	}
+	return out
+}
+
+// ClassString returns σ_A: the sequence of class labels of the
+// projection sorted by value with canonical tie order (Definition 6).
+func ClassString(proj []dataset.ProjectedTuple) []int {
+	out := make([]int, len(proj))
+	for i, p := range proj {
+		out[i] = p.Label
+	}
+	return out
+}
+
+// ClassStringOf computes σ_{A,D} for attribute a of d.
+func ClassStringOf(d *dataset.Dataset, a int) []int {
+	return ClassString(d.SortedProjection(a))
+}
+
+// Format renders a class string using the dataset's class names, taking
+// the first letter of each name — e.g. "HHHLHL" for Figure 1. Labels out
+// of range render as '?'.
+func Format(classString []int, classNames []string) string {
+	var b strings.Builder
+	for _, l := range classString {
+		if l >= 0 && l < len(classNames) && len(classNames[l]) > 0 {
+			b.WriteByte(classNames[l][0])
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}
+
+// ClassStringDescendingOf computes the class string of attribute a with
+// values sorted descending while keeping the canonical (label-ascending)
+// order within blocks of equal values. This is the class string an
+// anti-monotone transformation produces (Lemma 1): σ^R up to tie
+// canonicalization, because equal values collapse onto one transformed
+// value and retain the canonical tie order.
+func ClassStringDescendingOf(d *dataset.Dataset, a int) []int {
+	proj := d.SortedProjection(a)
+	out := make([]int, 0, len(proj))
+	// Walk blocks of equal values back to front, preserving each
+	// block's internal order.
+	end := len(proj)
+	for end > 0 {
+		start := end - 1
+		for start > 0 && proj[start-1].Value == proj[end-1].Value {
+			start--
+		}
+		for i := start; i < end; i++ {
+			out = append(out, proj[i].Label)
+		}
+		end = start
+	}
+	return out
+}
+
+// Reverse returns σ^R, the reverse of a class string, which is what an
+// anti-monotone transformation produces (Lemma 1).
+func Reverse(classString []int) []int {
+	out := make([]int, len(classString))
+	for i, l := range classString {
+		out[len(out)-1-i] = l
+	}
+	return out
+}
+
+// EqualStrings reports whether two class strings are identical.
+func EqualStrings(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run is one label run r_i of a class string: a maximal substring of a
+// single class label (Definition 7). Start and End index the class
+// string; the run covers [Start, End).
+type Run struct {
+	Label      int
+	Start, End int
+}
+
+// Len returns the number of positions in the run.
+func (r Run) Len() int { return r.End - r.Start }
+
+// LabelRuns decomposes a class string into its label runs.
+func LabelRuns(classString []int) []Run {
+	var out []Run
+	for i, l := range classString {
+		if n := len(out); n > 0 && out[n-1].Label == l {
+			out[n-1].End = i + 1
+			continue
+		}
+		out = append(out, Run{Label: l, Start: i, End: i + 1})
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// JacobiEigen computes the eigenvalues and eigenvectors of a symmetric
+// matrix using cyclic Jacobi rotations. It returns the eigenvalues in
+// descending order and the matching eigenvectors as rows of the second
+// result. The input is not modified. Intended for the small (attributes
+// × attributes) covariance matrices of the spectral attack.
+func JacobiEigen(sym [][]float64) ([]float64, [][]float64, error) {
+	n := len(sym)
+	if n == 0 {
+		return nil, nil, ErrEmpty
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		if len(sym[i]) != n {
+			return nil, nil, errors.New("stats: matrix is not square")
+		}
+		a[i] = append([]float64(nil), sym[i]...)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a[i][j]-a[j][i]) > 1e-9*(1+math.Abs(a[i][j])) {
+				return nil, nil, errors.New("stats: matrix is not symmetric")
+			}
+		}
+	}
+	// v starts as the identity and accumulates rotations; row i of the
+	// final v^T is the eigenvector of eigenvalue i.
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if a[p][q] == 0 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(a, v, p, q, c, s, n)
+			}
+		}
+	}
+	// Extract eigenpairs and sort descending by eigenvalue.
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = a[i][i]
+	}
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			vecs[i][j] = v[j][i] // column i of v is eigenvector i
+		}
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] > vals[best] {
+				best = j
+			}
+		}
+		vals[i], vals[best] = vals[best], vals[i]
+		vecs[i], vecs[best] = vecs[best], vecs[i]
+	}
+	return vals, vecs, nil
+}
+
+// rotate applies one Jacobi rotation to a (in the (p,q) plane) and
+// accumulates it into v.
+func rotate(a, v [][]float64, p, q int, c, s float64, n int) {
+	for k := 0; k < n; k++ {
+		akp, akq := a[k][p], a[k][q]
+		a[k][p] = c*akp - s*akq
+		a[k][q] = s*akp + c*akq
+	}
+	for k := 0; k < n; k++ {
+		apk, aqk := a[p][k], a[q][k]
+		a[p][k] = c*apk - s*aqk
+		a[q][k] = s*apk + c*aqk
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v[k][p], v[k][q]
+		v[k][p] = c*vkp - s*vkq
+		v[k][q] = s*vkp + c*vkq
+	}
+}
+
+// Covariance computes the sample covariance matrix of column-major data:
+// cols[a] is one variable's observations. All columns must share one
+// length of at least 2.
+func Covariance(cols [][]float64) ([][]float64, error) {
+	m := len(cols)
+	if m == 0 {
+		return nil, ErrEmpty
+	}
+	n := len(cols[0])
+	if n < 2 {
+		return nil, errors.New("stats: covariance needs at least 2 observations")
+	}
+	for _, c := range cols {
+		if len(c) != n {
+			return nil, errors.New("stats: covariance columns must share a length")
+		}
+	}
+	means := make([]float64, m)
+	for a, c := range cols {
+		means[a] = Mean(c)
+	}
+	cov := make([][]float64, m)
+	for i := range cov {
+		cov[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += (cols[i][k] - means[i]) * (cols[j][k] - means[j])
+			}
+			cv := s / float64(n-1)
+			cov[i][j] = cv
+			cov[j][i] = cv
+		}
+	}
+	return cov, nil
+}

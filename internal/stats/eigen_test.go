@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	m := [][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	vals, vecs, err := JacobiEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-9 {
+			t.Errorf("vals = %v, want %v", vals, want)
+			break
+		}
+	}
+	// Eigenvectors of a diagonal matrix are unit axes.
+	axes := []int{0, 2, 1}
+	for i, ax := range axes {
+		for j, v := range vecs[i] {
+			want := 0.0
+			if j == ax {
+				want = 1
+			}
+			if math.Abs(math.Abs(v)-want) > 1e-9 {
+				t.Errorf("vec %d = %v, want axis %d", i, vecs[i], ax)
+				break
+			}
+		}
+	}
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := JacobiEigen([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 {
+		t.Errorf("vals = %v", vals)
+	}
+	// First eigenvector is (1,1)/sqrt(2) up to sign.
+	if math.Abs(math.Abs(vecs[0][0])-1/math.Sqrt2) > 1e-9 ||
+		math.Abs(vecs[0][0]-vecs[0][1]) > 1e-9 {
+		t.Errorf("vec0 = %v", vecs[0])
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	// A = V^T diag(vals) V must reproduce the input.
+	m := [][]float64{
+		{4, 1, 0.5},
+		{1, 3, 0.2},
+		{0.5, 0.2, 2},
+	}
+	vals, vecs, err := JacobiEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += vals[k] * vecs[k][i] * vecs[k][j]
+			}
+			if math.Abs(s-m[i][j]) > 1e-8 {
+				t.Fatalf("reconstruction [%d][%d] = %v, want %v", i, j, s, m[i][j])
+			}
+		}
+	}
+	// Eigenvectors are orthonormal.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			dot := 0.0
+			for k := 0; k < n; k++ {
+				dot += vecs[a][k] * vecs[b][k]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("vecs %d·%d = %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenErrors(t *testing.T) {
+	if _, _, err := JacobiEigen(nil); err == nil {
+		t.Error("expected error for empty matrix")
+	}
+	if _, _, err := JacobiEigen([][]float64{{1, 2}}); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	if _, _, err := JacobiEigen([][]float64{{1, 2}, {3, 1}}); err == nil {
+		t.Error("expected error for asymmetric matrix")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Two perfectly correlated variables.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	cov, err := Covariance([][]float64{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// var(x) = 5/3, cov(x,y) = 10/3, var(y) = 20/3 (sample, n-1).
+	if math.Abs(cov[0][0]-5.0/3) > 1e-9 || math.Abs(cov[0][1]-10.0/3) > 1e-9 || math.Abs(cov[1][1]-20.0/3) > 1e-9 {
+		t.Errorf("cov = %v", cov)
+	}
+	if cov[0][1] != cov[1][0] {
+		t.Error("covariance must be symmetric")
+	}
+}
+
+func TestCovarianceErrors(t *testing.T) {
+	if _, err := Covariance(nil); err == nil {
+		t.Error("expected error for no columns")
+	}
+	if _, err := Covariance([][]float64{{1}}); err == nil {
+		t.Error("expected error for single observation")
+	}
+	if _, err := Covariance([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("expected error for ragged columns")
+	}
+}

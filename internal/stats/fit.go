@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a fit has no unique solution.
+var ErrSingular = errors.New("stats: singular system")
+
+// LinearFit holds the coefficients of a least-squares regression line
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+}
+
+// FitLine computes the least-squares regression line through the points
+// (xs[i], ys[i]). It requires at least two points with distinct x values;
+// with exactly one point it returns a horizontal line through it.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched lengths")
+	}
+	n := len(xs)
+	if n == 0 {
+		return LinearFit{}, ErrEmpty
+	}
+	if n == 1 {
+		return LinearFit{Slope: 0, Intercept: ys[0]}, nil
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, ErrSingular
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+	return LinearFit{Slope: slope, Intercept: intercept}, nil
+}
+
+// Eval returns the fitted value at x.
+func (f LinearFit) Eval(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// SolveTridiagonal solves a tridiagonal linear system using the Thomas
+// algorithm. a is the sub-diagonal (a[0] unused), b the diagonal, c the
+// super-diagonal (c[n-1] unused), d the right-hand side. The inputs are
+// not modified. It returns the solution vector x with b*x = d.
+func SolveTridiagonal(a, b, c, d []float64) ([]float64, error) {
+	n := len(b)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(a) != n || len(c) != n || len(d) != n {
+		return nil, errors.New("stats: tridiagonal dimension mismatch")
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if b[0] == 0 {
+		return nil, ErrSingular
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return nil, ErrSingular
+		}
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// CubicSpline is a natural cubic spline interpolant over strictly
+// increasing knots.
+type CubicSpline struct {
+	xs []float64
+	ys []float64
+	m  []float64 // second derivatives at the knots
+}
+
+// FitCubicSpline builds a natural cubic spline through the given knots.
+// The x values must be strictly increasing and there must be at least two
+// knots.
+func FitCubicSpline(xs, ys []float64) (*CubicSpline, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return nil, errors.New("stats: mismatched lengths")
+	}
+	if n < 2 {
+		return nil, errors.New("stats: spline needs at least 2 knots")
+	}
+	for i := 1; i < n; i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, errors.New("stats: spline knots must be strictly increasing")
+		}
+	}
+	m := make([]float64, n)
+	if n > 2 {
+		// Interior second derivatives from the standard natural-spline
+		// tridiagonal system; m[0] = m[n-1] = 0.
+		k := n - 2
+		a := make([]float64, k)
+		b := make([]float64, k)
+		c := make([]float64, k)
+		d := make([]float64, k)
+		for i := 1; i <= k; i++ {
+			h0 := xs[i] - xs[i-1]
+			h1 := xs[i+1] - xs[i]
+			a[i-1] = h0
+			b[i-1] = 2 * (h0 + h1)
+			c[i-1] = h1
+			d[i-1] = 6 * ((ys[i+1]-ys[i])/h1 - (ys[i]-ys[i-1])/h0)
+		}
+		// First sub-diagonal and last super-diagonal entries couple to
+		// the zero boundary second derivatives and are dropped.
+		a[0], c[k-1] = 0, 0
+		sol, err := SolveTridiagonal(a, b, c, d)
+		if err != nil {
+			return nil, err
+		}
+		copy(m[1:n-1], sol)
+	}
+	return &CubicSpline{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		m:  m,
+	}, nil
+}
+
+// Eval evaluates the spline at x. Outside the knot range the spline is
+// extrapolated linearly using the boundary slope, which is the standard
+// well-behaved extension for attack curve fitting.
+func (s *CubicSpline) Eval(x float64) float64 {
+	n := len(s.xs)
+	if x <= s.xs[0] {
+		return s.ys[0] + s.boundarySlope(0)*(x-s.xs[0])
+	}
+	if x >= s.xs[n-1] {
+		return s.ys[n-1] + s.boundarySlope(n-1)*(x-s.xs[n-1])
+	}
+	// Binary search for the interval containing x.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	h := s.xs[hi] - s.xs[lo]
+	t := x - s.xs[lo]
+	u := s.xs[hi] - x
+	return (s.m[lo]*u*u*u+s.m[hi]*t*t*t)/(6*h) +
+		(s.ys[lo]/h-s.m[lo]*h/6)*u +
+		(s.ys[hi]/h-s.m[hi]*h/6)*t
+}
+
+// boundarySlope returns the derivative of the spline at knot i, valid for
+// the first and last knot.
+func (s *CubicSpline) boundarySlope(i int) float64 {
+	n := len(s.xs)
+	if n == 2 {
+		return (s.ys[1] - s.ys[0]) / (s.xs[1] - s.xs[0])
+	}
+	if i == 0 {
+		h := s.xs[1] - s.xs[0]
+		return (s.ys[1]-s.ys[0])/h - h/6*(2*s.m[0]+s.m[1])
+	}
+	h := s.xs[n-1] - s.xs[n-2]
+	return (s.ys[n-1]-s.ys[n-2])/h + h/6*(s.m[n-2]+2*s.m[n-1])
+}
+
+// PolylineEval evaluates the piecewise-linear interpolant through the
+// points (xs, ys) at x. xs must be strictly increasing with at least one
+// point; outside the range the nearest segment is extended linearly.
+func PolylineEval(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	switch {
+	case n == 0:
+		return math.NaN()
+	case n == 1:
+		return ys[0]
+	case x <= xs[0]:
+		return lerp(xs[0], ys[0], xs[1], ys[1], x)
+	case x >= xs[n-1]:
+		return lerp(xs[n-2], ys[n-2], xs[n-1], ys[n-1], x)
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lerp(xs[lo], ys[lo], xs[lo+1], ys[lo+1], x)
+}
+
+func lerp(x0, y0, x1, y1, x float64) float64 {
+	if x1 == x0 {
+		return (y0 + y1) / 2
+	}
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}

@@ -1,0 +1,71 @@
+package stats
+
+import "errors"
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi). Values equal
+// to Hi fall into the last bin so that the full closed range is covered.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi].
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}, nil
+}
+
+// Bin returns the index of the bin containing x, clamped to the range.
+func (h *Histogram) Bin(x float64) int {
+	n := len(h.Counts)
+	if x <= h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return n - 1
+	}
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Add records one observation of x.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.Bin(x)]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Center returns the midpoint of bin i.
+func (h *Histogram) Center(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Densities returns the per-bin probability masses (counts normalized by
+// the total). An empty histogram yields a uniform distribution so callers
+// never divide by zero.
+func (h *Histogram) Densities() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		u := 1 / float64(len(h.Counts))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+	odd := []float64{3, 1, 2}
+	m, err := Median(odd)
+	if err != nil || m != 2 {
+		t.Errorf("Median(odd) = %v, %v; want 2", m, err)
+	}
+	// Median must not mutate its input.
+	if odd[0] != 3 || odd[1] != 1 || odd[2] != 2 {
+		t.Errorf("Median mutated input: %v", odd)
+	}
+	even := []float64{4, 1, 3, 2}
+	m, err = Median(even)
+	if err != nil || m != 2.5 {
+		t.Errorf("Median(even) = %v, %v; want 2.5", m, err)
+	}
+}
+
+func TestMedianInPlace(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	m, err := MedianInPlace(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("MedianInPlace = %v, %v; want 5", m, err)
+	}
+	if _, err := MedianInPlace(nil); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.1, 1.4},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatalf("Quantile err: %v", err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("expected error for q < 0")
+	}
+	if _, err := Quantile(xs, 1.1); err == nil {
+		t.Error("expected error for q > 1")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("expected ErrEmpty")
+	}
+	one, err := Quantile([]float64{7}, 0.3)
+	if err != nil || one != 7 {
+		t.Errorf("Quantile singleton = %v, want 7", one)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -2, 8, 0})
+	if err != nil || min != -2 || max != 8 {
+		t.Errorf("MinMax = %v,%v,%v; want -2,8,nil", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Error("expected ErrEmpty")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	got := Distinct([]float64{3, 1, 2, 3, 1, 1})
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Distinct = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Distinct = %v, want %v", got, want)
+		}
+	}
+	if Distinct(nil) != nil {
+		t.Error("Distinct(nil) should be nil")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if !almostEqual(f.Eval(10), 21, 1e-12) {
+		t.Errorf("Eval(10) = %v, want 21", f.Eval(10))
+	}
+}
+
+func TestFitLineEdgeCases(t *testing.T) {
+	if _, err := FitLine(nil, nil); err != ErrEmpty {
+		t.Error("expected ErrEmpty")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected mismatch error")
+	}
+	f, err := FitLine([]float64{4}, []float64{9})
+	if err != nil || f.Slope != 0 || f.Intercept != 9 {
+		t.Errorf("single-point fit = %+v, %v", f, err)
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 3}); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestFitLineLeastSquaresProperty(t *testing.T) {
+	// The least-squares residuals must sum to zero and be orthogonal to x.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{1.1, 2.0, 2.7, 4.5, 4.9, 6.2}
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr, srx float64
+	for i := range xs {
+		r := ys[i] - f.Eval(xs[i])
+		sr += r
+		srx += r * xs[i]
+	}
+	if !almostEqual(sr, 0, 1e-9) || !almostEqual(srx, 0, 1e-9) {
+		t.Errorf("normal equations violated: sum r=%v, sum r*x=%v", sr, srx)
+	}
+}
+
+func TestSolveTridiagonal(t *testing.T) {
+	// System:
+	// [2 1 0] [x0]   [3]
+	// [1 2 1] [x1] = [4]  -> x = [1,1,1]
+	// [0 1 2] [x2]   [3]
+	a := []float64{0, 1, 1}
+	b := []float64{2, 2, 2}
+	c := []float64{1, 1, 0}
+	d := []float64{3, 4, 3}
+	x, err := SolveTridiagonal(a, b, c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 1, 1} {
+		if !almostEqual(x[i], want, 1e-12) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestSolveTridiagonalErrors(t *testing.T) {
+	if _, err := SolveTridiagonal(nil, nil, nil, nil); err != ErrEmpty {
+		t.Error("expected ErrEmpty")
+	}
+	if _, err := SolveTridiagonal([]float64{0}, []float64{1, 2}, []float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Error("expected dimension mismatch error")
+	}
+	if _, err := SolveTridiagonal([]float64{0}, []float64{0}, []float64{0}, []float64{1}); err != ErrSingular {
+		t.Error("expected ErrSingular for zero pivot")
+	}
+}
+
+func TestCubicSplineInterpolates(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 4, 9, 16}
+	s, err := FitCubicSpline(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := s.Eval(xs[i]); !almostEqual(got, ys[i], 1e-9) {
+			t.Errorf("spline(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+	// Between knots the spline of x^2 samples should stay close to x^2.
+	if got := s.Eval(2.5); math.Abs(got-6.25) > 0.3 {
+		t.Errorf("spline(2.5) = %v, too far from 6.25", got)
+	}
+}
+
+func TestCubicSplineTwoKnots(t *testing.T) {
+	s, err := FitCubicSpline([]float64{0, 2}, []float64{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two knots the natural spline is the straight line.
+	for _, x := range []float64{-1, 0, 0.5, 1, 2, 3} {
+		if got := s.Eval(x); !almostEqual(got, 2*x, 1e-9) {
+			t.Errorf("spline(%v) = %v, want %v", x, got, 2*x)
+		}
+	}
+}
+
+func TestCubicSplineErrors(t *testing.T) {
+	if _, err := FitCubicSpline([]float64{0}, []float64{0}); err == nil {
+		t.Error("expected error for single knot")
+	}
+	if _, err := FitCubicSpline([]float64{0, 0}, []float64{0, 1}); err == nil {
+		t.Error("expected error for non-increasing knots")
+	}
+	if _, err := FitCubicSpline([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestCubicSplineLinearExtrapolation(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 1, 2}
+	s, err := FitCubicSpline(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A spline through collinear points is the line itself, including
+	// its extrapolation.
+	for _, x := range []float64{-3, -1, 3, 10} {
+		if got := s.Eval(x); !almostEqual(got, x, 1e-9) {
+			t.Errorf("extrapolated spline(%v) = %v, want %v", x, got, x)
+		}
+	}
+}
+
+func TestPolylineEval(t *testing.T) {
+	xs := []float64{0, 1, 3}
+	ys := []float64{0, 2, 2}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {0.5, 1}, {1, 2}, {2, 2}, {3, 2},
+		{-1, -2}, // left extrapolation along first segment
+		{4, 2},   // right extrapolation along flat segment
+	}
+	for _, c := range cases {
+		if got := PolylineEval(xs, ys, c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("PolylineEval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := PolylineEval([]float64{5}, []float64{7}, 100); got != 7 {
+		t.Errorf("single-point polyline = %v, want 7", got)
+	}
+	if !math.IsNaN(PolylineEval(nil, nil, 0)) {
+		t.Error("empty polyline should be NaN")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 9.9, 10, 11, -5} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	// 0,1.9,-5 -> bin 0; 2 -> bin 1; 9.9,10,11 -> bin 4
+	want := []int{3, 1, 0, 0, 3}
+	for i := range want {
+		if h.Counts[i] != want[i] {
+			t.Errorf("Counts = %v, want %v", h.Counts, want)
+			break
+		}
+	}
+	if c := h.Center(0); !almostEqual(c, 1, 1e-12) {
+		t.Errorf("Center(0) = %v, want 1", c)
+	}
+	d := h.Densities()
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("densities sum = %v, want 1", sum)
+	}
+}
+
+func TestHistogramErrorsAndEmptyDensities(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("expected error for 0 bins")
+	}
+	if _, err := NewHistogram(1, 1, 3); err == nil {
+		t.Error("expected error for empty range")
+	}
+	h, _ := NewHistogram(0, 1, 4)
+	d := h.Densities()
+	for _, v := range d {
+		if !almostEqual(v, 0.25, 1e-12) {
+			t.Errorf("empty densities = %v, want uniform", d)
+		}
+	}
+}
+
+func TestQuickMedianBounds(t *testing.T) {
+	// Property: the median lies between min and max.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m, err := Median(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi, _ := MinMax(xs)
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPolylinePassesThroughKnots(t *testing.T) {
+	// Property: a polyline through distinct sorted knots reproduces each knot.
+	f := func(seed int64) bool {
+		n := int(seed%7) + 2
+		if n < 0 {
+			n = -n + 2
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) * 1.5
+			ys[i] = float64((seed>>uint(i%30))%13) - 6
+		}
+		for i := range xs {
+			if !almostEqual(PolylineEval(xs, ys, xs[i]), ys[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"privtree/internal/dataset"
+)
+
+// AffineKey is a per-attribute affine transformation x' = A·x + B with
+// A > 0 — the transformation class under which the linear-SVM outcome
+// is preserved exactly. It is the SVM analogue of the paper's monotone
+// framework: strictly increasing, trivially invertible, but restricted
+// to straight lines because the SVM's dividing plane mixes attributes.
+type AffineKey struct {
+	A []float64
+	B []float64
+}
+
+// NewAffineKey draws a random positive-scale affine key for m
+// attributes: scales in [0.25, 4] (log-uniform) and offsets within
+// ±shift.
+func NewAffineKey(rng *rand.Rand, m int, shift float64) *AffineKey {
+	k := &AffineKey{A: make([]float64, m), B: make([]float64, m)}
+	for a := 0; a < m; a++ {
+		k.A[a] = math.Exp(rng.Float64()*2.772 - 1.386) // e^±ln4
+		k.B[a] = shift * (2*rng.Float64() - 1)
+	}
+	return k
+}
+
+// Apply transforms every attribute value.
+func (k *AffineKey) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	if len(k.A) != d.NumAttrs() {
+		return nil, errors.New("svm: affine key arity mismatch")
+	}
+	out := d.Clone()
+	for a := range out.Cols {
+		for i := range out.Cols[a] {
+			out.Cols[a][i] = k.A[a]*out.Cols[a][i] + k.B[a]
+		}
+	}
+	return out, nil
+}
+
+// DecodeModel translates a model trained on affine-transformed data back
+// to the original attribute space:
+//
+//	w'·x' + b' = Σ w'_a (A_a x_a + B_a) + b'
+//	           = Σ (w'_a A_a) x_a + (b' + Σ w'_a B_a)
+//
+// so w_a = w'_a·A_a and b = b' + Σ w'_a·B_a give the identical decision
+// function on original tuples.
+func (k *AffineKey) DecodeModel(m *Model) (*Model, error) {
+	if len(k.A) != len(m.W) {
+		return nil, errors.New("svm: affine key arity mismatch")
+	}
+	out := &Model{W: make([]float64, len(m.W)), B: m.B, ClassNames: append([]string(nil), m.ClassNames...)}
+	for a := range m.W {
+		out.W[a] = m.W[a] * k.A[a]
+		out.B += m.W[a] * k.B[a]
+	}
+	return out, nil
+}

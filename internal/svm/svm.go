@@ -1,0 +1,191 @@
+// Package svm implements a from-scratch linear support-vector machine,
+// the subject of the paper's Section 7 future work: extending the
+// no-outcome-change guarantee from decision trees to SVMs. The package
+// demonstrates the boundary of the piecewise framework:
+//
+//   - per-attribute *affine* transformations (x_i' = a_i·x_i + b_i with
+//     a_i > 0) preserve the SVM decision function exactly — the decoded
+//     hyperplane w_i = a_i·w_i', b = b' + Σ w_i'·b_i classifies
+//     identically (see DecodeModel);
+//   - general piecewise monotone transformations do *not*: the dividing
+//     plane "can have arbitrary orientations" (Section 7), so bending an
+//     axis bends the margin, and the mined model changes.
+//
+// Training uses deterministic subgradient descent on the L2-regularized
+// hinge loss (Pegasos-style with a fixed schedule), so identical inputs
+// give identical models — which is what outcome-preservation statements
+// need.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"privtree/internal/dataset"
+)
+
+// Model is a trained linear SVM: Predict(x) = sign(w·x + b), mapped to
+// the two class labels of the training data.
+type Model struct {
+	// W holds one weight per attribute.
+	W []float64
+	// B is the bias term.
+	B float64
+	// ClassNames carries the schema (index 0 = negative, 1 = positive).
+	ClassNames []string
+}
+
+// Config controls training.
+type Config struct {
+	// Lambda is the L2 regularization strength. Default 1e-4.
+	Lambda float64
+	// Epochs is the number of full passes. Default 50.
+	Epochs int
+	// Normalize standardizes each attribute to zero mean and unit
+	// variance before training (recommended; the normalization is part
+	// of the model). Default true via NewConfig; the zero value of
+	// Config trains on raw values.
+	Normalize bool
+
+	// mean/scale hold the normalization when Normalize is set.
+}
+
+// NewConfig returns the recommended defaults.
+func NewConfig() Config {
+	return Config{Lambda: 1e-4, Epochs: 50, Normalize: true}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	return c
+}
+
+// Train fits a linear SVM to a two-class data set.
+func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
+	if d.NumClasses() != 2 {
+		return nil, fmt.Errorf("svm: need exactly 2 classes, have %d", d.NumClasses())
+	}
+	if d.NumTuples() == 0 || d.NumAttrs() == 0 {
+		return nil, errors.New("svm: empty training data")
+	}
+	cfg = cfg.withDefaults()
+	m := d.NumAttrs()
+	n := d.NumTuples()
+
+	// Optional standardization, folded back into (W, B) afterwards so
+	// the model applies to raw values.
+	mean := make([]float64, m)
+	scale := make([]float64, m)
+	for a := 0; a < m; a++ {
+		scale[a] = 1
+		if cfg.Normalize {
+			s, ss := 0.0, 0.0
+			for _, v := range d.Cols[a] {
+				s += v
+				ss += v * v
+			}
+			mu := s / float64(n)
+			sd := math.Sqrt(ss/float64(n) - mu*mu)
+			if sd > 0 {
+				mean[a] = mu
+				scale[a] = sd
+			}
+		}
+	}
+
+	w := make([]float64, m)
+	b := 0.0
+	t := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i := 0; i < n; i++ {
+			t++
+			eta := 1 / (cfg.Lambda * float64(t))
+			y := -1.0
+			if d.Labels[i] == 1 {
+				y = 1
+			}
+			dot := b
+			for a := 0; a < m; a++ {
+				dot += w[a] * (d.Cols[a][i] - mean[a]) / scale[a]
+			}
+			// Subgradient step on λ/2‖w‖² + max(0, 1 − y(w·x+b)).
+			for a := 0; a < m; a++ {
+				w[a] -= eta * cfg.Lambda * w[a]
+			}
+			if y*dot < 1 {
+				for a := 0; a < m; a++ {
+					w[a] += eta * y * (d.Cols[a][i] - mean[a]) / scale[a]
+				}
+				b += eta * y
+			}
+		}
+	}
+	// Fold the standardization into the raw-space model:
+	// w·(x−μ)/σ + b  =  Σ (w_a/σ_a)·x_a + (b − Σ w_a μ_a/σ_a).
+	model := &Model{W: make([]float64, m), B: b, ClassNames: append([]string(nil), d.ClassNames...)}
+	for a := 0; a < m; a++ {
+		model.W[a] = w[a] / scale[a]
+		model.B -= w[a] * mean[a] / scale[a]
+	}
+	return model, nil
+}
+
+// Score returns the signed margin w·x + b.
+func (m *Model) Score(vals []float64) float64 {
+	s := m.B
+	for a, w := range m.W {
+		s += w * vals[a]
+	}
+	return s
+}
+
+// Predict returns the class index (0 or 1).
+func (m *Model) Predict(vals []float64) int {
+	if m.Score(vals) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Accuracy is the fraction of tuples classified correctly.
+func (m *Model) Accuracy(d *dataset.Dataset) float64 {
+	if d.NumTuples() == 0 {
+		return 0
+	}
+	correct := 0
+	vals := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumTuples(); i++ {
+		for a := range vals {
+			vals[a] = d.Cols[a][i]
+		}
+		if m.Predict(vals) == d.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.NumTuples())
+}
+
+// Agreement is the fraction of tuples on which two models predict the
+// same class.
+func Agreement(a, b *Model, d *dataset.Dataset) float64 {
+	if d.NumTuples() == 0 {
+		return 0
+	}
+	same := 0
+	vals := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumTuples(); i++ {
+		for at := range vals {
+			vals[at] = d.Cols[at][i]
+		}
+		if a.Predict(vals) == b.Predict(vals) {
+			same++
+		}
+	}
+	return float64(same) / float64(d.NumTuples())
+}

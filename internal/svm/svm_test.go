@@ -1,0 +1,179 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/transform"
+)
+
+// linearlySeparable builds a 2-class data set separated by the plane
+// 2x − y + 10 = 0 with a margin.
+func linearlySeparable(rng *rand.Rand, n int, noise float64) *dataset.Dataset {
+	d := dataset.New([]string{"x", "y"}, []string{"neg", "pos"})
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*100 - 50
+		y := rng.Float64()*100 - 50
+		margin := 2*x - y + 10
+		label := 0
+		if margin > 0 {
+			label = 1
+		}
+		if math.Abs(margin) < 5 {
+			continue // keep a margin band empty
+		}
+		if noise > 0 && rng.Float64() < noise {
+			label = 1 - label
+		}
+		if err := d.Append([]float64{x, y}, label); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+func TestTrainSeparatesCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := linearlySeparable(rng, 800, 0)
+	m, err := Train(d, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(d); acc < 0.98 {
+		t.Errorf("accuracy = %v on separable data", acc)
+	}
+	// The learned normal should roughly align with (2, -1).
+	ratio := m.W[0] / -m.W[1]
+	if ratio < 1.2 || ratio > 3.2 {
+		t.Errorf("weight ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	d := dataset.New([]string{"a"}, []string{"x", "y", "z"})
+	d.Labels = []int{0}
+	d.Cols[0] = []float64{1}
+	if _, err := Train(d, NewConfig()); err == nil {
+		t.Error("expected error for 3 classes")
+	}
+	empty := dataset.New([]string{"a"}, []string{"x", "y"})
+	if _, err := Train(empty, NewConfig()); err == nil {
+		t.Error("expected error for empty data")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := linearlySeparable(rng, 300, 0.05)
+	m1, err := Train(d, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(d, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range m1.W {
+		if m1.W[a] != m2.W[a] {
+			t.Fatal("training is not deterministic")
+		}
+	}
+	if m1.B != m2.B {
+		t.Fatal("bias not deterministic")
+	}
+}
+
+func TestAffineTransformPreservesModel(t *testing.T) {
+	// The SVM analogue of the no-outcome-change guarantee: train on
+	// affine-encoded data, decode the model, and it is the model direct
+	// training produces (standardizing trainers are affine-invariant).
+	rng := rand.New(rand.NewSource(3))
+	d := linearlySeparable(rng, 600, 0.03)
+	key := NewAffineKey(rng, d.NumAttrs(), 50)
+	enc, err := key.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Train(d, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Train(enc, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := key.DecodeModel(mined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight-level identity up to float rounding.
+	for a := range direct.W {
+		rel := math.Abs(decoded.W[a]-direct.W[a]) / (math.Abs(direct.W[a]) + 1e-12)
+		if rel > 1e-6 {
+			t.Errorf("weight %d: %v vs %v", a, decoded.W[a], direct.W[a])
+		}
+	}
+	if Agreement(direct, decoded, d) != 1 {
+		t.Error("decoded SVM disagrees with direct training")
+	}
+}
+
+func TestPiecewiseTransformBreaksSVM(t *testing.T) {
+	// The boundary of the framework (Section 7): piecewise monotone
+	// transformations bend the axes, so the linear separating plane is
+	// not preserved — unlike for decision trees, whose splits are
+	// axis-parallel. The model mined on piecewise-encoded data loses
+	// accuracy; no affine decode can recover it.
+	rng := rand.New(rand.NewSource(4))
+	d := linearlySeparable(rng, 800, 0)
+	direct, err := Train(d, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _, err := transform.Encode(d, transform.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Train(enc, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy in the transformed space (labels are carried over).
+	if mined.Accuracy(enc) >= direct.Accuracy(d)-0.01 {
+		t.Errorf("piecewise encoding should degrade linear separability: %v vs %v",
+			mined.Accuracy(enc), direct.Accuracy(d))
+	}
+}
+
+func TestAffineKeyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := linearlySeparable(rng, 50, 0)
+	key := NewAffineKey(rng, 5, 10)
+	if _, err := key.Apply(d); err == nil {
+		t.Error("expected arity error")
+	}
+	if _, err := key.DecodeModel(&Model{W: []float64{1}}); err == nil {
+		t.Error("expected decode arity error")
+	}
+	for _, a := range key.A {
+		if a <= 0 {
+			t.Error("affine scales must be positive")
+		}
+	}
+}
+
+func TestAgreementAndPredict(t *testing.T) {
+	m := &Model{W: []float64{1, 0}, B: -5, ClassNames: []string{"neg", "pos"}}
+	if m.Predict([]float64{10, 0}) != 1 || m.Predict([]float64{0, 0}) != 0 {
+		t.Error("predict wrong")
+	}
+	if m.Score([]float64{5, 0}) != 0 {
+		t.Error("score wrong")
+	}
+	empty := dataset.New([]string{"x", "y"}, []string{"neg", "pos"})
+	if m.Accuracy(empty) != 0 || Agreement(m, m, empty) != 0 {
+		t.Error("empty data should rate 0")
+	}
+}

@@ -1,0 +1,55 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/runs"
+)
+
+// TestCovertypeMatchesFigure8Profile checks that the generator
+// reproduces the structural profile of Figure 8 within tolerance: the
+// experiments depend on which attributes have discontinuities and how
+// much of each attribute is monochromatic, not on exact counts.
+func TestCovertypeMatchesFigure8Profile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check needs 60k tuples")
+	}
+	rng := rand.New(rand.NewSource(1))
+	d, err := Covertype(rng, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per attribute: paper's distinct count, discontinuities, % mono
+	// values, and the allowed absolute deviations.
+	targets := []struct {
+		distinct, discont int
+		monoPct           float64
+		dDist, dDisc      int
+		dMono             float64
+	}{
+		{1978, 22, 74.2, 80, 60, 8},
+		{361, 0, 0.0, 5, 3, 2},
+		{67, 0, 22.4, 3, 3, 8},
+		{551, 847, 40.0, 40, 60, 18},
+		{700, 75, 48.0, 40, 40, 10},
+		{5785, 1333, 62.9, 300, 300, 12},
+		{207, 48, 39.6, 15, 15, 8},
+		{185, 70, 25.9, 15, 15, 8},
+		{255, 0, 9.4, 5, 3, 10},
+		{5827, 1347, 66.8, 300, 300, 10},
+	}
+	for a, want := range targets {
+		p := runs.ProfileAttr(d, a, 5)
+		if diff := p.Stats.Distinct - want.distinct; diff > want.dDist || diff < -want.dDist {
+			t.Errorf("attr %d (%s): distinct %d, want %d ± %d", a+1, d.AttrNames[a], p.Stats.Distinct, want.distinct, want.dDist)
+		}
+		if diff := p.Stats.Discontinuities - want.discont; diff > want.dDisc || diff < -want.dDisc {
+			t.Errorf("attr %d (%s): discontinuities %d, want %d ± %d", a+1, d.AttrNames[a], p.Stats.Discontinuities, want.discont, want.dDisc)
+		}
+		mono := 100 * p.PctMonoValues
+		if diff := mono - want.monoPct; diff > want.dMono || diff < -want.dMono {
+			t.Errorf("attr %d (%s): mono %.1f%%, want %.1f%% ± %.0f", a+1, d.AttrNames[a], mono, want.monoPct, want.dMono)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/runs"
+	"privtree/internal/tree"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := []AttrSpec{
+		{Name: "u", Width: 100, Shape: Uniform},
+		{Name: "g", Width: 50, Shape: Gauss, Sep: 0.4, Spread: 0.15},
+	}
+	d, err := Generate(rng, 500, 3, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTuples() != 500 || d.NumAttrs() != 2 || d.NumClasses() != 3 {
+		t.Fatalf("dims = %d,%d,%d", d.NumTuples(), d.NumAttrs(), d.NumClasses())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Values stay on the integer grid within range.
+	for a := range d.Cols {
+		for _, v := range d.Cols[a] {
+			if v < 0 || v > specs[a].Width || v != float64(int(v)) {
+				t.Fatalf("attr %d value %v off grid", a, v)
+			}
+		}
+	}
+	// All classes occur.
+	counts := d.ClassCounts()
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("class %d never drawn", c)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, 0, 2, CovertypeSpecs()); err == nil {
+		t.Error("expected error for zero tuples")
+	}
+	if _, err := Generate(rng, 5, 0, CovertypeSpecs()); err == nil {
+		t.Error("expected error for zero classes")
+	}
+	if _, err := Generate(rng, 5, 2, nil); err == nil {
+		t.Error("expected error for no attributes")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if Uniform.String() != "uniform" || Gauss.String() != "gauss" || SkewGauss.String() != "skewgauss" {
+		t.Error("shape names wrong")
+	}
+	if Shape(9).String() == "" {
+		t.Error("unknown shape should render")
+	}
+}
+
+func TestSeparationCreatesMonochromaticStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sep, err := Generate(rng, 5000, 2, []AttrSpec{{Name: "a", Width: 200, Shape: Gauss, Sep: 0.6, Spread: 0.12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nosep, err := Generate(rng, 5000, 2, []AttrSpec{{Name: "a", Width: 200, Shape: Uniform}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSep := runs.ProfileAttr(sep, 0, 1)
+	pNone := runs.ProfileAttr(nosep, 0, 1)
+	if pSep.PctMonoValues <= pNone.PctMonoValues {
+		t.Errorf("separated classes should produce more mono values: %v vs %v",
+			pSep.PctMonoValues, pNone.PctMonoValues)
+	}
+	if pNone.PctMonoValues > 0.05 {
+		t.Errorf("uniform classless attribute should be almost fully mixed, got %v", pNone.PctMonoValues)
+	}
+}
+
+func TestStepCreatesDiscontinuities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := Generate(rng, 10000, 2, []AttrSpec{{Name: "a", Width: 1000, Shape: Uniform, Step: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats(0)
+	if st.Discontinuities < 400 {
+		t.Errorf("step 2.5 should leave ~60%% of the grid empty, got %d discontinuities", st.Discontinuities)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	d := Figure1()
+	if d.NumTuples() != 6 || d.NumAttrs() != 2 {
+		t.Fatal("figure 1 shape wrong")
+	}
+	if got := runs.Format(runs.ClassStringOf(d, 0), d.ClassNames); got != "HHHLHL" {
+		t.Errorf("σ_age = %q", got)
+	}
+	// The paper's Figure 1(d) tree: age at 27.5, then salary at 40000.
+	tr, err := tree.Build(d, tree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Attr != 0 || tr.Root.Threshold != 27.5 {
+		t.Errorf("root = %+v", tr.Root)
+	}
+}
+
+func TestCensusGenerates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := Census(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAttrs() != len(CensusSpecs()) {
+		t.Error("census attr count wrong")
+	}
+	// A tree mined on census-like data should beat the majority class.
+	tr, err := tree.Build(d, tree.Config{MinLeaf: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := d.ClassCounts()
+	maj := counts[0]
+	if counts[1] > maj {
+		maj = counts[1]
+	}
+	if acc := tr.Accuracy(d); acc <= float64(maj)/float64(d.NumTuples()) {
+		t.Errorf("tree accuracy %v not above majority baseline", acc)
+	}
+}
+
+func TestCovertypeSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, err := Covertype(rng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAttrs() != 10 || d.NumTuples() != 1000 {
+		t.Fatal("covertype shape wrong")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCovertypeFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d, err := CovertypeFull(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAttrs() != 12 {
+		t.Fatalf("attrs = %d, want 12", d.NumAttrs())
+	}
+	wi := d.AttrIndex("wilderness")
+	si := d.AttrIndex("soil")
+	if !d.IsCategorical(wi) || !d.IsCategorical(si) {
+		t.Fatal("categorical attributes not marked")
+	}
+	if d.NumCategories(wi) != 4 || d.NumCategories(si) != 40 {
+		t.Error("category counts wrong")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The categorical attributes carry class signal: a tree should use
+	// them.
+	tr, err := tree.Build(d, tree.Config{MinLeaf: 20, MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Leaf {
+		t.Error("tree did not split at all")
+	}
+}
+
+func TestWDBCContinuous(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, err := WDBC(rng, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAttrs() != 10 || d.NumTuples() != 1500 {
+		t.Fatal("wdbc shape wrong")
+	}
+	// Values must be genuinely continuous: almost all unique, and the
+	// stats must recognize the non-integer domain.
+	st := d.Stats(0)
+	if st.IntegerValued {
+		t.Error("wdbc values should not be integer valued")
+	}
+	if st.Distinct < 1400 {
+		t.Errorf("continuous attribute has only %d distinct values", st.Distinct)
+	}
+	// A tree separates the classes well (strong Sep on several attrs).
+	tr, err := tree.Build(d, tree.Config{MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tr.Accuracy(d); acc < 0.85 {
+		t.Errorf("wdbc tree accuracy = %v", acc)
+	}
+}

@@ -1,0 +1,232 @@
+package transform_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+// appendFixture builds a dataset with a clear monochromatic region
+// (values 0–9 all label 0) and a mixed region (10–29).
+func appendFixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New([]string{"x"}, []string{"A", "B"})
+	for v := 0; v < 10; v++ {
+		for r := 0; r < 3; r++ {
+			if err := d.Append([]float64{float64(v)}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for v := 10; v < 30; v++ {
+		for r := 0; r < 3; r++ {
+			if err := d.Append([]float64{float64(v)}, r%2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func batch(t *testing.T, rows ...struct {
+	v     float64
+	label int
+}) *dataset.Dataset {
+	t.Helper()
+	b := dataset.New([]string{"x"}, []string{"A", "B"})
+	for _, r := range rows {
+		if err := b.Append([]float64{r.v}, r.label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+type row = struct {
+	v     float64
+	label int
+}
+
+func TestVerifyAppendAccepts(t *testing.T) {
+	d := appendFixture(t)
+	rng := rand.New(rand.NewSource(1))
+	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = enc
+	// New tuples that repeat existing values with consistent labels.
+	good := batch(t, row{5, 0}, row{15, 1}, row{20, 0})
+	if err := transform.VerifyAppend(key, d, good); err != nil {
+		t.Fatalf("consistent batch rejected: %v", err)
+	}
+	// The combined data, encoded with the same key, still yields the
+	// exact tree.
+	combined := d.Clone()
+	for i := 0; i < good.NumTuples(); i++ {
+		if err := combined.Append(good.Tuple(i), good.Labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encC, err := key.Apply(combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := tree.Build(combined, tree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := tree.Build(encC, tree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tree.DecodeWithData(mined, key, combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.EquivalentOn(orig, dec, combined) {
+		t.Error("appended batch broke the guarantee")
+	}
+}
+
+func TestVerifyAppendRejectsRangeExtension(t *testing.T) {
+	d := appendFixture(t)
+	rng := rand.New(rand.NewSource(2))
+	_, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := batch(t, row{99, 0})
+	if err := transform.VerifyAppend(key, d, out); err == nil || !strings.Contains(err.Error(), "dynamic range") {
+		t.Errorf("out-of-range batch not rejected: %v", err)
+	}
+}
+
+func TestVerifyAppendRejectsLabelBreak(t *testing.T) {
+	d := appendFixture(t)
+	rng := rand.New(rand.NewSource(3))
+	_, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value 5 lives in the monochromatic piece with label A; a label-B
+	// tuple there voids the bijection's single-label property.
+	bad := batch(t, row{5, 1})
+	if err := transform.VerifyAppend(key, d, bad); err == nil {
+		t.Error("label-breaking batch not rejected")
+	}
+}
+
+func TestVerifyAppendRejectsNewValueInBijectionPiece(t *testing.T) {
+	d := appendFixture(t)
+	// Force a gap inside the mono region: remove value 5 so the piece
+	// table lacks it, then try to append it.
+	idx := []int{}
+	for i, v := range d.Cols[0] {
+		if v != 5 {
+			idx = append(idx, i)
+		}
+	}
+	d2 := d.Subset(idx)
+	rng := rand.New(rand.NewSource(4))
+	_, key, err := transform.Encode(d2, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := batch(t, row{5, 0})
+	if err := transform.VerifyAppend(key, d2, nv); err == nil || !strings.Contains(err.Error(), "table entry") {
+		t.Errorf("tableless value not rejected: %v", err)
+	}
+}
+
+func TestVerifyAppendSchemaMismatch(t *testing.T) {
+	d := appendFixture(t)
+	rng := rand.New(rand.NewSource(5))
+	_, key, err := transform.Encode(d, transform.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.New([]string{"x", "y"}, []string{"A", "B"})
+	if err := transform.VerifyAppend(key, d, other); err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+}
+
+func TestVerifyAppendCategorical(t *testing.T) {
+	d := dataset.New([]string{"c"}, []string{"A", "B"})
+	for i := 0; i < 30; i++ {
+		if err := d.Append([]float64{float64(i % 3)}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.MarkCategorical(0, []string{"p", "q", "r"}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	_, key, err := transform.Encode(d, transform.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catBatch := func(rows ...row) *dataset.Dataset {
+		b := dataset.New([]string{"c"}, []string{"A", "B"})
+		for _, r := range rows {
+			if err := b.Append([]float64{r.v}, r.label); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	if err := transform.VerifyAppend(key, d, catBatch(row{1, 0})); err != nil {
+		t.Errorf("valid categorical batch rejected: %v", err)
+	}
+	if err := transform.VerifyAppend(key, d, catBatch(row{7, 0})); err == nil {
+		t.Error("unknown category code not rejected")
+	}
+}
+
+func TestVerifyAppendRemapsClassNames(t *testing.T) {
+	d := appendFixture(t)
+	rng := rand.New(rand.NewSource(7))
+	_, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch whose class indices are swapped relative to the original
+	// (e.g. parsed from a CSV where "B" appeared first) must still be
+	// matched by name: value 5 with class name "A" is consistent.
+	b := dataset.New([]string{"x"}, []string{"B", "A"})
+	if err := b.Append([]float64{5}, 1); err != nil { // name "A"
+		t.Fatal(err)
+	}
+	if err := transform.VerifyAppend(key, d, b); err != nil {
+		t.Errorf("name-remapped batch rejected: %v", err)
+	}
+	// The same value with name "B" breaks the monochromatic piece.
+	bad := dataset.New([]string{"x"}, []string{"B", "A"})
+	if err := bad.Append([]float64{5}, 0); err != nil { // name "B"
+		t.Fatal(err)
+	}
+	if err := transform.VerifyAppend(key, d, bad); err == nil {
+		t.Error("label-breaking remapped batch not rejected")
+	}
+	// Unknown class names are rejected.
+	alien := dataset.New([]string{"x"}, []string{"Z"})
+	if err := alien.Append([]float64{5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := transform.VerifyAppend(key, d, alien); err == nil {
+		t.Error("unknown class not rejected")
+	}
+	// Attribute name mismatches are rejected.
+	wrongAttr := dataset.New([]string{"y"}, []string{"A", "B"})
+	if err := wrongAttr.Append([]float64{5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := transform.VerifyAppend(key, d, wrongAttr); err == nil {
+		t.Error("attribute rename not rejected")
+	}
+}

@@ -1,0 +1,103 @@
+package transform
+
+import (
+	"math/rand"
+	"sort"
+
+	"privtree/internal/runs"
+)
+
+// ChooseBP implements Procedure ChooseBP (Figure 5): it randomly picks w
+// breakpoints from the distinct values of the attribute, decomposing the
+// domain of n distinct values into pieces. The returned pieces cover
+// group indices [0, n) contiguously; none is marked monochromatic
+// because ChooseBP does not analyze labels. The privacy power comes from
+// the hacker not knowing w or the breakpoint locations — O(2^N)
+// combinations over N candidate values.
+func ChooseBP(rng *rand.Rand, n, w int) []runs.Piece {
+	if n <= 0 {
+		return nil
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	// A decomposition into w pieces is determined by w-1 cut positions
+	// among indices 1..n-1 (index 0 always starts the first piece).
+	cuts := rng.Perm(n - 1)[:min(w-1, n-1)]
+	for i := range cuts {
+		cuts[i]++ // shift to 1..n-1
+	}
+	sort.Ints(cuts)
+	var out []runs.Piece
+	start := 0
+	for _, c := range cuts {
+		out = append(out, runs.Piece{Lo: start, Hi: c})
+		start = c
+	}
+	out = append(out, runs.Piece{Lo: start, Hi: n})
+	return out
+}
+
+// ChooseMaxMP implements Procedure ChooseMaxMP (Figure 6): it grows
+// maximal monochromatic pieces (at least minWidth distinct values wide)
+// and, if the resulting piece count is below w, randomly subdivides the
+// non-monochromatic pieces until w pieces exist or no further cut is
+// possible. Pieces are returned over the group index space of groups.
+func ChooseMaxMP(rng *rand.Rand, groups []runs.ValueGroup, w, minWidth int) []runs.Piece {
+	pieces := runs.MaxMonoPieces(groups, minWidth)
+	if len(pieces) >= w {
+		return pieces
+	}
+	// Collect candidate cut positions strictly inside non-mono pieces.
+	var candidates []int
+	for _, p := range pieces {
+		if p.Mono {
+			continue
+		}
+		for i := p.Lo + 1; i < p.Hi; i++ {
+			candidates = append(candidates, i)
+		}
+	}
+	need := w - len(pieces)
+	if need > len(candidates) {
+		need = len(candidates)
+	}
+	if need <= 0 {
+		return pieces
+	}
+	perm := rng.Perm(len(candidates))[:need]
+	cuts := make([]int, need)
+	for i, j := range perm {
+		cuts[i] = candidates[j]
+	}
+	sort.Ints(cuts)
+	// Apply the cuts to the non-mono pieces.
+	var out []runs.Piece
+	ci := 0
+	for _, p := range pieces {
+		if p.Mono {
+			out = append(out, p)
+			continue
+		}
+		start := p.Lo
+		for ci < len(cuts) && cuts[ci] < p.Hi {
+			if cuts[ci] > start {
+				out = append(out, runs.Piece{Lo: start, Hi: cuts[ci]})
+				start = cuts[ci]
+			}
+			ci++
+		}
+		out = append(out, runs.Piece{Lo: start, Hi: p.Hi})
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package transform
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// shapeJSON is the serialized form of a Shape, supporting nested
+// compositions.
+type shapeJSON struct {
+	Name   string     `json:"name"`
+	Params []float64  `json:"params,omitempty"`
+	Outer  *shapeJSON `json:"outer,omitempty"`
+	Inner  *shapeJSON `json:"inner,omitempty"`
+}
+
+func marshalShape(s Shape) (*shapeJSON, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if c, ok := s.(ComposeShape); ok {
+		outer, err := marshalShape(c.Outer)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := marshalShape(c.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &shapeJSON{Name: "compose", Outer: outer, Inner: inner}, nil
+	}
+	return &shapeJSON{Name: s.Name(), Params: s.Params()}, nil
+}
+
+func unmarshalShape(j *shapeJSON) (Shape, error) {
+	if j == nil {
+		return nil, nil
+	}
+	if j.Name == "compose" {
+		if j.Outer == nil || j.Inner == nil {
+			return nil, fmt.Errorf("transform: compose shape missing components")
+		}
+		outer, err := unmarshalShape(j.Outer)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := unmarshalShape(j.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return ComposeShape{Outer: outer, Inner: inner}, nil
+	}
+	return NewShape(j.Name, j.Params)
+}
+
+// pieceJSON is the serialized form of a Piece.
+type pieceJSON struct {
+	DomLo   float64    `json:"domLo"`
+	DomHi   float64    `json:"domHi"`
+	OutLo   float64    `json:"outLo"`
+	OutHi   float64    `json:"outHi"`
+	Kind    string     `json:"kind"`
+	Shape   *shapeJSON `json:"shape,omitempty"`
+	DomVals []float64  `json:"domVals,omitempty"`
+	OutVals []float64  `json:"outVals,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Piece) MarshalJSON() ([]byte, error) {
+	j := pieceJSON{
+		DomLo: p.DomLo, DomHi: p.DomHi, OutLo: p.OutLo, OutHi: p.OutHi,
+		Kind: p.Kind.String(), DomVals: p.DomVals, OutVals: p.OutVals,
+	}
+	s, err := marshalShape(p.Shape)
+	if err != nil {
+		return nil, err
+	}
+	j.Shape = s
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Piece) UnmarshalJSON(data []byte) error {
+	var j pieceJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	switch j.Kind {
+	case "monotone":
+		p.Kind = KindMonotone
+	case "anti-monotone":
+		p.Kind = KindAntiMonotone
+	case "permutation":
+		p.Kind = KindPermutation
+	default:
+		return fmt.Errorf("transform: unknown piece kind %q", j.Kind)
+	}
+	s, err := unmarshalShape(j.Shape)
+	if err != nil {
+		return err
+	}
+	p.DomLo, p.DomHi, p.OutLo, p.OutHi = j.DomLo, j.DomHi, j.OutLo, j.OutHi
+	p.Shape = s
+	p.DomVals, p.OutVals = j.DomVals, j.OutVals
+	if p.Kind == KindPermutation {
+		if len(p.DomVals) == 0 || len(p.DomVals) != len(p.OutVals) {
+			return fmt.Errorf("transform: permutation piece has inconsistent tables")
+		}
+		p.buildIndex()
+	} else if p.Shape == nil {
+		p.Shape = LinearShape{}
+	}
+	return nil
+}
+
+// MarshalKey serializes a Key to JSON.
+func MarshalKey(k *Key) ([]byte, error) {
+	return json.MarshalIndent(k, "", "  ")
+}
+
+// UnmarshalKey deserializes a Key from JSON and validates it.
+func UnmarshalKey(data []byte) (*Key, error) {
+	var k Key
+	if err := json.Unmarshal(data, &k); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return &k, nil
+}

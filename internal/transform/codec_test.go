@@ -1,0 +1,156 @@
+package transform
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+)
+
+func TestKeyJSONRoundTrip(t *testing.T) {
+	d := smallDataset(t)
+	rng := rand.New(rand.NewSource(21))
+	_, key, err := Encode(d, Options{Strategy: StrategyMaxMP, Breakpoints: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstructed key must produce identical transforms and
+	// inversions on the active domain and on gap points.
+	for a, ak := range key.Attrs {
+		gak := got.Attrs[a]
+		if gak.Attr != ak.Attr || gak.Anti != ak.Anti || len(gak.Pieces) != len(ak.Pieces) {
+			t.Fatalf("attribute %d metadata differs", a)
+		}
+		lo, hi := ak.DomRange()
+		for i := 0; i <= 200; i++ {
+			x := lo + (hi-lo)*float64(i)/200
+			y1, y2 := ak.Apply(x), gak.Apply(x)
+			if math.Abs(y1-y2) > 1e-9 {
+				t.Fatalf("attr %d Apply(%v): %v != %v", a, x, y1, y2)
+			}
+			if math.Abs(ak.Invert(y1)-gak.Invert(y2)) > 1e-9 {
+				t.Fatalf("attr %d Invert mismatch at %v", a, x)
+			}
+		}
+	}
+}
+
+func TestComposeShapeJSONRoundTrip(t *testing.T) {
+	p, err := NewMonotonePiece(0, 1, 0, 1, ComposeShape{
+		Outer: LogShape{C: 4},
+		Inner: ComposeShape{Outer: PowerShape{Gamma: 2}, Inner: ExpShape{K: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Piece
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 20; i++ {
+		x := float64(i) / 20
+		if math.Abs(p.Apply(x)-got.Apply(x)) > 1e-12 {
+			t.Fatalf("composed shape differs at %v", x)
+		}
+	}
+}
+
+func TestUnmarshalKeyRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"Attrs": []}`,
+		`{"Attrs": [null]}`,
+		`{"Attrs": [{"Attr":"a","Pieces":[]}]}`,
+		// Overlapping domains.
+		`{"Attrs":[{"Attr":"a","Pieces":[
+			{"domLo":0,"domHi":10,"outLo":0,"outHi":1,"kind":"monotone"},
+			{"domLo":5,"domHi":20,"outLo":2,"outHi":3,"kind":"monotone"}]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalKey([]byte(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestUnmarshalPieceErrors(t *testing.T) {
+	var p Piece
+	if err := json.Unmarshal([]byte(`{"kind":"weird"}`), &p); err == nil {
+		t.Error("expected unknown kind error")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"permutation","domVals":[1],"outVals":[]}`), &p); err == nil {
+		t.Error("expected inconsistent table error")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"monotone","shape":{"name":"nope"}}`), &p); err == nil {
+		t.Error("expected unknown shape error")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"monotone","shape":{"name":"compose"}}`), &p); err == nil {
+		t.Error("expected incomplete compose error")
+	}
+	// Monotone piece without a shape defaults to linear.
+	if err := json.Unmarshal([]byte(`{"kind":"monotone","domLo":0,"domHi":1,"outLo":0,"outHi":2}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape == nil || p.Apply(0.5) != 1 {
+		t.Error("default linear shape not applied")
+	}
+}
+
+func TestPermutationPieceJSONRoundTrip(t *testing.T) {
+	p, err := NewPermutationPiece([]float64{1, 2, 3}, []float64{12, 10, 11}, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Piece
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, 2, 3} {
+		if got.Apply(x) != p.Apply(x) {
+			t.Errorf("Apply(%v) differs after round trip", x)
+		}
+	}
+	// The inverse index must be rebuilt after unmarshaling.
+	for _, y := range []float64{10, 11, 12} {
+		if got.Invert(y) != p.Invert(y) {
+			t.Errorf("Invert(%v) differs after round trip", y)
+		}
+	}
+}
+
+func TestVerifyClassStringsMismatchDetected(t *testing.T) {
+	d := smallDataset(t)
+	rng := rand.New(rand.NewSource(4))
+	enc, key, err := Encode(d, Options{Strategy: StrategyMaxMP}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the encoded data: swap two values with different labels.
+	bad := enc.Clone()
+	bad.Cols[0][0], bad.Cols[0][4] = bad.Cols[0][4], bad.Cols[0][0]
+	if err := VerifyClassStrings(d, bad, key); err == nil {
+		t.Error("corruption not detected")
+	}
+	other := dataset.New([]string{"only"}, []string{"A"})
+	if err := VerifyClassStrings(d, other, key); err == nil {
+		t.Error("dimension mismatch not detected")
+	}
+}

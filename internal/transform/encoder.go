@@ -1,0 +1,358 @@
+package transform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"privtree/internal/dataset"
+	"privtree/internal/runs"
+)
+
+// Strategy selects how breakpoints are chosen when encoding an
+// attribute.
+type Strategy int
+
+const (
+	// StrategyMaxMP grows maximal monochromatic pieces and tops up with
+	// random breakpoints (Procedure ChooseMaxMP). It is the zero value:
+	// the paper's experiments show it dominates, so Options{} selects
+	// it.
+	StrategyMaxMP Strategy = iota
+	// StrategyBP chooses breakpoints uniformly at random among the
+	// distinct values (Procedure ChooseBP).
+	StrategyBP
+	// StrategyNone encodes the whole domain as a single piece with one
+	// (anti-)monotone function — the baseline of Section 3/4 and the
+	// first bar of Figure 9.
+	StrategyNone
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNone:
+		return "none"
+	case StrategyBP:
+		return "choosebp"
+	case StrategyMaxMP:
+		return "choosemaxmp"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures the randomized encoder.
+type Options struct {
+	// Strategy selects the breakpoint procedure. Default StrategyMaxMP.
+	Strategy Strategy
+	// Breakpoints is the desired number of pieces w. The paper's
+	// experiments use a minimum of 20. Default 20.
+	Breakpoints int
+	// MinPieceWidth is the minimum number of distinct values for a
+	// monochromatic piece to be exploited (Section 5.2 suggests 5).
+	// Default 1.
+	MinPieceWidth int
+	// Families restricts the monotone shape families drawn for
+	// non-monochromatic pieces. Empty means all of ShapeFamilies().
+	Families []string
+	// Anti selects the global-anti-monotone invariant for every
+	// attribute. The class strings are reversed (Lemma 1); the decoded
+	// tree is still exact.
+	Anti bool
+	// PieceAntiProb is the probability of using an anti-monotone
+	// function on a piece whose class substring is a single label
+	// (always sound there, cf. Figure 4). Default 0.25; negative
+	// disables per-piece anti-monotone functions, which makes key-only
+	// tree decoding exact for StrategyNone/StrategyBP keys (see
+	// tree.Decode).
+	PieceAntiProb float64
+	// Scale stretches the total output range relative to the domain
+	// width. 0 draws a random scale in [0.5, 2.0] per attribute.
+	Scale float64
+	// GapFrac is the fraction of output space reserved for inter-piece
+	// gaps. Default 0.25.
+	GapFrac float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Breakpoints == 0 {
+		o.Breakpoints = 20
+	}
+	if o.MinPieceWidth == 0 {
+		o.MinPieceWidth = 1
+	}
+	if len(o.Families) == 0 {
+		o.Families = ShapeFamilies()
+	}
+	if o.PieceAntiProb == 0 {
+		o.PieceAntiProb = 0.25
+	}
+	if o.PieceAntiProb < 0 {
+		o.PieceAntiProb = 0
+	}
+	if o.GapFrac == 0 {
+		o.GapFrac = 0.25
+	}
+	return o
+}
+
+// Encode transforms every attribute of d with a freshly drawn piecewise
+// (anti-)monotone key and returns the transformed data set D' together
+// with the custodian's secret key.
+func Encode(d *dataset.Dataset, opts Options, rng *rand.Rand) (*dataset.Dataset, *Key, error) {
+	if d.NumAttrs() == 0 {
+		return nil, nil, errors.New("transform: dataset has no attributes")
+	}
+	key := &Key{Attrs: make([]*AttributeKey, d.NumAttrs())}
+	for a := 0; a < d.NumAttrs(); a++ {
+		ak, err := EncodeAttr(d, a, opts, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("transform: attribute %q: %w", d.AttrNames[a], err)
+		}
+		key.Attrs[a] = ak
+	}
+	out, err := key.Apply(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, key, nil
+}
+
+// EncodeAttr draws a piecewise transformation key for attribute a of d.
+// Categorical attributes are encoded by a uniform random permutation of
+// their category codes.
+func EncodeAttr(d *dataset.Dataset, a int, opts Options, rng *rand.Rand) (*AttributeKey, error) {
+	opts = opts.withDefaults()
+	if d.IsCategorical(a) {
+		return encodeCategorical(d, a, rng)
+	}
+	groups := runs.GroupValues(d.SortedProjection(a))
+	if len(groups) == 0 {
+		return nil, errors.New("transform: attribute has no values")
+	}
+	var pieces []runs.Piece
+	switch opts.Strategy {
+	case StrategyNone:
+		pieces = []runs.Piece{{Lo: 0, Hi: len(groups)}}
+	case StrategyBP:
+		pieces = ChooseBP(rng, len(groups), opts.Breakpoints)
+	case StrategyMaxMP:
+		pieces = ChooseMaxMP(rng, groups, opts.Breakpoints, opts.MinPieceWidth)
+	default:
+		return nil, fmt.Errorf("transform: unknown strategy %v", opts.Strategy)
+	}
+	return buildKey(d.AttrNames[a], groups, pieces, opts, rng)
+}
+
+// encodeCategorical builds a random derangement (fixed-point-free
+// permutation) of the attribute's category codes, so that — like the
+// numeric transformations — every released value differs from the
+// original. All declared codes are covered, so codes absent from the
+// training data still encode consistently. A single-category attribute
+// necessarily maps to itself.
+func encodeCategorical(d *dataset.Dataset, a int, rng *rand.Rand) (*AttributeKey, error) {
+	k := d.NumCategories(a)
+	domVals := make([]float64, k)
+	outVals := make([]float64, k)
+	perm := derangement(rng, k)
+	for c := 0; c < k; c++ {
+		domVals[c] = float64(c)
+		outVals[c] = float64(perm[c])
+	}
+	piece, err := NewPermutationPiece(domVals, outVals, 0, float64(k-1))
+	if err != nil {
+		return nil, err
+	}
+	return &AttributeKey{Attr: d.AttrNames[a], Categorical: true, Pieces: []*Piece{piece}}, nil
+}
+
+// derangement samples a uniform fixed-point-free permutation of k
+// elements by rejection (expected ~e attempts). k = 1 has none and
+// returns the identity.
+func derangement(rng *rand.Rand, k int) []int {
+	if k < 2 {
+		out := make([]int, k)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	for {
+		perm := rng.Perm(k)
+		fixed := false
+		for i, p := range perm {
+			if i == p {
+				fixed = true
+				break
+			}
+		}
+		if !fixed {
+			return perm
+		}
+	}
+}
+
+// buildKey allocates output intervals to the pieces and draws a function
+// for each, honoring the global-(anti-)monotone invariant.
+func buildKey(attr string, groups []runs.ValueGroup, pieces []runs.Piece, opts Options, rng *rand.Rand) (*AttributeKey, error) {
+	domLo := groups[0].Value
+	domHi := groups[len(groups)-1].Value
+	width := domHi - domLo
+	if width <= 0 {
+		width = 1
+	}
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 0.5 + 1.5*rng.Float64()
+	}
+	totalOut := width * scale
+	outStart := domLo + width*(rng.Float64()-0.5)
+
+	// Allocate random output widths to the pieces and gaps from the
+	// reserved gap fraction.
+	n := len(pieces)
+	pw := make([]float64, n)
+	var sum float64
+	for i := range pieces {
+		// Log-normal output widths (σ≈1.1, roughly ×0.1–×10), drawn
+		// independently of the piece's domain width, make the per-piece
+		// slopes unpredictable: a curve fitted through a handful of
+		// knowledge points cannot track pieces whose scales vary by two
+		// orders of magnitude (Section 5's "uncertainty of the function
+		// used in each piece"). Deliberately not proportional to piece
+		// length — proportional widths would make the aggregate map hug
+		// a smooth trend that curve fitting recovers.
+		pw[i] = math.Exp(1.6 * rng.NormFloat64())
+		sum += pw[i]
+	}
+	gw := make([]float64, n-1)
+	var gsum float64
+	for i := range gw {
+		gw[i] = math.Exp(rng.NormFloat64())
+		gsum += gw[i]
+	}
+	pieceSpace := totalOut * (1 - opts.GapFrac)
+	gapSpace := totalOut * opts.GapFrac
+	if n == 1 {
+		pieceSpace = totalOut
+		gapSpace = 0
+	}
+
+	// Compute ascending output intervals in domain order, then reverse
+	// for the anti-monotone invariant.
+	type span struct{ lo, hi float64 }
+	spans := make([]span, n)
+	at := outStart
+	for i := range pieces {
+		w := pieceSpace * pw[i] / sum
+		spans[i] = span{at, at + w}
+		at += w
+		if i < n-1 && gsum > 0 {
+			at += gapSpace * gw[i] / gsum
+		}
+	}
+	if opts.Anti {
+		// Mirror the spans around the center of the output range so the
+		// first domain piece gets the highest outputs.
+		lo, hi := spans[0].lo, spans[n-1].hi
+		for i := range spans {
+			spans[i] = span{lo + hi - spans[i].hi, lo + hi - spans[i].lo}
+		}
+	}
+
+	ak := &AttributeKey{Attr: attr, Anti: opts.Anti, Pieces: make([]*Piece, n)}
+	for i, p := range pieces {
+		sp := spans[i]
+		pg := groups[p.Lo:p.Hi]
+		pc, err := buildPiece(pg, p, sp.lo, sp.hi, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		ak.Pieces[i] = pc
+	}
+	if err := ak.Validate(); err != nil {
+		return nil, err
+	}
+	return ak, nil
+}
+
+// buildPiece draws the transformation of one piece.
+func buildPiece(pg []runs.ValueGroup, p runs.Piece, outLo, outHi float64, opts Options, rng *rand.Rand) (*Piece, error) {
+	domLo := pg[0].Value
+	domHi := pg[len(pg)-1].Value
+	if p.Mono {
+		// F_bi: random permutation of the piece's distinct values onto
+		// jittered, evenly spaced output values (Section 5.2). This
+		// blocks sorting attacks within the piece: O(N!) possibilities.
+		m := len(pg)
+		domVals := make([]float64, m)
+		for i, g := range pg {
+			domVals[i] = g.Value
+		}
+		outVals := make([]float64, m)
+		step := (outHi - outLo) / float64(m)
+		for i := range outVals {
+			outVals[i] = outLo + (float64(i)+0.5+0.8*(rng.Float64()-0.5))*step
+		}
+		perm := rng.Perm(m)
+		shuffled := make([]float64, m)
+		for i, j := range perm {
+			shuffled[i] = outVals[j]
+		}
+		return NewPermutationPiece(domVals, shuffled, outLo, outHi)
+	}
+	shape, err := randomShape(opts.Families, rng)
+	if err != nil {
+		return nil, err
+	}
+	// An anti-monotone function inside a piece is only sound when the
+	// piece's class substring is a single label: reversing it then
+	// leaves the class string unchanged (cf. Figure 4). Under the global
+	// anti-monotone invariant the whole attribute reverses, so every
+	// non-permutation piece must be anti-monotone instead.
+	if opts.Anti {
+		return NewAntiMonotonePiece(domLo, domHi, outLo, outHi, shape)
+	}
+	if singleLabel(pg) && rng.Float64() < opts.PieceAntiProb {
+		return NewAntiMonotonePiece(domLo, domHi, outLo, outHi, shape)
+	}
+	return NewMonotonePiece(domLo, domHi, outLo, outHi, shape)
+}
+
+// singleLabel reports whether every tuple covered by the groups carries
+// the same class label (the condition under which reversing the piece
+// preserves the class string).
+func singleLabel(pg []runs.ValueGroup) bool {
+	for _, g := range pg {
+		if !g.Mono || g.Label != pg[0].Label {
+			return false
+		}
+	}
+	return true
+}
+
+// randomShape draws a shape from the named families with randomized
+// parameters.
+func randomShape(families []string, rng *rand.Rand) (Shape, error) {
+	name := families[rng.Intn(len(families))]
+	switch name {
+	case "linear":
+		return LinearShape{}, nil
+	case "power":
+		return PowerShape{Gamma: 1.5 + 2.5*rng.Float64()}, nil
+	case "log":
+		return LogShape{C: 2 + 48*rng.Float64()}, nil
+	case "sqrtlog":
+		return SqrtLogShape{C: 2 + 48*rng.Float64()}, nil
+	case "exp":
+		k := 0.5 + 2.5*rng.Float64()
+		if rng.Intn(2) == 0 {
+			k = -k
+		}
+		return ExpShape{K: k}, nil
+	default:
+		return nil, fmt.Errorf("transform: unknown shape family %q", name)
+	}
+}

@@ -1,0 +1,40 @@
+package transform
+
+import "testing"
+
+// FuzzUnmarshalKey exercises the key codec against arbitrary JSON: it
+// must never panic, and any key it accepts must be valid and usable.
+func FuzzUnmarshalKey(f *testing.F) {
+	f.Add([]byte(`{"Attrs":[{"Attr":"a","Pieces":[
+		{"domLo":0,"domHi":10,"outLo":0,"outHi":5,"kind":"monotone",
+		 "shape":{"name":"log","params":[4]}}]}]}`))
+	f.Add([]byte(`{"Attrs":[{"Attr":"a","Categorical":true,"Pieces":[
+		{"domLo":0,"domHi":2,"outLo":0,"outHi":2,"kind":"permutation",
+		 "domVals":[0,1,2],"outVals":[2,0,1]}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Attrs":[{"Attr":"a","Anti":true,"Pieces":[
+		{"domLo":0,"domHi":1,"outLo":5,"outHi":9,"kind":"anti-monotone"},
+		{"domLo":2,"domHi":3,"outLo":0,"outHi":4,"kind":"anti-monotone"}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, err := UnmarshalKey(data)
+		if err != nil {
+			return
+		}
+		// An accepted key must survive its own invariants and apply
+		// without panicking across each attribute's domain.
+		if err := key.Validate(); err != nil {
+			t.Fatalf("accepted key fails validation: %v", err)
+		}
+		for _, ak := range key.Attrs {
+			lo, hi := ak.DomRange()
+			for i := 0; i <= 20; i++ {
+				x := lo + (hi-lo)*float64(i)/20
+				ak.Invert(ak.Apply(x))
+			}
+		}
+		// Accepted keys must re-marshal.
+		if _, err := MarshalKey(key); err != nil {
+			t.Fatalf("accepted key fails to marshal: %v", err)
+		}
+	})
+}

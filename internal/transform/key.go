@@ -1,0 +1,284 @@
+package transform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"privtree/internal/dataset"
+)
+
+// AttributeKey is the complete piecewise transformation f_A of one
+// attribute: the ordered domain pieces, their functions, and the global
+// direction. It is the secret material the data custodian must retain to
+// decode the mining outcome (Section 5.4 notes this is minimal: the
+// breakpoint locations and the per-piece functions).
+type AttributeKey struct {
+	// Attr is the attribute name this key encodes.
+	Attr string
+	// Anti selects the global-anti-monotone invariant: the output
+	// intervals are assigned in reverse domain order, so the class
+	// string of the attribute is reversed (Lemma 1) — still preserving
+	// the mined tree.
+	Anti bool
+	// Pieces holds the piece transformations in ascending domain order.
+	// Output intervals are pairwise disjoint; in ascending output order
+	// when !Anti and descending when Anti.
+	Pieces []*Piece
+	// Categorical marks a category-code permutation key: a single
+	// permutation piece mapping codes to codes. Multiway splits on the
+	// attribute are invariant under it, so the no-outcome-change
+	// guarantee extends to categorical attributes.
+	Categorical bool
+}
+
+// Validate checks the structural invariants of the key: ordered,
+// non-overlapping domain intervals, and output intervals ordered
+// according to the global-(anti-)monotone invariant.
+func (k *AttributeKey) Validate() error {
+	if len(k.Pieces) == 0 {
+		return errors.New("transform: attribute key has no pieces")
+	}
+	for i, p := range k.Pieces {
+		if err := checkIntervals(p.DomLo, p.DomHi, p.OutLo, p.OutHi); err != nil {
+			return fmt.Errorf("transform: piece %d: %w", i, err)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := k.Pieces[i-1]
+		if p.DomLo <= prev.DomHi {
+			return fmt.Errorf("transform: piece %d domain [%v,%v] overlaps previous [%v,%v]",
+				i, p.DomLo, p.DomHi, prev.DomLo, prev.DomHi)
+		}
+		if k.Anti {
+			if p.OutHi >= prev.OutLo {
+				return fmt.Errorf("transform: piece %d violates global-anti-monotone invariant", i)
+			}
+		} else if p.OutLo <= prev.OutHi {
+			return fmt.Errorf("transform: piece %d violates global-monotone invariant", i)
+		}
+	}
+	return nil
+}
+
+// pieceFor returns the index of the piece owning domain value x, or
+// (i, false) when x falls in the gap before piece i (i may equal
+// len(Pieces) when x is beyond the last piece).
+func (k *AttributeKey) pieceFor(x float64) (int, bool) {
+	i := sort.Search(len(k.Pieces), func(i int) bool { return k.Pieces[i].DomHi >= x })
+	if i < len(k.Pieces) && k.Pieces[i].Contains(x) {
+		return i, true
+	}
+	return i, false
+}
+
+// Apply computes the transformed value f_A(x). Values strictly inside
+// the gap between two pieces (never actual data values) are mapped
+// linearly across the corresponding output gap so that Apply remains a
+// strictly monotone bijection of the full dynamic range; values outside
+// the range clamp to the boundary pieces.
+func (k *AttributeKey) Apply(x float64) float64 {
+	i, inside := k.pieceFor(x)
+	if inside {
+		return k.Pieces[i].Apply(x)
+	}
+	switch {
+	case i == 0: // before the first piece
+		return k.Pieces[0].Apply(k.Pieces[0].DomLo)
+	case i >= len(k.Pieces): // after the last piece
+		last := k.Pieces[len(k.Pieces)-1]
+		return last.Apply(last.DomHi)
+	default: // in the gap between pieces i-1 and i
+		left, right := k.Pieces[i-1], k.Pieces[i]
+		t := (x - left.DomHi) / (right.DomLo - left.DomHi)
+		ylo, yhi := k.gapOut(i - 1)
+		if k.Anti {
+			return yhi - t*(yhi-ylo)
+		}
+		return ylo + t*(yhi-ylo)
+	}
+}
+
+// gapOut returns the output-space gap between piece i and piece i+1 as
+// an ascending interval (ylo, yhi).
+func (k *AttributeKey) gapOut(i int) (ylo, yhi float64) {
+	left, right := k.Pieces[i], k.Pieces[i+1]
+	if k.Anti {
+		return right.OutHi, left.OutLo
+	}
+	return left.OutHi, right.OutLo
+}
+
+// ord maps an index j over pieces in ascending *output* order to the
+// corresponding index in domain order.
+func (k *AttributeKey) ord(j int) int {
+	if k.Anti {
+		return len(k.Pieces) - 1 - j
+	}
+	return j
+}
+
+// Invert computes f_A^{-1}(y). Transformed values in the gap between two
+// output intervals (e.g. decoded split thresholds at piece boundaries)
+// are mapped linearly into the corresponding domain gap; values outside
+// the total output range clamp to the extreme pieces.
+func (k *AttributeKey) Invert(y float64) float64 {
+	n := len(k.Pieces)
+	// j indexes pieces in ascending output order.
+	j := sort.Search(n, func(j int) bool { return k.Pieces[k.ord(j)].OutHi >= y })
+	if j == n { // above the total output range
+		top := k.Pieces[k.ord(n-1)]
+		return top.Invert(top.OutHi)
+	}
+	gi0 := k.ord(j)
+	p := k.Pieces[gi0]
+	if p.ContainsOut(y) {
+		// A split threshold can land inside a permutation piece's
+		// output interval yet beyond its extreme table values (the
+		// jittered outputs leave slack at the interval edges). Such a
+		// value corresponds to the domain gap next to the piece, not to
+		// the nearest table entry — which is a random domain value.
+		if used := p.Kind == KindPermutation; used {
+			lo, hi := p.UsedOutRange()
+			if y > hi {
+				return k.domainGapAbove(gi0, true)
+			}
+			if y < lo {
+				return k.domainGapAbove(gi0, false)
+			}
+		}
+		return p.Invert(y)
+	}
+	if j == 0 { // below the total output range
+		return p.Invert(p.OutLo)
+	}
+	// y sits in the output gap between output-order pieces j-1 and j,
+	// which are domain-adjacent: the gap index in domain order is
+	// min(ord(j-1), ord(j)).
+	gi := k.ord(j)
+	if k.ord(j-1) < gi {
+		gi = k.ord(j - 1)
+	}
+	ylo, yhi := k.gapOut(gi)
+	left, right := k.Pieces[gi], k.Pieces[gi+1]
+	t := (y - ylo) / (yhi - ylo)
+	if k.Anti {
+		t = 1 - t
+	}
+	return left.DomHi + t*(right.DomLo-left.DomHi)
+}
+
+// domainGapAbove resolves a transformed value stuck in the output slack
+// of permutation piece gi to the midpoint of the adjacent domain gap.
+// outAbove selects the slack above (true) or below (false) the piece's
+// used outputs; for anti-monotone keys output-above means domain-below.
+func (k *AttributeKey) domainGapAbove(gi int, outAbove bool) float64 {
+	domAbove := outAbove != k.Anti
+	p := k.Pieces[gi]
+	if domAbove {
+		if gi == len(k.Pieces)-1 {
+			return p.DomHi
+		}
+		return (p.DomHi + k.Pieces[gi+1].DomLo) / 2
+	}
+	if gi == 0 {
+		return p.DomLo
+	}
+	return (k.Pieces[gi-1].DomHi + p.DomLo) / 2
+}
+
+// PermutationEncoded reports whether domain value x falls in a piece
+// encoded by a random bijection (a monochromatic piece). Such values are
+// immune to rank-based (sorting) attacks.
+func (k *AttributeKey) PermutationEncoded(x float64) bool {
+	i, inside := k.pieceFor(x)
+	return inside && k.Pieces[i].Kind == KindPermutation
+}
+
+// OutRange returns the total output range [min, max] of the key.
+func (k *AttributeKey) OutRange() (float64, float64) {
+	if len(k.Pieces) == 0 {
+		return 0, 0
+	}
+	if k.Anti {
+		return k.Pieces[len(k.Pieces)-1].OutLo, k.Pieces[0].OutHi
+	}
+	return k.Pieces[0].OutLo, k.Pieces[len(k.Pieces)-1].OutHi
+}
+
+// DomRange returns the total domain range [min, max] of the key.
+func (k *AttributeKey) DomRange() (float64, float64) {
+	if len(k.Pieces) == 0 {
+		return 0, 0
+	}
+	return k.Pieces[0].DomLo, k.Pieces[len(k.Pieces)-1].DomHi
+}
+
+// NumBreakpoints returns the number of pieces, i.e. the w of ChooseBP.
+func (k *AttributeKey) NumBreakpoints() int { return len(k.Pieces) }
+
+// Key is the custodian's secret for a whole data set: one AttributeKey
+// per attribute, in dataset column order.
+type Key struct {
+	Attrs []*AttributeKey
+}
+
+// Validate validates every attribute key.
+func (k *Key) Validate() error {
+	if len(k.Attrs) == 0 {
+		return errors.New("transform: key has no attributes")
+	}
+	for i, ak := range k.Attrs {
+		if ak == nil {
+			return fmt.Errorf("transform: attribute %d key is nil", i)
+		}
+		if err := ak.Validate(); err != nil {
+			return fmt.Errorf("transform: attribute %q: %w", ak.Attr, err)
+		}
+	}
+	return nil
+}
+
+// Apply transforms every attribute value of d, returning the transformed
+// data set D'. Class labels are carried over unchanged (Section 3.1).
+func (k *Key) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	if len(k.Attrs) != d.NumAttrs() {
+		return nil, fmt.Errorf("transform: key has %d attributes, dataset has %d", len(k.Attrs), d.NumAttrs())
+	}
+	out := d.Clone()
+	for a, ak := range k.Attrs {
+		col := out.Cols[a]
+		for i, v := range col {
+			col[i] = ak.Apply(v)
+		}
+		if ak.Categorical {
+			// Replace the category names with opaque labels: the names
+			// themselves would leak which permuted code means what.
+			opaque := make([]string, d.NumCategories(a))
+			for c := range opaque {
+				opaque[c] = fmt.Sprintf("k%d", c)
+			}
+			if err := out.MarkCategorical(a, opaque); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Invert decodes a transformed data set back to the original values.
+// For permutation pieces this is exact on the encoded active domain.
+func (k *Key) Invert(d *dataset.Dataset) (*dataset.Dataset, error) {
+	if len(k.Attrs) != d.NumAttrs() {
+		return nil, fmt.Errorf("transform: key has %d attributes, dataset has %d", len(k.Attrs), d.NumAttrs())
+	}
+	out := d.Clone()
+	for a, ak := range k.Attrs {
+		col := out.Cols[a]
+		for i, v := range col {
+			col[i] = ak.Invert(v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,438 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/runs"
+)
+
+// twoPieceKey builds a simple monotone key with two pieces and a gap:
+// [0,10] -> [100,110], [20,30] -> [150,160].
+func twoPieceKey(t *testing.T, anti bool) *AttributeKey {
+	t.Helper()
+	var p1, p2 *Piece
+	var err error
+	if anti {
+		p1, err = NewAntiMonotonePiece(0, 10, 150, 160, LinearShape{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err = NewAntiMonotonePiece(20, 30, 100, 110, LinearShape{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		p1, err = NewMonotonePiece(0, 10, 100, 110, LinearShape{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err = NewMonotonePiece(20, 30, 150, 160, LinearShape{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := &AttributeKey{Attr: "a", Anti: anti, Pieces: []*Piece{p1, p2}}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAttributeKeyApplyInvertMonotone(t *testing.T) {
+	k := twoPieceKey(t, false)
+	cases := []struct{ x, want float64 }{
+		{0, 100}, {10, 110}, {20, 150}, {30, 160}, {5, 105}, {25, 155},
+	}
+	for _, c := range cases {
+		if got := k.Apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Apply(%v) = %v, want %v", c.x, got, c.want)
+		}
+		if got := k.Invert(c.want); math.Abs(got-c.x) > 1e-12 {
+			t.Errorf("Invert(%v) = %v, want %v", c.want, got, c.x)
+		}
+	}
+	// Gap mapping: domain gap (10,20) maps onto output gap (110,150).
+	if got := k.Apply(15); math.Abs(got-130) > 1e-12 {
+		t.Errorf("Apply(15) = %v, want 130", got)
+	}
+	if got := k.Invert(130); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Invert(130) = %v, want 15", got)
+	}
+	// Clamping outside the range.
+	if got := k.Apply(-5); got != 100 {
+		t.Errorf("Apply(-5) = %v, want 100", got)
+	}
+	if got := k.Apply(99); got != 160 {
+		t.Errorf("Apply(99) = %v, want 160", got)
+	}
+	if got := k.Invert(90); got != 0 {
+		t.Errorf("Invert(90) = %v, want 0", got)
+	}
+	if got := k.Invert(999); got != 30 {
+		t.Errorf("Invert(999) = %v, want 30", got)
+	}
+}
+
+func TestAttributeKeyApplyInvertAnti(t *testing.T) {
+	k := twoPieceKey(t, true)
+	cases := []struct{ x, want float64 }{
+		{0, 160}, {10, 150}, {20, 110}, {30, 100}, {5, 155}, {25, 105},
+	}
+	for _, c := range cases {
+		if got := k.Apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Apply(%v) = %v, want %v", c.x, got, c.want)
+		}
+		if got := k.Invert(c.want); math.Abs(got-c.x) > 1e-12 {
+			t.Errorf("Invert(%v) = %v, want %v", c.want, got, c.x)
+		}
+	}
+	// Domain gap (10,20) maps decreasingly onto output gap (110,150).
+	if got := k.Apply(15); math.Abs(got-130) > 1e-12 {
+		t.Errorf("Apply(15) = %v, want 130", got)
+	}
+	if got := k.Invert(130); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Invert(130) = %v, want 15", got)
+	}
+	// Anti keys decrease overall.
+	prev := k.Apply(0)
+	for x := 1.0; x <= 30; x++ {
+		cur := k.Apply(x)
+		if cur >= prev {
+			t.Fatalf("anti key not decreasing at %v", x)
+		}
+		prev = cur
+	}
+}
+
+func TestAttributeKeyValidate(t *testing.T) {
+	p1, _ := NewMonotonePiece(0, 10, 0, 10, nil)
+	p2, _ := NewMonotonePiece(5, 20, 20, 30, nil)
+	k := &AttributeKey{Attr: "a", Pieces: []*Piece{p1, p2}}
+	if err := k.Validate(); err == nil {
+		t.Error("expected domain overlap error")
+	}
+	p2b, _ := NewMonotonePiece(11, 20, 5, 8, nil)
+	k = &AttributeKey{Attr: "a", Pieces: []*Piece{p1, p2b}}
+	if err := k.Validate(); err == nil {
+		t.Error("expected global-monotone invariant error")
+	}
+	k = &AttributeKey{Attr: "a"}
+	if err := k.Validate(); err == nil {
+		t.Error("expected empty key error")
+	}
+	// Valid anti key must have descending outputs.
+	a1, _ := NewAntiMonotonePiece(0, 10, 20, 30, nil)
+	a2, _ := NewAntiMonotonePiece(11, 20, 0, 10, nil)
+	k = &AttributeKey{Attr: "a", Anti: true, Pieces: []*Piece{a1, a2}}
+	if err := k.Validate(); err != nil {
+		t.Errorf("valid anti key rejected: %v", err)
+	}
+	k = &AttributeKey{Attr: "a", Anti: true, Pieces: []*Piece{a2, a1}}
+	if err := k.Validate(); err == nil {
+		t.Error("expected global-anti-monotone invariant error")
+	}
+}
+
+func TestKeyRanges(t *testing.T) {
+	k := twoPieceKey(t, false)
+	lo, hi := k.DomRange()
+	if lo != 0 || hi != 30 {
+		t.Errorf("DomRange = %v,%v", lo, hi)
+	}
+	olo, ohi := k.OutRange()
+	if olo != 100 || ohi != 160 {
+		t.Errorf("OutRange = %v,%v", olo, ohi)
+	}
+	ka := twoPieceKey(t, true)
+	olo, ohi = ka.OutRange()
+	if olo != 100 || ohi != 160 {
+		t.Errorf("anti OutRange = %v,%v", olo, ohi)
+	}
+	if k.NumBreakpoints() != 2 {
+		t.Errorf("NumBreakpoints = %d", k.NumBreakpoints())
+	}
+	var empty AttributeKey
+	if lo, hi := empty.DomRange(); lo != 0 || hi != 0 {
+		t.Error("empty DomRange should be zero")
+	}
+	if lo, hi := empty.OutRange(); lo != 0 || hi != 0 {
+		t.Error("empty OutRange should be zero")
+	}
+}
+
+// smallDataset builds a dataset with non-trivial label structure.
+func smallDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New([]string{"x", "y"}, []string{"A", "B"})
+	vals := [][2]float64{
+		{1, 100}, {2, 90}, {15, 80}, {15, 70}, {27, 60}, {28, 50},
+		{29, 40}, {29, 30}, {29, 25}, {29, 20}, {42, 15}, {43, 10}, {44, 5},
+	}
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0}
+	for i := range vals {
+		if err := d.Append([]float64{vals[i][0], vals[i][1]}, labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestEncodePreservesClassStrings(t *testing.T) {
+	d := smallDataset(t)
+	for _, strat := range []Strategy{StrategyNone, StrategyBP, StrategyMaxMP} {
+		for _, anti := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(7))
+			enc, key, err := Encode(d, Options{Strategy: strat, Breakpoints: 3, Anti: anti}, rng)
+			if err != nil {
+				t.Fatalf("%v anti=%v: %v", strat, anti, err)
+			}
+			if err := key.Validate(); err != nil {
+				t.Fatalf("%v anti=%v: invalid key: %v", strat, anti, err)
+			}
+			if err := VerifyClassStrings(d, enc, key); err != nil {
+				t.Errorf("%v anti=%v: %v", strat, anti, err)
+			}
+			if err := VerifyBijective(d, key, 1e-6); err != nil {
+				t.Errorf("%v anti=%v: %v", strat, anti, err)
+			}
+		}
+	}
+}
+
+func TestEncodeManySeedsClassStringProperty(t *testing.T) {
+	// Property-style: over many random seeds and all strategies, the
+	// class string of every attribute must be preserved (or reversed).
+	d := smallDataset(t)
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		strat := Strategy(seed % 3)
+		opts := Options{Strategy: strat, Breakpoints: int(seed%6) + 1, MinPieceWidth: int(seed%3) + 1}
+		enc, key, err := Encode(d, opts, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := VerifyClassStrings(d, enc, key); err != nil {
+			t.Errorf("seed %d (%v): %v", seed, strat, err)
+		}
+	}
+}
+
+func TestEncodeChangesEveryValue(t *testing.T) {
+	d := smallDataset(t)
+	rng := rand.New(rand.NewSource(3))
+	enc, _, err := Encode(d, Options{Strategy: StrategyMaxMP}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := VerifyEveryValueChanged(d, enc); frac > 0.05 {
+		t.Errorf("%.1f%% of values unchanged; transformation too weak", 100*frac)
+	}
+}
+
+func TestKeyApplyInvertDataset(t *testing.T) {
+	d := smallDataset(t)
+	rng := rand.New(rand.NewSource(11))
+	enc, key, err := Encode(d, Options{Strategy: StrategyMaxMP, Breakpoints: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := key.Invert(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range d.Cols {
+		for i := range d.Cols[a] {
+			if math.Abs(back.Cols[a][i]-d.Cols[a][i]) > 1e-6 {
+				t.Fatalf("attr %d tuple %d: %v != %v", a, i, back.Cols[a][i], d.Cols[a][i])
+			}
+		}
+	}
+	// Labels must be carried through unchanged.
+	for i := range d.Labels {
+		if enc.Labels[i] != d.Labels[i] {
+			t.Fatal("labels changed by encoding")
+		}
+	}
+}
+
+func TestKeyApplyDimensionMismatch(t *testing.T) {
+	d := smallDataset(t)
+	key := &Key{Attrs: []*AttributeKey{twoPieceKey(t, false)}}
+	if _, err := key.Apply(d); err == nil {
+		t.Error("expected dimension mismatch")
+	}
+	if _, err := key.Invert(d); err == nil {
+		t.Error("expected dimension mismatch")
+	}
+}
+
+func TestEncodeAttrErrors(t *testing.T) {
+	d := dataset.New(nil, []string{"x"})
+	if _, _, err := Encode(d, Options{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for zero attributes")
+	}
+	d2 := dataset.New([]string{"a"}, []string{"x"})
+	if _, err := EncodeAttr(d2, 0, Options{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for empty column")
+	}
+	d3 := smallDataset(t)
+	if _, err := EncodeAttr(d3, 0, Options{Strategy: Strategy(99)}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}
+
+func TestChooseBPPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct{ n, w int }{{10, 3}, {10, 1}, {10, 10}, {10, 50}, {1, 5}, {0, 3}} {
+		pieces := ChooseBP(rng, c.n, c.w)
+		if c.n == 0 {
+			if pieces != nil {
+				t.Error("n=0 should give nil")
+			}
+			continue
+		}
+		at := 0
+		for _, p := range pieces {
+			if p.Lo != at || p.Hi <= p.Lo {
+				t.Fatalf("n=%d w=%d: bad partition %v", c.n, c.w, pieces)
+			}
+			at = p.Hi
+			if p.Mono {
+				t.Error("ChooseBP pieces must not be marked monochromatic")
+			}
+		}
+		if at != c.n {
+			t.Fatalf("n=%d w=%d: partition does not cover domain", c.n, c.w)
+		}
+		wantPieces := c.w
+		if wantPieces > c.n {
+			wantPieces = c.n
+		}
+		if wantPieces < 1 {
+			wantPieces = 1
+		}
+		if len(pieces) != wantPieces {
+			t.Errorf("n=%d w=%d: %d pieces, want %d", c.n, c.w, len(pieces), wantPieces)
+		}
+	}
+}
+
+func TestChooseMaxMPTopUp(t *testing.T) {
+	// Build groups: 3 mono values (label 0), 5 non-mono, 3 mono (label 1).
+	var groups []runs.ValueGroup
+	for i := 0; i < 3; i++ {
+		groups = append(groups, runs.ValueGroup{Value: float64(i), Count: 1, Mono: true, Label: 0})
+	}
+	for i := 3; i < 8; i++ {
+		groups = append(groups, runs.ValueGroup{Value: float64(i), Count: 2, Mono: false})
+	}
+	for i := 8; i < 11; i++ {
+		groups = append(groups, runs.ValueGroup{Value: float64(i), Count: 1, Mono: true, Label: 1})
+	}
+	rng := rand.New(rand.NewSource(9))
+	// Base decomposition has 3 pieces; ask for 5.
+	pieces := ChooseMaxMP(rng, groups, 5, 1)
+	if len(pieces) != 5 {
+		t.Fatalf("pieces = %v, want 5", pieces)
+	}
+	at := 0
+	monoCount := 0
+	for _, p := range pieces {
+		if p.Lo != at {
+			t.Fatalf("not a partition: %v", pieces)
+		}
+		at = p.Hi
+		if p.Mono {
+			monoCount++
+			if p.Len() != 3 {
+				t.Errorf("mono piece resized: %+v", p)
+			}
+		}
+	}
+	if at != len(groups) || monoCount != 2 {
+		t.Errorf("coverage %d, mono %d", at, monoCount)
+	}
+	// Asking for more pieces than cuttable positions saturates gracefully.
+	pieces = ChooseMaxMP(rng, groups, 100, 1)
+	at = 0
+	for _, p := range pieces {
+		if p.Lo != at {
+			t.Fatalf("not a partition: %v", pieces)
+		}
+		at = p.Hi
+	}
+	if at != len(groups) {
+		t.Error("saturated decomposition does not cover domain")
+	}
+}
+
+func TestEncodeSingleValueAttribute(t *testing.T) {
+	d := dataset.New([]string{"a"}, []string{"x", "y"})
+	for i := 0; i < 4; i++ {
+		if err := d.Append([]float64{7}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	enc, key, err := Encode(d, Options{Strategy: StrategyMaxMP}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClassStrings(d, enc, key); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerangementHasNoFixedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for k := 2; k <= 40; k++ {
+		perm := derangement(rng, k)
+		if len(perm) != k {
+			t.Fatalf("k=%d: length %d", k, len(perm))
+		}
+		seen := make([]bool, k)
+		for i, p := range perm {
+			if i == p {
+				t.Errorf("k=%d: fixed point at %d", k, i)
+			}
+			if p < 0 || p >= k || seen[p] {
+				t.Fatalf("k=%d: not a permutation: %v", k, perm)
+			}
+			seen[p] = true
+		}
+	}
+	// k <= 1 degrades to the identity.
+	if got := derangement(rng, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("k=1 derangement = %v", got)
+	}
+	if got := derangement(rng, 0); len(got) != 0 {
+		t.Errorf("k=0 derangement = %v", got)
+	}
+}
+
+func TestCategoricalEncodingChangesEveryCode(t *testing.T) {
+	d := dataset.New([]string{"c"}, []string{"x", "y"})
+	for i := 0; i < 40; i++ {
+		if err := d.Append([]float64{float64(i % 5)}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.MarkCategorical(0, []string{"a", "b", "c", "d", "e"}); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		enc, _, err := Encode(d, Options{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range d.Cols[0] {
+			if enc.Cols[0][i] == d.Cols[0][i] {
+				t.Fatalf("seed %d: code %v released unchanged", seed, d.Cols[0][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package transform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PieceKind classifies the transformation used on one domain piece.
+type PieceKind int
+
+const (
+	// KindMonotone applies a strictly increasing function from F_mono.
+	KindMonotone PieceKind = iota
+	// KindAntiMonotone applies a strictly decreasing function. It is
+	// only sound on pieces whose class substring is a single label
+	// (e.g. monochromatic pieces, as in Figure 4) or when the whole
+	// attribute is encoded anti-monotonically.
+	KindAntiMonotone
+	// KindPermutation applies an arbitrary bijection between the
+	// piece's distinct values and fresh output values — the F_bi family
+	// reserved for monochromatic pieces (Section 5.2).
+	KindPermutation
+)
+
+// String implements fmt.Stringer.
+func (k PieceKind) String() string {
+	switch k {
+	case KindMonotone:
+		return "monotone"
+	case KindAntiMonotone:
+		return "anti-monotone"
+	case KindPermutation:
+		return "permutation"
+	default:
+		return fmt.Sprintf("PieceKind(%d)", int(k))
+	}
+}
+
+// Piece is the transformation of one domain piece δ_i(A): it maps the
+// closed domain interval [DomLo, DomHi] into the private output interval
+// [OutLo, OutHi]. Output intervals of distinct pieces are disjoint and
+// ordered, which makes the global-(anti-)monotone invariant of
+// Definition 8 hold by construction.
+type Piece struct {
+	DomLo, DomHi float64
+	OutLo, OutHi float64
+	Kind         PieceKind
+	// Shape is the normalized function used by (anti-)monotone pieces.
+	Shape Shape
+	// DomVals/OutVals define a permutation piece: OutVals[i] is the
+	// transformed value of DomVals[i]. DomVals is sorted ascending.
+	DomVals []float64
+	OutVals []float64
+
+	// byOut caches indices of OutVals in ascending output order.
+	byOut []int
+}
+
+// NewMonotonePiece builds an increasing piece transformation.
+func NewMonotonePiece(domLo, domHi, outLo, outHi float64, s Shape) (*Piece, error) {
+	if err := checkIntervals(domLo, domHi, outLo, outHi); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		s = LinearShape{}
+	}
+	return &Piece{DomLo: domLo, DomHi: domHi, OutLo: outLo, OutHi: outHi, Kind: KindMonotone, Shape: s}, nil
+}
+
+// NewAntiMonotonePiece builds a decreasing piece transformation.
+func NewAntiMonotonePiece(domLo, domHi, outLo, outHi float64, s Shape) (*Piece, error) {
+	p, err := NewMonotonePiece(domLo, domHi, outLo, outHi, s)
+	if err != nil {
+		return nil, err
+	}
+	p.Kind = KindAntiMonotone
+	return p, nil
+}
+
+// NewPermutationPiece builds a bijection between the sorted distinct
+// domain values and the given output values (parallel slices). Output
+// values must be distinct and lie within [outLo, outHi].
+func NewPermutationPiece(domVals, outVals []float64, outLo, outHi float64) (*Piece, error) {
+	if len(domVals) == 0 || len(domVals) != len(outVals) {
+		return nil, errors.New("transform: permutation piece needs equal, non-empty value slices")
+	}
+	for i := 1; i < len(domVals); i++ {
+		if domVals[i] <= domVals[i-1] {
+			return nil, errors.New("transform: permutation domain values must be strictly increasing")
+		}
+	}
+	seen := map[float64]bool{}
+	for _, v := range outVals {
+		if v < outLo || v > outHi {
+			return nil, fmt.Errorf("transform: permutation output %v outside [%v,%v]", v, outLo, outHi)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("transform: duplicate permutation output %v", v)
+		}
+		seen[v] = true
+	}
+	p := &Piece{
+		DomLo: domVals[0], DomHi: domVals[len(domVals)-1],
+		OutLo: outLo, OutHi: outHi,
+		Kind:    KindPermutation,
+		DomVals: append([]float64(nil), domVals...),
+		OutVals: append([]float64(nil), outVals...),
+	}
+	p.buildIndex()
+	return p, nil
+}
+
+func checkIntervals(domLo, domHi, outLo, outHi float64) error {
+	if math.IsNaN(domLo) || math.IsNaN(domHi) || math.IsNaN(outLo) || math.IsNaN(outHi) {
+		return errors.New("transform: NaN interval bound")
+	}
+	if domHi < domLo {
+		return fmt.Errorf("transform: empty domain interval [%v,%v]", domLo, domHi)
+	}
+	if outHi < outLo {
+		return fmt.Errorf("transform: empty output interval [%v,%v]", outLo, outHi)
+	}
+	return nil
+}
+
+// buildIndex (re)builds the inverse lookup index of a permutation piece.
+func (p *Piece) buildIndex() {
+	p.byOut = make([]int, len(p.OutVals))
+	for i := range p.byOut {
+		p.byOut[i] = i
+	}
+	sort.Slice(p.byOut, func(a, b int) bool { return p.OutVals[p.byOut[a]] < p.OutVals[p.byOut[b]] })
+}
+
+// Contains reports whether x lies in the piece's domain interval.
+func (p *Piece) Contains(x float64) bool { return x >= p.DomLo && x <= p.DomHi }
+
+// UsedOutRange returns the smallest and largest output value the piece
+// actually produces. For (anti-)monotone pieces this is the full output
+// interval; a permutation piece only emits its table values, leaving
+// slack at the interval edges.
+func (p *Piece) UsedOutRange() (lo, hi float64) {
+	if p.Kind == KindPermutation && len(p.byOut) > 0 {
+		return p.OutVals[p.byOut[0]], p.OutVals[p.byOut[len(p.byOut)-1]]
+	}
+	return p.OutLo, p.OutHi
+}
+
+// ContainsOut reports whether y lies in the piece's output interval.
+func (p *Piece) ContainsOut(y float64) bool { return y >= p.OutLo && y <= p.OutHi }
+
+// Apply transforms a domain value. Values outside the domain interval
+// are clamped to it; callers are expected to route values to the right
+// piece first.
+func (p *Piece) Apply(x float64) float64 {
+	switch p.Kind {
+	case KindPermutation:
+		i := sort.SearchFloat64s(p.DomVals, x)
+		if i < len(p.DomVals) && p.DomVals[i] == x {
+			return p.OutVals[i]
+		}
+		// Nearest-value fallback for values absent from the table.
+		return p.OutVals[p.nearest(p.DomVals, i, x)]
+	case KindAntiMonotone:
+		return p.OutHi - (p.OutHi-p.OutLo)*p.Shape.Eval(p.normalize(x))
+	default:
+		return p.OutLo + (p.OutHi-p.OutLo)*p.Shape.Eval(p.normalize(x))
+	}
+}
+
+// Invert maps a transformed value back to the domain. For permutation
+// pieces, values not exactly in the table resolve to the nearest table
+// entry; split thresholds never fall strictly inside a monochromatic
+// piece (Lemma 2 — a monochromatic piece contains no label-run
+// boundary), so this only matters for robustness.
+func (p *Piece) Invert(y float64) float64 {
+	switch p.Kind {
+	case KindPermutation:
+		lo, hi := 0, len(p.byOut)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if p.OutVals[p.byOut[mid]] < y {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(p.byOut) && p.OutVals[p.byOut[lo]] == y {
+			return p.DomVals[p.byOut[lo]]
+		}
+		// Nearest output value fallback.
+		best := -1
+		bestD := math.Inf(1)
+		for _, cand := range []int{lo - 1, lo} {
+			if cand >= 0 && cand < len(p.byOut) {
+				if d := math.Abs(p.OutVals[p.byOut[cand]] - y); d < bestD {
+					bestD, best = d, p.byOut[cand]
+				}
+			}
+		}
+		return p.DomVals[best]
+	case KindAntiMonotone:
+		if p.OutHi == p.OutLo {
+			return p.DomLo
+		}
+		t := p.Shape.Invert(clamp01((p.OutHi - y) / (p.OutHi - p.OutLo)))
+		return p.DomLo + t*(p.DomHi-p.DomLo)
+	default:
+		if p.OutHi == p.OutLo {
+			return p.DomLo
+		}
+		t := p.Shape.Invert(clamp01((y - p.OutLo) / (p.OutHi - p.OutLo)))
+		return p.DomLo + t*(p.DomHi-p.DomLo)
+	}
+}
+
+// normalize maps x from the domain interval to [0,1], clamped.
+func (p *Piece) normalize(x float64) float64 {
+	if p.DomHi == p.DomLo {
+		return 0.5
+	}
+	return clamp01((x - p.DomLo) / (p.DomHi - p.DomLo))
+}
+
+// nearest returns the index of the table value nearest x given the
+// binary-search insertion point i.
+func (p *Piece) nearest(vals []float64, i int, x float64) int {
+	if i <= 0 {
+		return 0
+	}
+	if i >= len(vals) {
+		return len(vals) - 1
+	}
+	if x-vals[i-1] <= vals[i]-x {
+		return i - 1
+	}
+	return i
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}

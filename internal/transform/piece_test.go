@@ -1,0 +1,172 @@
+package transform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonotonePieceApplyInvert(t *testing.T) {
+	p, err := NewMonotonePiece(10, 20, 100, 300, PowerShape{Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Apply(10); got != 100 {
+		t.Errorf("Apply(10) = %v, want 100", got)
+	}
+	if got := p.Apply(20); got != 300 {
+		t.Errorf("Apply(20) = %v, want 300", got)
+	}
+	// t=0.5 -> shape 0.25 -> 100 + 200*0.25 = 150.
+	if got := p.Apply(15); math.Abs(got-150) > 1e-12 {
+		t.Errorf("Apply(15) = %v, want 150", got)
+	}
+	for x := 10.0; x <= 20; x += 0.5 {
+		if got := p.Invert(p.Apply(x)); math.Abs(got-x) > 1e-9 {
+			t.Errorf("round trip %v -> %v", x, got)
+		}
+	}
+	// Monotonicity.
+	prev := p.Apply(10)
+	for x := 10.25; x <= 20; x += 0.25 {
+		cur := p.Apply(x)
+		if cur <= prev {
+			t.Fatalf("not increasing at %v", x)
+		}
+		prev = cur
+	}
+}
+
+func TestAntiMonotonePiece(t *testing.T) {
+	p, err := NewAntiMonotonePiece(0, 10, 50, 70, LinearShape{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Apply(0); got != 70 {
+		t.Errorf("Apply(0) = %v, want 70", got)
+	}
+	if got := p.Apply(10); got != 50 {
+		t.Errorf("Apply(10) = %v, want 50", got)
+	}
+	prev := p.Apply(0.0)
+	for x := 0.5; x <= 10; x += 0.5 {
+		cur := p.Apply(x)
+		if cur >= prev {
+			t.Fatalf("not decreasing at %v", x)
+		}
+		prev = cur
+		if got := p.Invert(cur); math.Abs(got-x) > 1e-9 {
+			t.Errorf("round trip %v -> %v", x, got)
+		}
+	}
+}
+
+func TestDegeneratePiece(t *testing.T) {
+	// A piece holding a single distinct value.
+	p, err := NewMonotonePiece(5, 5, 10, 12, LinearShape{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := p.Apply(5)
+	if y < 10 || y > 12 {
+		t.Errorf("Apply(5) = %v outside output interval", y)
+	}
+	if got := p.Invert(y); got != 5 {
+		t.Errorf("Invert = %v, want 5", got)
+	}
+	// Degenerate output interval.
+	q, err := NewMonotonePiece(0, 1, 7, 7, LinearShape{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Apply(0.5) != 7 {
+		t.Error("degenerate output should be constant")
+	}
+	if q.Invert(7) != 0 {
+		t.Error("degenerate output inverts to DomLo")
+	}
+}
+
+func TestPieceConstructionErrors(t *testing.T) {
+	if _, err := NewMonotonePiece(5, 1, 0, 1, nil); err == nil {
+		t.Error("expected error for inverted domain")
+	}
+	if _, err := NewMonotonePiece(0, 1, 5, 1, nil); err == nil {
+		t.Error("expected error for inverted output")
+	}
+	if _, err := NewMonotonePiece(math.NaN(), 1, 0, 1, nil); err == nil {
+		t.Error("expected error for NaN bound")
+	}
+	p, err := NewMonotonePiece(0, 1, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape == nil {
+		t.Error("nil shape should default to linear")
+	}
+}
+
+func TestPermutationPiece(t *testing.T) {
+	dom := []float64{1, 2, 15}
+	out := []float64{20, 17, 16} // Figure 4's r1 transformed values
+	p, err := NewPermutationPiece(dom, out, 16, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dom {
+		if got := p.Apply(dom[i]); got != out[i] {
+			t.Errorf("Apply(%v) = %v, want %v", dom[i], got, out[i])
+		}
+		if got := p.Invert(out[i]); got != dom[i] {
+			t.Errorf("Invert(%v) = %v, want %v", out[i], got, dom[i])
+		}
+	}
+	// Nearest-value fallback on a non-table domain value.
+	if got := p.Apply(2.4); got != 17 {
+		t.Errorf("Apply(2.4) = %v, want nearest (2 -> 17)", got)
+	}
+	if got := p.Apply(-5); got != 20 {
+		t.Errorf("Apply(-5) = %v, want first value's output", got)
+	}
+	if got := p.Apply(99); got != 16 {
+		t.Errorf("Apply(99) = %v, want last value's output", got)
+	}
+	// Nearest-output fallback on inversion.
+	if got := p.Invert(16.4); got != 15 {
+		t.Errorf("Invert(16.4) = %v, want 15", got)
+	}
+	if got := p.Invert(100); got != 1 {
+		t.Errorf("Invert(100) = %v, want domain of max output", got)
+	}
+	if got := p.Invert(0); got != 15 {
+		t.Errorf("Invert(0) = %v, want domain of min output", got)
+	}
+}
+
+func TestPermutationPieceErrors(t *testing.T) {
+	if _, err := NewPermutationPiece(nil, nil, 0, 1); err == nil {
+		t.Error("expected error for empty tables")
+	}
+	if _, err := NewPermutationPiece([]float64{1, 2}, []float64{3}, 0, 5); err == nil {
+		t.Error("expected error for mismatched tables")
+	}
+	if _, err := NewPermutationPiece([]float64{2, 1}, []float64{3, 4}, 0, 5); err == nil {
+		t.Error("expected error for unsorted domain")
+	}
+	if _, err := NewPermutationPiece([]float64{1, 2}, []float64{3, 3}, 0, 5); err == nil {
+		t.Error("expected error for duplicate outputs")
+	}
+	if _, err := NewPermutationPiece([]float64{1, 2}, []float64{3, 9}, 0, 5); err == nil {
+		t.Error("expected error for output outside interval")
+	}
+}
+
+func TestPieceKindString(t *testing.T) {
+	if KindMonotone.String() != "monotone" ||
+		KindAntiMonotone.String() != "anti-monotone" ||
+		KindPermutation.String() != "permutation" {
+		t.Error("kind strings wrong")
+	}
+	if PieceKind(42).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

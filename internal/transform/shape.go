@@ -1,0 +1,182 @@
+// Package transform implements the paper's core contribution: piecewise
+// (anti-)monotone data transformations that provably preserve the
+// decision tree mined from the data (Sections 4 and 5).
+//
+// An attribute's active domain is decomposed into pieces — either at
+// randomly chosen breakpoints (Procedure ChooseBP) or at maximal
+// monochromatic pieces (Procedure ChooseMaxMP) — and each piece is
+// encoded with its own randomly drawn function: a monotone function from
+// the family F_mono for non-monochromatic pieces, or an arbitrary
+// bijection (random permutation) from F_bi for monochromatic pieces.
+// Pieces are stitched together under the global-(anti-)monotone
+// invariant of Definition 8, which preserves the per-attribute class
+// string and therefore the mined tree (Theorems 1 and 2).
+package transform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape is a strictly increasing bijection of the unit interval with
+// Eval(0) = 0 and Eval(1) = 1. Piece transformations are built by
+// normalizing a piece's domain to [0,1], applying a Shape, and mapping
+// the result onto the piece's private output interval; this is how the
+// paper's F_mono family (linear, polynomial, log, sqrt-log, ...) is
+// realized while keeping the global invariant trivially satisfiable.
+type Shape interface {
+	// Name identifies the shape family for serialization.
+	Name() string
+	// Params returns the family parameters for serialization.
+	Params() []float64
+	// Eval maps t in [0,1] to [0,1], strictly increasing.
+	Eval(t float64) float64
+	// Invert is the exact inverse of Eval on [0,1].
+	Invert(y float64) float64
+}
+
+// LinearShape is the identity shape: the piece transformation reduces to
+// an affine map, the simplest member of F_mono (Figure 1 uses these).
+type LinearShape struct{}
+
+// Name implements Shape.
+func (LinearShape) Name() string { return "linear" }
+
+// Params implements Shape.
+func (LinearShape) Params() []float64 { return nil }
+
+// Eval implements Shape.
+func (LinearShape) Eval(t float64) float64 { return t }
+
+// Invert implements Shape.
+func (LinearShape) Invert(y float64) float64 { return y }
+
+// PowerShape is t^Gamma for Gamma > 0 — monotone polynomials (Gamma >= 1)
+// and root functions (Gamma < 1).
+type PowerShape struct{ Gamma float64 }
+
+// Name implements Shape.
+func (PowerShape) Name() string { return "power" }
+
+// Params implements Shape.
+func (s PowerShape) Params() []float64 { return []float64{s.Gamma} }
+
+// Eval implements Shape.
+func (s PowerShape) Eval(t float64) float64 { return math.Pow(t, s.Gamma) }
+
+// Invert implements Shape.
+func (s PowerShape) Invert(y float64) float64 { return math.Pow(y, 1/s.Gamma) }
+
+// LogShape is log(1+C·t)/log(1+C) for C > 0, the paper's logarithmic
+// family normalized to the unit interval.
+type LogShape struct{ C float64 }
+
+// Name implements Shape.
+func (LogShape) Name() string { return "log" }
+
+// Params implements Shape.
+func (s LogShape) Params() []float64 { return []float64{s.C} }
+
+// Eval implements Shape.
+func (s LogShape) Eval(t float64) float64 {
+	return math.Log1p(s.C*t) / math.Log1p(s.C)
+}
+
+// Invert implements Shape.
+func (s LogShape) Invert(y float64) float64 {
+	return math.Expm1(y*math.Log1p(s.C)) / s.C
+}
+
+// SqrtLogShape is the square root of the normalized logarithm — the
+// paper's sqrt(log) transformation.
+type SqrtLogShape struct{ C float64 }
+
+// Name implements Shape.
+func (SqrtLogShape) Name() string { return "sqrtlog" }
+
+// Params implements Shape.
+func (s SqrtLogShape) Params() []float64 { return []float64{s.C} }
+
+// Eval implements Shape.
+func (s SqrtLogShape) Eval(t float64) float64 {
+	return math.Sqrt(math.Log1p(s.C*t) / math.Log1p(s.C))
+}
+
+// Invert implements Shape.
+func (s SqrtLogShape) Invert(y float64) float64 {
+	return math.Expm1(y*y*math.Log1p(s.C)) / s.C
+}
+
+// ExpShape is (e^{K·t}-1)/(e^K-1) for K != 0, an exponential member of
+// F_mono (convex for K > 0, concave for K < 0).
+type ExpShape struct{ K float64 }
+
+// Name implements Shape.
+func (ExpShape) Name() string { return "exp" }
+
+// Params implements Shape.
+func (s ExpShape) Params() []float64 { return []float64{s.K} }
+
+// Eval implements Shape.
+func (s ExpShape) Eval(t float64) float64 {
+	return math.Expm1(s.K*t) / math.Expm1(s.K)
+}
+
+// Invert implements Shape.
+func (s ExpShape) Invert(y float64) float64 {
+	return math.Log1p(y*math.Expm1(s.K)) / s.K
+}
+
+// ComposeShape is the composition Outer ∘ Inner. F_mono is closed under
+// composition (Section 5.3), and composing shapes stays within it.
+type ComposeShape struct{ Outer, Inner Shape }
+
+// Name implements Shape.
+func (ComposeShape) Name() string { return "compose" }
+
+// Params implements Shape. Composition is serialized structurally, not
+// via flat params; see MarshalShape.
+func (ComposeShape) Params() []float64 { return nil }
+
+// Eval implements Shape.
+func (s ComposeShape) Eval(t float64) float64 { return s.Outer.Eval(s.Inner.Eval(t)) }
+
+// Invert implements Shape.
+func (s ComposeShape) Invert(y float64) float64 { return s.Inner.Invert(s.Outer.Invert(y)) }
+
+// NewShape constructs a shape from its serialized name and parameters.
+// Composition is handled by the key codec, not here.
+func NewShape(name string, params []float64) (Shape, error) {
+	switch name {
+	case "linear":
+		return LinearShape{}, nil
+	case "power":
+		if len(params) != 1 || params[0] <= 0 {
+			return nil, fmt.Errorf("transform: power shape needs one positive param, got %v", params)
+		}
+		return PowerShape{Gamma: params[0]}, nil
+	case "log":
+		if len(params) != 1 || params[0] <= 0 {
+			return nil, fmt.Errorf("transform: log shape needs one positive param, got %v", params)
+		}
+		return LogShape{C: params[0]}, nil
+	case "sqrtlog":
+		if len(params) != 1 || params[0] <= 0 {
+			return nil, fmt.Errorf("transform: sqrtlog shape needs one positive param, got %v", params)
+		}
+		return SqrtLogShape{C: params[0]}, nil
+	case "exp":
+		if len(params) != 1 || params[0] == 0 {
+			return nil, fmt.Errorf("transform: exp shape needs one nonzero param, got %v", params)
+		}
+		return ExpShape{K: params[0]}, nil
+	default:
+		return nil, fmt.Errorf("transform: unknown shape %q", name)
+	}
+}
+
+// ShapeFamilies lists the serializable shape family names available to
+// the random encoder.
+func ShapeFamilies() []string {
+	return []string{"linear", "power", "log", "sqrtlog", "exp"}
+}

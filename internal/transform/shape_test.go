@@ -1,0 +1,129 @@
+package transform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allShapes() []Shape {
+	return []Shape{
+		LinearShape{},
+		PowerShape{Gamma: 2},
+		PowerShape{Gamma: 0.5},
+		LogShape{C: 10},
+		SqrtLogShape{C: 10},
+		ExpShape{K: 2},
+		ExpShape{K: -1.5},
+		ComposeShape{Outer: LogShape{C: 5}, Inner: PowerShape{Gamma: 3}},
+	}
+}
+
+func TestShapeEndpoints(t *testing.T) {
+	for _, s := range allShapes() {
+		if got := s.Eval(0); math.Abs(got) > 1e-12 {
+			t.Errorf("%s.Eval(0) = %v, want 0", s.Name(), got)
+		}
+		if got := s.Eval(1); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s.Eval(1) = %v, want 1", s.Name(), got)
+		}
+	}
+}
+
+func TestShapeStrictlyIncreasing(t *testing.T) {
+	for _, s := range allShapes() {
+		prev := s.Eval(0)
+		for i := 1; i <= 100; i++ {
+			tt := float64(i) / 100
+			cur := s.Eval(tt)
+			if cur <= prev {
+				t.Errorf("%s not strictly increasing at t=%v: %v <= %v", s.Name(), tt, cur, prev)
+				break
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestShapeInverseRoundTrip(t *testing.T) {
+	for _, s := range allShapes() {
+		for i := 0; i <= 50; i++ {
+			tt := float64(i) / 50
+			if got := s.Invert(s.Eval(tt)); math.Abs(got-tt) > 1e-9 {
+				t.Errorf("%s.Invert(Eval(%v)) = %v", s.Name(), tt, got)
+			}
+		}
+	}
+}
+
+func TestShapeRangeStaysInUnit(t *testing.T) {
+	f := func(raw uint16) bool {
+		tt := float64(raw) / 65535
+		for _, s := range allShapes() {
+			y := s.Eval(tt)
+			if y < -1e-12 || y > 1+1e-12 || math.IsNaN(y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewShapeRoundTrip(t *testing.T) {
+	for _, s := range allShapes() {
+		if s.Name() == "compose" {
+			continue // structural serialization tested via codec
+		}
+		got, err := NewShape(s.Name(), s.Params())
+		if err != nil {
+			t.Errorf("NewShape(%s): %v", s.Name(), err)
+			continue
+		}
+		for i := 0; i <= 10; i++ {
+			tt := float64(i) / 10
+			if math.Abs(got.Eval(tt)-s.Eval(tt)) > 1e-12 {
+				t.Errorf("%s: reconstructed shape differs at %v", s.Name(), tt)
+				break
+			}
+		}
+	}
+}
+
+func TestNewShapeErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		params []float64
+	}{
+		{"nope", nil},
+		{"power", nil},
+		{"power", []float64{-1}},
+		{"power", []float64{1, 2}},
+		{"log", []float64{0}},
+		{"sqrtlog", nil},
+		{"exp", []float64{0}},
+	}
+	for _, c := range cases {
+		if _, err := NewShape(c.name, c.params); err == nil {
+			t.Errorf("NewShape(%q, %v): expected error", c.name, c.params)
+		}
+	}
+}
+
+func TestShapeFamiliesConstructible(t *testing.T) {
+	for _, name := range ShapeFamilies() {
+		var params []float64
+		switch name {
+		case "linear":
+		case "exp":
+			params = []float64{1.5}
+		default:
+			params = []float64{2}
+		}
+		if _, err := NewShape(name, params); err != nil {
+			t.Errorf("family %q not constructible: %v", name, err)
+		}
+	}
+}

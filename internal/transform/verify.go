@@ -1,0 +1,158 @@
+package transform
+
+import (
+	"fmt"
+
+	"privtree/internal/dataset"
+	"privtree/internal/runs"
+)
+
+// VerifyClassStrings checks Lemma 1 empirically: for every attribute the
+// class string of the transformed data set must equal the original class
+// string (monotone invariant) or its reverse (anti-monotone invariant).
+// It returns a descriptive error naming the first violated attribute.
+func VerifyClassStrings(orig, enc *dataset.Dataset, key *Key) error {
+	if orig.NumAttrs() != enc.NumAttrs() || len(key.Attrs) != orig.NumAttrs() {
+		return fmt.Errorf("transform: attribute count mismatch")
+	}
+	for a := 0; a < orig.NumAttrs(); a++ {
+		if key.Attrs[a].Categorical {
+			continue // codes have no order; multiway splits need no class string
+		}
+		var want []int
+		if key.Attrs[a].Anti {
+			// Anti-monotone keys reverse the value order but keep the
+			// canonical tie order within blocks of equal values.
+			want = runs.ClassStringDescendingOf(orig, a)
+		} else {
+			want = runs.ClassStringOf(orig, a)
+		}
+		got := runs.ClassStringOf(enc, a)
+		if !runs.EqualStrings(got, want) {
+			return fmt.Errorf("transform: attribute %q class string changed", orig.AttrNames[a])
+		}
+	}
+	return nil
+}
+
+// VerifyBijective checks that the key round-trips every value of the
+// original data set exactly enough for mining: applying the key and then
+// inverting must land within tol of the original value.
+func VerifyBijective(d *dataset.Dataset, key *Key, tol float64) error {
+	for a, ak := range key.Attrs {
+		for _, v := range d.Cols[a] {
+			back := ak.Invert(ak.Apply(v))
+			if diff := back - v; diff > tol || diff < -tol {
+				return fmt.Errorf("transform: attribute %q value %v round-trips to %v", ak.Attr, v, back)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyEveryValueChanged checks the paper's claim that, unlike random
+// perturbation, the proposed transformations change every data value:
+// no transformed value equals its original. Identity-looking draws are
+// astronomically unlikely, but this guards experiment configurations.
+// It returns the fraction of values left unchanged.
+func VerifyEveryValueChanged(orig, enc *dataset.Dataset) float64 {
+	total, same := 0, 0
+	for a := range orig.Cols {
+		for i := range orig.Cols[a] {
+			total++
+			if orig.Cols[a][i] == enc.Cols[a][i] {
+				same++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(same) / float64(total)
+}
+
+// VerifyAppend checks whether a new batch of tuples can be encoded with
+// an existing key without voiding the no-outcome-change guarantee for
+// the combined data set. Three things can break:
+//
+//   - a new value extends an attribute's dynamic range (Apply would
+//     clamp it onto the boundary piece, colliding with existing values);
+//   - a new tuple lands inside a monochromatic (bijection-encoded)
+//     piece with a different class label, destroying the single-label
+//     property the permutation relies on;
+//   - a new categorical code falls outside the declared categories.
+//
+// On success the caller may key.Apply the combined data; the class
+// strings of old+new remain preserved. On failure the custodian must
+// re-encode with a fresh key.
+func VerifyAppend(key *Key, old, batch *dataset.Dataset) error {
+	if old.NumAttrs() != batch.NumAttrs() || len(key.Attrs) != old.NumAttrs() {
+		return fmt.Errorf("transform: append schema mismatch")
+	}
+	for a, name := range old.AttrNames {
+		if batch.AttrNames[a] != name {
+			return fmt.Errorf("transform: append attribute %d is %q, want %q", a, batch.AttrNames[a], name)
+		}
+	}
+	// Class labels are matched by NAME: a batch parsed independently
+	// (e.g. from CSV) may have assigned different indices.
+	classIdx := make(map[string]int, old.NumClasses())
+	for i, n := range old.ClassNames {
+		classIdx[n] = i
+	}
+	combined := old.Clone()
+	for i := 0; i < batch.NumTuples(); i++ {
+		name := batch.ClassNames[batch.Labels[i]]
+		label, ok := classIdx[name]
+		if !ok {
+			return fmt.Errorf("transform: append: unknown class %q", name)
+		}
+		if err := combined.Append(batch.Tuple(i), label); err != nil {
+			return fmt.Errorf("transform: append: %w", err)
+		}
+	}
+	for a, ak := range key.Attrs {
+		if ak.Categorical {
+			k := float64(old.NumCategories(a))
+			for _, v := range batch.Cols[a] {
+				if v < 0 || v >= k || v != float64(int(v)) {
+					return fmt.Errorf("transform: attribute %q: new category code %v outside the key", ak.Attr, v)
+				}
+			}
+			continue
+		}
+		lo, hi := ak.DomRange()
+		for _, v := range batch.Cols[a] {
+			if v < lo || v > hi {
+				return fmt.Errorf("transform: attribute %q: value %v outside the key's dynamic range [%v, %v]",
+					ak.Attr, v, lo, hi)
+			}
+		}
+		// A permutation piece requires monochromaticity over the
+		// combined data; also, a brand-new value inside a permutation
+		// piece has no table entry (nearest-value fallback would
+		// collide), so reject it.
+		seen := map[float64]bool{}
+		for _, p := range ak.Pieces {
+			if p.Kind == KindPermutation {
+				for _, dv := range p.DomVals {
+					seen[dv] = true
+				}
+			}
+		}
+		for i, v := range batch.Cols[a] {
+			if ak.PermutationEncoded(v) && !seen[v] {
+				return fmt.Errorf("transform: attribute %q: new value %v falls inside a bijection piece without a table entry",
+					ak.Attr, v)
+			}
+			_ = i
+		}
+	}
+	// Finally the combined class strings must still be preserved (this
+	// catches the label-consistency condition in one sweep).
+	enc, err := key.Apply(combined)
+	if err != nil {
+		return err
+	}
+	return VerifyClassStrings(combined, enc, key)
+}

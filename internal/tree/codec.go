@@ -1,0 +1,152 @@
+package tree
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// nodeJSON is the serialized form of a Node.
+type nodeJSON struct {
+	Leaf      bool        `json:"leaf,omitempty"`
+	Class     int         `json:"class"`
+	Counts    []int       `json:"counts,omitempty"`
+	Attr      int         `json:"attr,omitempty"`
+	Threshold float64     `json:"threshold,omitempty"`
+	Left      *nodeJSON   `json:"left,omitempty"`
+	Right     *nodeJSON   `json:"right,omitempty"`
+	Multiway  bool        `json:"multiway,omitempty"`
+	Cats      []int       `json:"cats,omitempty"`
+	Branches  []*nodeJSON `json:"branches,omitempty"`
+}
+
+// treeJSON is the serialized form of a Tree.
+type treeJSON struct {
+	Root       *nodeJSON `json:"root"`
+	AttrNames  []string  `json:"attrNames"`
+	ClassNames []string  `json:"classNames"`
+	Criterion  string    `json:"criterion"`
+}
+
+func encodeNodeJSON(n *Node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	j := &nodeJSON{
+		Leaf: n.Leaf, Class: n.Class, Counts: n.Counts,
+		Attr: n.Attr, Threshold: n.Threshold,
+		Multiway: n.Multiway, Cats: n.Cats,
+	}
+	j.Left = encodeNodeJSON(n.Left)
+	j.Right = encodeNodeJSON(n.Right)
+	for _, b := range n.Branches {
+		j.Branches = append(j.Branches, encodeNodeJSON(b))
+	}
+	return j
+}
+
+func decodeNodeJSON(j *nodeJSON) (*Node, error) {
+	if j == nil {
+		return nil, nil
+	}
+	n := &Node{
+		Leaf: j.Leaf, Class: j.Class, Counts: j.Counts,
+		Attr: j.Attr, Threshold: j.Threshold,
+		Multiway: j.Multiway, Cats: j.Cats,
+	}
+	if n.Leaf {
+		if j.Left != nil || j.Right != nil || len(j.Branches) > 0 {
+			return nil, errors.New("tree: leaf node with children")
+		}
+		return n, nil
+	}
+	if n.Multiway {
+		if len(j.Cats) != len(j.Branches) || len(j.Cats) < 2 {
+			return nil, fmt.Errorf("tree: multiway node with %d cats, %d branches", len(j.Cats), len(j.Branches))
+		}
+		for i := 1; i < len(j.Cats); i++ {
+			if j.Cats[i] <= j.Cats[i-1] {
+				return nil, errors.New("tree: multiway branch codes not ascending")
+			}
+		}
+		for _, bj := range j.Branches {
+			b, err := decodeNodeJSON(bj)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				return nil, errors.New("tree: nil multiway branch")
+			}
+			n.Branches = append(n.Branches, b)
+		}
+		return n, nil
+	}
+	var err error
+	if n.Left, err = decodeNodeJSON(j.Left); err != nil {
+		return nil, err
+	}
+	if n.Right, err = decodeNodeJSON(j.Right); err != nil {
+		return nil, err
+	}
+	if n.Left == nil || n.Right == nil {
+		return nil, errors.New("tree: internal node missing a child")
+	}
+	return n, nil
+}
+
+// Marshal serializes a tree to JSON — the wire format a mining service
+// uses to return the (encoded) classifier to the custodian.
+func Marshal(t *Tree) ([]byte, error) {
+	j := treeJSON{
+		Root:       encodeNodeJSON(t.Root),
+		AttrNames:  t.AttrNames,
+		ClassNames: t.ClassNames,
+		Criterion:  t.Config.Criterion.String(),
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// Unmarshal restores a tree serialized by Marshal and validates its
+// structure.
+func Unmarshal(data []byte) (*Tree, error) {
+	var j treeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	if j.Root == nil {
+		return nil, errors.New("tree: missing root")
+	}
+	root, err := decodeNodeJSON(j.Root)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Root: root, AttrNames: j.AttrNames, ClassNames: j.ClassNames}
+	switch j.Criterion {
+	case "entropy":
+		t.Config.Criterion = Entropy
+	case "gainratio":
+		t.Config.Criterion = GainRatio
+	default:
+		t.Config.Criterion = Gini
+	}
+	// Split attributes must reference the schema.
+	var check func(n *Node) error
+	check = func(n *Node) error {
+		if n == nil || n.Leaf {
+			return nil
+		}
+		if n.Attr < 0 || n.Attr >= len(t.AttrNames) {
+			return fmt.Errorf("tree: split attribute %d outside schema", n.Attr)
+		}
+		for _, c := range children(n) {
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(root); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

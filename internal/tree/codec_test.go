@@ -1,0 +1,89 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := mixedDataset(t, rng, 400)
+	for _, crit := range []Criterion{Gini, Entropy, GainRatio} {
+		tr, err := Build(d, Config{Criterion: crit, MinLeaf: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(tr, got, 0) {
+			t.Errorf("%v: round trip changed the tree", crit)
+		}
+		if got.Config.Criterion != crit {
+			t.Errorf("%v: criterion lost", crit)
+		}
+		if Agreement(tr, got, d) != 1 {
+			t.Errorf("%v: restored tree predicts differently", crit)
+		}
+	}
+}
+
+func TestTreeJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{}`,
+		`{"root": {"leaf": true, "class": 0, "left": {"leaf": true, "class": 0}}}`,
+		`{"root": {"attr": 0, "threshold": 1}}`, // internal without children
+		`{"root": {"attr": 5, "threshold": 1,
+			"left": {"leaf": true, "class": 0},
+			"right": {"leaf": true, "class": 1}}, "attrNames": ["a"]}`, // attr outside schema
+		`{"root": {"multiway": true, "attr": 0, "cats": [1],
+			"branches": [{"leaf": true, "class": 0}]}, "attrNames": ["a"]}`, // single branch
+		`{"root": {"multiway": true, "attr": 0, "cats": [2, 1],
+			"branches": [{"leaf": true, "class": 0}, {"leaf": true, "class": 1}]}, "attrNames": ["a"]}`, // unsorted cats
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTreeJSONDecodeInterop(t *testing.T) {
+	// The real workflow: the service mines D', serializes T', ships it;
+	// the custodian deserializes and decodes.
+	rng := rand.New(rand.NewSource(2))
+	d := mixedDataset(t, rng, 500)
+	enc, key, err := encodeFixture(d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Build(enc, Config{MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := Marshal(mined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeWithData(received, key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Build(d, Config{MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EquivalentOn(direct, decoded, d) {
+		t.Error("wire round trip broke the guarantee")
+	}
+}

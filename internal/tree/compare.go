@@ -1,0 +1,156 @@
+package tree
+
+import (
+	"math"
+
+	"privtree/internal/dataset"
+)
+
+// Equal reports exact structural equality: same shape, same split
+// attributes, and thresholds equal within tol. This is the right notion
+// after linear transformations, where decoded thresholds reproduce the
+// original values exactly.
+func Equal(a, b *Tree, tol float64) bool {
+	return equalNodes(a.Root, b.Root, tol)
+}
+
+func equalNodes(a, b *Node, tol float64) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Leaf != b.Leaf {
+		return false
+	}
+	if a.Leaf {
+		return a.Class == b.Class
+	}
+	if a.Attr != b.Attr || a.Multiway != b.Multiway {
+		return false
+	}
+	if a.Multiway {
+		if len(a.Cats) != len(b.Cats) {
+			return false
+		}
+		for i := range a.Cats {
+			if a.Cats[i] != b.Cats[i] || !equalNodes(a.Branches[i], b.Branches[i], tol) {
+				return false
+			}
+		}
+		return true
+	}
+	if math.Abs(a.Threshold-b.Threshold) > tol {
+		return false
+	}
+	return equalNodes(a.Left, b.Left, tol) && equalNodes(a.Right, b.Right, tol)
+}
+
+// EquivalentOn reports the Theorem 2 notion of tree identity: both trees
+// have the same shape, split on the same attributes, and their
+// thresholds partition the given data identically at every node. This is
+// the exact sense in which S = T: a nonlinear f^{-1} moves the decoded
+// threshold within the gap between two consecutive active-domain values,
+// which cannot change how any tuple is classified.
+func EquivalentOn(a, b *Tree, d *dataset.Dataset) bool {
+	idx := make([]int, d.NumTuples())
+	for i := range idx {
+		idx[i] = i
+	}
+	return equivalentNodes(a.Root, b.Root, d, idx)
+}
+
+func equivalentNodes(a, b *Node, d *dataset.Dataset, idx []int) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Leaf != b.Leaf {
+		return false
+	}
+	if a.Leaf {
+		return a.Class == b.Class
+	}
+	if a.Attr != b.Attr || a.Multiway != b.Multiway {
+		return false
+	}
+	col := d.Cols[a.Attr]
+	if a.Multiway {
+		// Branch sets must agree code for code, and each pair must be
+		// equivalent on the code's subset.
+		if len(a.Cats) != len(b.Cats) {
+			return false
+		}
+		pos := make(map[int]int, len(a.Cats))
+		for i, c := range a.Cats {
+			if b.Cats[i] != c {
+				return false
+			}
+			pos[c] = i
+		}
+		parts := make([][]int, len(a.Cats))
+		for _, i := range idx {
+			p, ok := pos[int(col[i])]
+			if !ok {
+				return false // a code the split never saw
+			}
+			parts[p] = append(parts[p], i)
+		}
+		for i := range a.Cats {
+			if !equivalentNodes(a.Branches[i], b.Branches[i], d, parts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	var li, ri []int
+	for _, i := range idx {
+		goLeftA := col[i] <= a.Threshold
+		goLeftB := col[i] <= b.Threshold
+		if goLeftA != goLeftB {
+			return false
+		}
+		if goLeftA {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return equivalentNodes(a.Left, b.Left, d, li) && equivalentNodes(a.Right, b.Right, d, ri)
+}
+
+// Accuracy returns the fraction of tuples of d the tree classifies
+// correctly.
+func (t *Tree) Accuracy(d *dataset.Dataset) float64 {
+	if d.NumTuples() == 0 {
+		return 0
+	}
+	correct := 0
+	vals := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumTuples(); i++ {
+		for a := range vals {
+			vals[a] = d.Cols[a][i]
+		}
+		if t.Predict(vals) == d.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.NumTuples())
+}
+
+// Agreement returns the fraction of tuples of d on which the two trees
+// predict the same class — a behavioral similarity measure used to
+// quantify outcome change for the perturbation baseline.
+func Agreement(a, b *Tree, d *dataset.Dataset) float64 {
+	if d.NumTuples() == 0 {
+		return 0
+	}
+	same := 0
+	vals := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumTuples(); i++ {
+		for at := range vals {
+			vals[at] = d.Cols[at][i]
+		}
+		if a.Predict(vals) == b.Predict(vals) {
+			same++
+		}
+	}
+	return float64(same) / float64(d.NumTuples())
+}

@@ -1,0 +1,135 @@
+package tree
+
+import "privtree/internal/dataset"
+
+// ConfusionMatrix counts predictions per (actual, predicted) class pair:
+// M[actual][predicted].
+type ConfusionMatrix [][]int
+
+// Confusion evaluates the tree on d and returns the confusion matrix
+// over d's classes.
+func (t *Tree) Confusion(d *dataset.Dataset) ConfusionMatrix {
+	k := d.NumClasses()
+	m := make(ConfusionMatrix, k)
+	for i := range m {
+		m[i] = make([]int, k)
+	}
+	vals := make([]float64, d.NumAttrs())
+	for i := 0; i < d.NumTuples(); i++ {
+		for a := range vals {
+			vals[a] = d.Cols[a][i]
+		}
+		pred := t.Predict(vals)
+		if pred >= 0 && pred < k {
+			m[d.Labels[i]][pred]++
+		}
+	}
+	return m
+}
+
+// Accuracy is the trace over the total.
+func (m ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for a := range m {
+		for p, n := range m[a] {
+			total += n
+			if a == p {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Precision of class c: true positives over predicted positives.
+func (m ConfusionMatrix) Precision(c int) float64 {
+	pred := 0
+	for a := range m {
+		pred += m[a][c]
+	}
+	if pred == 0 {
+		return 0
+	}
+	return float64(m[c][c]) / float64(pred)
+}
+
+// Recall of class c: true positives over actual positives.
+func (m ConfusionMatrix) Recall(c int) float64 {
+	actual := 0
+	for _, n := range m[c] {
+		actual += n
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(m[c][c]) / float64(actual)
+}
+
+// F1 of class c: the harmonic mean of precision and recall.
+func (m ConfusionMatrix) F1(c int) float64 {
+	p, r := m.Precision(c), m.Recall(c)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FeatureImportance returns, per attribute, the total impurity decrease
+// contributed by its splits, weighted by the fraction of training tuples
+// reaching each split and normalized to sum to 1 (all zeros when the
+// tree is a single leaf). Importances are invariant under the piecewise
+// encoding: D and D' yield node-for-node identical splits, so the same
+// vector — another face of the no-outcome-change guarantee.
+func (t *Tree) FeatureImportance() []float64 {
+	out := make([]float64, len(t.AttrNames))
+	totalTuples := 0
+	if t.Root != nil {
+		for _, c := range t.Root.Counts {
+			totalTuples += c
+		}
+	}
+	if totalTuples == 0 {
+		return out
+	}
+	crit := t.Config.Criterion
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.Leaf {
+			return
+		}
+		nHere := 0
+		for _, c := range n.Counts {
+			nHere += c
+		}
+		imp := crit.Impurity(n.Counts, nHere)
+		childImp := 0.0
+		for _, ch := range children(n) {
+			nc := 0
+			for _, c := range ch.Counts {
+				nc += c
+			}
+			childImp += float64(nc) / float64(nHere) * crit.Impurity(ch.Counts, nc)
+		}
+		gain := imp - childImp
+		if gain > 0 {
+			out[n.Attr] += gain * float64(nHere) / float64(totalTuples)
+		}
+		for _, ch := range children(n) {
+			walk(ch)
+		}
+	}
+	walk(t.Root)
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"privtree/internal/dataset"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	d := figure1(t)
+	tr, err := Build(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Confusion(d)
+	// Figure 1's tree classifies the training data perfectly: 4 High,
+	// 2 Low on the diagonal.
+	if m[0][0] != 4 || m[1][1] != 2 || m[0][1] != 0 || m[1][0] != 0 {
+		t.Errorf("confusion = %v", m)
+	}
+	if m.Accuracy() != 1 {
+		t.Errorf("accuracy = %v", m.Accuracy())
+	}
+	for c := 0; c < 2; c++ {
+		if m.Precision(c) != 1 || m.Recall(c) != 1 || m.F1(c) != 1 {
+			t.Errorf("class %d metrics not perfect: p=%v r=%v f1=%v",
+				c, m.Precision(c), m.Recall(c), m.F1(c))
+		}
+	}
+}
+
+func TestConfusionMetricsImperfect(t *testing.T) {
+	// A constant-class tree: everything predicted as class 0.
+	d := figure1(t)
+	stub := &Tree{Root: &Node{Leaf: true, Class: 0}, AttrNames: d.AttrNames, ClassNames: d.ClassNames}
+	m := stub.Confusion(d)
+	if m[0][0] != 4 || m[1][0] != 2 {
+		t.Errorf("confusion = %v", m)
+	}
+	if got := m.Accuracy(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("accuracy = %v", got)
+	}
+	// Precision of class 0 = 4/6; recall = 1; class 1 all zero.
+	if got := m.Precision(0); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("precision(0) = %v", got)
+	}
+	if m.Recall(0) != 1 {
+		t.Errorf("recall(0) = %v", m.Recall(0))
+	}
+	if m.Precision(1) != 0 || m.Recall(1) != 0 || m.F1(1) != 0 {
+		t.Error("class 1 metrics should be 0")
+	}
+	f1 := m.F1(0)
+	want := 2 * (4.0 / 6) / (4.0/6 + 1)
+	if math.Abs(f1-want) > 1e-12 {
+		t.Errorf("f1(0) = %v, want %v", f1, want)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	d := dataset.New([]string{"a"}, []string{"x", "y"})
+	stub := &Tree{Root: &Node{Leaf: true, Class: 0}, AttrNames: d.AttrNames, ClassNames: d.ClassNames}
+	m := stub.Confusion(d)
+	if m.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	d := figure1(t)
+	tr, err := Build(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportance()
+	if len(imp) != 2 {
+		t.Fatalf("importance length = %d", len(imp))
+	}
+	sum := imp[0] + imp[1]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	// The root split (age) separates 3 pure tuples; both attributes
+	// contribute, age more.
+	if imp[0] <= imp[1] || imp[1] <= 0 {
+		t.Errorf("importances = %v, want age > salary > 0", imp)
+	}
+	// A leaf-only tree has all-zero importances.
+	stub := &Tree{Root: &Node{Leaf: true, Class: 0, Counts: []int{3}}, AttrNames: d.AttrNames}
+	for _, v := range stub.FeatureImportance() {
+		if v != 0 {
+			t.Error("leaf tree should have zero importances")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a comparison operator in a decision-path condition.
+type Op int
+
+const (
+	// LE is "attribute <= value" (the left branch).
+	LE Op = iota
+	// GT is "attribute > value" (the right branch).
+	GT
+	// EQ is "attribute = value" (a categorical branch).
+	EQ
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	default:
+		return "="
+	}
+}
+
+// Condition is one test along a root-to-leaf path: Attr θ Value.
+type Condition struct {
+	Attr  int
+	Op    Op
+	Value float64
+}
+
+// Path is one root-to-leaf path of the tree — the unit of output privacy
+// in Definition 3. Class is the leaf's prediction.
+type Path struct {
+	Conds []Condition
+	Class int
+}
+
+// Len returns the number of conditions on the path.
+func (p Path) Len() int { return len(p.Conds) }
+
+// Attrs returns the distinct attribute indices tested along the path, in
+// first-use order.
+func (p Path) Attrs() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range p.Conds {
+		if !seen[c.Attr] {
+			seen[c.Attr] = true
+			out = append(out, c.Attr)
+		}
+	}
+	return out
+}
+
+// Format renders the path with attribute and class names.
+func (p Path) Format(attrNames, classNames []string) string {
+	var b strings.Builder
+	for i, c := range p.Conds {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		name := fmt.Sprintf("attr%d", c.Attr)
+		if c.Attr >= 0 && c.Attr < len(attrNames) {
+			name = attrNames[c.Attr]
+		}
+		fmt.Fprintf(&b, "%s %s %g", name, c.Op, c.Value)
+	}
+	cls := fmt.Sprintf("class%d", p.Class)
+	if p.Class >= 0 && p.Class < len(classNames) {
+		cls = classNames[p.Class]
+	}
+	fmt.Fprintf(&b, " → %s", cls)
+	return b.String()
+}
+
+// Paths returns every root-to-leaf path of the tree, depth-first with
+// left branches first.
+func (t *Tree) Paths() []Path {
+	var out []Path
+	var walk func(n *Node, conds []Condition)
+	walk = func(n *Node, conds []Condition) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			out = append(out, Path{Conds: append([]Condition(nil), conds...), Class: n.Class})
+			return
+		}
+		if n.Multiway {
+			for i, c := range n.Cats {
+				walk(n.Branches[i], append(conds, Condition{Attr: n.Attr, Op: EQ, Value: float64(c)}))
+			}
+			return
+		}
+		walk(n.Left, append(conds, Condition{Attr: n.Attr, Op: LE, Value: n.Threshold}))
+		walk(n.Right, append(conds, Condition{Attr: n.Attr, Op: GT, Value: n.Threshold}))
+	}
+	walk(t.Root, nil)
+	return out
+}
+
+// PathLengthHistogram returns how many paths have each length, the way
+// the Section 6.4 table buckets them: index i holds the count of paths
+// with exactly i conditions.
+func PathLengthHistogram(paths []Path) []int {
+	maxLen := 0
+	for _, p := range paths {
+		if p.Len() > maxLen {
+			maxLen = p.Len()
+		}
+	}
+	out := make([]int, maxLen+1)
+	for _, p := range paths {
+		out[p.Len()]++
+	}
+	return out
+}

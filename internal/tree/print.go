@@ -1,0 +1,52 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the tree as an indented outline, e.g.
+//
+//	age <= 27.5
+//	├─ yes: salary <= 32500 ...
+//	└─ no:  Low (2)
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.render(&b, t.Root, "")
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, n *Node, indent string) {
+	if n == nil {
+		return
+	}
+	if n.Leaf {
+		fmt.Fprintf(b, "%s%s %v\n", indent, t.className(n.Class), n.Counts)
+		return
+	}
+	if n.Multiway {
+		for i, c := range n.Cats {
+			fmt.Fprintf(b, "%s%s = %d\n", indent, t.attrName(n.Attr), c)
+			t.render(b, n.Branches[i], indent+"│  ")
+		}
+		return
+	}
+	fmt.Fprintf(b, "%s%s <= %g\n", indent, t.attrName(n.Attr), n.Threshold)
+	t.render(b, n.Left, indent+"│  ")
+	fmt.Fprintf(b, "%selse\n", indent)
+	t.render(b, n.Right, indent+"   ")
+}
+
+func (t *Tree) attrName(a int) string {
+	if a >= 0 && a < len(t.AttrNames) {
+		return t.AttrNames[a]
+	}
+	return fmt.Sprintf("attr%d", a)
+}
+
+func (t *Tree) className(c int) string {
+	if c >= 0 && c < len(t.ClassNames) {
+		return t.ClassNames[c]
+	}
+	return fmt.Sprintf("class%d", c)
+}

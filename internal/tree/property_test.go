@@ -1,0 +1,147 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privtree/internal/dataset"
+	"privtree/internal/synth"
+)
+
+func TestQuickTreeInvariants(t *testing.T) {
+	// Properties over random datasets: the tree builds, training
+	// accuracy is at least the majority-class baseline, leaves predict
+	// their majority class, and leaf counts sum to the tuple count.
+	f := func(seed int64, minLeafRaw, depthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mod := func(x int64, m int) int {
+			v := int(x % int64(m))
+			if v < 0 {
+				v += m
+			}
+			return v
+		}
+		d := randomDataset(rng, mod(seed, 200)+20, mod(seed, 3)+1)
+		cfg := Config{
+			MinLeaf:  int(minLeafRaw%10) + 1,
+			MaxDepth: int(depthRaw % 12), // 0 = unlimited
+		}
+		tr, err := Build(d, cfg)
+		if err != nil {
+			return false
+		}
+		counts := d.ClassCounts()
+		maj := 0
+		for _, c := range counts {
+			if c > maj {
+				maj = c
+			}
+		}
+		if tr.Accuracy(d) < float64(maj)/float64(d.NumTuples())-1e-12 {
+			return false
+		}
+		ok := true
+		total := 0
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if n == nil || !ok {
+				return
+			}
+			if n.Leaf {
+				if n.Class != argmax(n.Counts) {
+					ok = false
+				}
+				for _, c := range n.Counts {
+					total += c
+				}
+				return
+			}
+			for _, c := range children(n) {
+				walk(c)
+			}
+		}
+		walk(tr.Root)
+		return ok && total == d.NumTuples()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDepthRespectsLimit(t *testing.T) {
+	f := func(seed int64, depthRaw uint8) bool {
+		maxDepth := int(depthRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDataset(rng, 150, 2)
+		tr, err := Build(d, Config{MaxDepth: maxDepth})
+		if err != nil {
+			return false
+		}
+		return tr.Depth() <= maxDepth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHoldoutGeneralization(t *testing.T) {
+	// A sanity check tying the substrate together: trees trained on a
+	// holdout split of the covertype workload beat the majority baseline
+	// on unseen data, and pruning does not collapse that.
+	rng := rand.New(rand.NewSource(11))
+	d, err := synth.Covertype(rng, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := d.TrainTestSplit(rng, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(train, Config{MinLeaf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := test.ClassCounts()
+	maj := counts[0]
+	if counts[1] > maj {
+		maj = counts[1]
+	}
+	baseline := float64(maj) / float64(test.NumTuples())
+	acc := tr.Accuracy(test)
+	if acc <= baseline+0.05 {
+		t.Errorf("holdout accuracy %v barely beats baseline %v", acc, baseline)
+	}
+	tr.Prune(0)
+	if pruned := tr.Accuracy(test); pruned < acc-0.05 {
+		t.Errorf("pruning hurt holdout accuracy too much: %v -> %v", acc, pruned)
+	}
+}
+
+func TestCrossValidationFolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d, err := synth.Census(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(d.NumTuples())
+	const k = 4
+	var sum float64
+	for i := 0; i < k; i++ {
+		train, test, err := d.Fold(perm, i, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Build(train, Config{MinLeaf: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += tr.Accuracy(test)
+	}
+	if avg := sum / k; avg < 0.6 {
+		t.Errorf("cross-validated accuracy %v too low", avg)
+	}
+}
+
+// ensure dataset import is used even if tests above change.
+var _ = dataset.New

@@ -1,0 +1,67 @@
+package tree
+
+import "math"
+
+// Prune applies C4.5-style pessimistic error pruning in place: a subtree
+// is collapsed into a leaf when the leaf's pessimistic error estimate is
+// no worse than the subtree's. The estimate adds a continuity correction
+// to the training error and cf standard deviations of the binomial error
+// (C4.5 uses a confidence-derived factor; cf = 0.69 approximates the
+// default 25% confidence level). Pass cf <= 0 for the default.
+//
+// Pruning decisions depend only on class counts at the nodes, which the
+// piecewise transformations preserve exactly, so pruning commutes with
+// the no-outcome-change guarantee: pruning the tree mined from D' and
+// decoding gives the pruned tree of D.
+func (t *Tree) Prune(cf float64) {
+	if cf <= 0 {
+		cf = 0.69
+	}
+	pruneNode(t.Root, cf)
+}
+
+// pruneNode returns the pessimistic error estimate of the (possibly
+// pruned) subtree rooted at n.
+func pruneNode(n *Node, cf float64) float64 {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return pessimisticError(n.Counts, n.Class, cf)
+	}
+	subtreeErr := 0.0
+	if n.Multiway {
+		for _, br := range n.Branches {
+			subtreeErr += pruneNode(br, cf)
+		}
+	} else {
+		subtreeErr = pruneNode(n.Left, cf) + pruneNode(n.Right, cf)
+	}
+	leafErr := pessimisticError(n.Counts, n.Class, cf)
+	if leafErr <= subtreeErr {
+		n.Leaf = true
+		n.Left, n.Right = nil, nil
+		n.Multiway, n.Cats, n.Branches = false, nil, nil
+		return leafErr
+	}
+	return subtreeErr
+}
+
+// pessimisticError estimates the upper error count of predicting class
+// at a node with the given class distribution: observed errors plus a
+// continuity correction of 0.5 plus cf binomial standard deviations.
+func pessimisticError(counts []int, class int, cf float64) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	errs := float64(total - counts[class])
+	p := (errs + 0.5) / float64(total)
+	if p > 1 {
+		p = 1
+	}
+	return errs + 0.5 + cf*math.Sqrt(float64(total)*p*(1-p))
+}

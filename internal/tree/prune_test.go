@@ -1,0 +1,167 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/transform"
+)
+
+// noisyDataset builds data whose fine structure is label noise: a good
+// pruner should collapse the noise-chasing subtrees.
+func noisyDataset(rng *rand.Rand, n int) *dataset.Dataset {
+	d := dataset.New([]string{"x"}, []string{"N", "P"})
+	for i := 0; i < n; i++ {
+		v := float64(rng.Intn(100))
+		label := 0
+		if v > 50 {
+			label = 1
+		}
+		if rng.Float64() < 0.2 {
+			label = 1 - label
+		}
+		if err := d.Append([]float64{v}, label); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+func TestPruneShrinksNoisyTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := noisyDataset(rng, 1000)
+	tr, err := Build(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.NumNodes()
+	tr.Prune(0) // default confidence factor
+	after := tr.NumNodes()
+	if after >= before {
+		t.Errorf("pruning did not shrink the tree: %d -> %d", before, after)
+	}
+	// The pruned tree must still capture the dominant split.
+	if acc := tr.Accuracy(d); acc < 0.75 {
+		t.Errorf("pruned accuracy = %v, too low", acc)
+	}
+	// Pruned leaves carry consistent counts and classes.
+	var check func(n *Node)
+	check = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			if n.Left != nil || n.Right != nil {
+				t.Error("leaf with children after pruning")
+			}
+			if n.Class != argmax(n.Counts) {
+				t.Error("leaf class is not the majority class")
+			}
+			return
+		}
+		check(n.Left)
+		check(n.Right)
+	}
+	check(tr.Root)
+}
+
+func TestPruneKeepsCleanTree(t *testing.T) {
+	// A perfectly separable data set needs no pruning.
+	d := dataset.New([]string{"x"}, []string{"N", "P"})
+	for i := 0; i < 100; i++ {
+		label := 0
+		if i >= 50 {
+			label = 1
+		}
+		if err := d.Append([]float64{float64(i)}, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := Build(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.NumNodes()
+	tr.Prune(0)
+	if tr.NumNodes() != before {
+		t.Errorf("clean tree was pruned: %d -> %d", before, tr.NumNodes())
+	}
+	if tr.Accuracy(d) != 1 {
+		t.Error("clean tree accuracy must stay 1")
+	}
+}
+
+func TestPruneCommutesWithEncoding(t *testing.T) {
+	// Pruning depends only on class counts, which the transformation
+	// preserves; pruning the tree mined from D' and decoding must equal
+	// pruning the tree mined from D.
+	rng := rand.New(rand.NewSource(7))
+	d := randomDataset(rng, 400, 3)
+	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Build(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Build(enc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Prune(0)
+	mined.Prune(0)
+	decoded, err := DecodeWithData(mined, key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EquivalentOn(orig, decoded, d) {
+		t.Error("pruning broke the no-outcome-change guarantee")
+	}
+	if orig.NumNodes() != decoded.NumNodes() {
+		t.Errorf("pruned sizes differ: %d vs %d", orig.NumNodes(), decoded.NumNodes())
+	}
+}
+
+func TestGainRatioBuildsAndPreserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := randomDataset(rng, 300, 2)
+	tr, err := Build(d, Config{Criterion: GainRatio, MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Leaf {
+		t.Fatal("gain-ratio tree did not split")
+	}
+	if GainRatio.String() != "gainratio" {
+		t.Error("criterion name wrong")
+	}
+	// The guarantee holds for gain ratio too.
+	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Build(enc, Config{Criterion: GainRatio, MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeWithData(mined, key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EquivalentOn(tr, decoded, d) {
+		t.Error("gain-ratio decode differs from direct mining")
+	}
+}
+
+func TestSplitInfo(t *testing.T) {
+	// Balanced split of n items has split info 1 bit.
+	if got := splitInfo(5, 5, 10); got < 0.999 || got > 1.001 {
+		t.Errorf("splitInfo(5,5) = %v, want 1", got)
+	}
+	// A degenerate split has zero split info.
+	if got := splitInfo(10, 0, 10); got != 0 {
+		t.Errorf("splitInfo(10,0) = %v, want 0", got)
+	}
+}

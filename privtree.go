@@ -1,0 +1,217 @@
+// Package privtree implements outcome-preserving privacy transformations
+// for decision-tree mining, reproducing "Preservation Of Patterns and
+// Input-Output Privacy" (Bu, Lakshmanan, Ng, Ramesh — ICDE 2007).
+//
+// The library serves the data-custodian scenario: the custodian owns a
+// training data set D, wants an untrusted service to mine a decision
+// tree, and needs three guarantees at once:
+//
+//   - no outcome change — the decoded tree is exactly the tree that
+//     direct mining of D would produce (Theorems 1–2 of the paper);
+//   - input privacy — the transformed data D' discloses neither the
+//     original attribute values (domain disclosure) nor their
+//     cross-attribute associations (subspace association disclosure);
+//   - output privacy — the mined tree's paths are encoded, so the
+//     pattern itself is protected from the service provider.
+//
+// The mechanism is the piecewise (anti-)monotone framework of Section 5:
+// each attribute's active domain is decomposed into pieces — at random
+// breakpoints (ChooseBP) or maximal monochromatic pieces (ChooseMaxMP) —
+// each piece is encoded by a randomly drawn monotone function or, for
+// monochromatic pieces, an arbitrary bijection, and the pieces are
+// stitched together under the global-(anti-)monotone invariant that
+// preserves per-attribute class strings and hence the mined tree.
+//
+// # Basic usage
+//
+//	d, _ := privtree.ReadCSVFile("train.csv")
+//	enc, key, _ := privtree.Encode(d, privtree.EncodeOptions{}, 42)
+//	// ... ship enc to the mining service ...
+//	mined, _ := privtree.Mine(enc, privtree.TreeConfig{})
+//	decoded, _ := privtree.DecodeTree(mined, key, d)
+//	// decoded is identical to privtree.Mine(d, ...) — guaranteed.
+//
+// The subpackages under internal implement the full evaluation framework
+// of the paper: attack models (curve fitting over knowledge points,
+// sorting, combination), the three disclosure-risk metrics, a
+// random-perturbation baseline, and calibrated synthetic workloads; the
+// cmd/experiments binary regenerates every table and figure.
+package privtree
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"privtree/internal/dataset"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+// Dataset is a relation instance with numeric attributes and a
+// categorical class label per tuple.
+type Dataset = dataset.Dataset
+
+// NewDataset creates an empty dataset with the given attribute and class
+// names; fill it with Append.
+func NewDataset(attrNames, classNames []string) *Dataset {
+	return dataset.New(attrNames, classNames)
+}
+
+// ReadCSV parses a dataset whose last column is the class label.
+func ReadCSV(r io.Reader) (*Dataset, error) { return dataset.ReadCSV(r) }
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// WriteCSVFile writes a dataset as CSV.
+func WriteCSVFile(d *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Key is the custodian's secret: the complete piecewise transformation
+// of every attribute. Keep it private; it decodes both D' and the mined
+// tree.
+type Key = transform.Key
+
+// EncodeOptions configures the randomized piecewise encoder. The zero
+// value selects ChooseMaxMP with at least 20 breakpoints — the
+// configuration the paper's experiments recommend.
+type EncodeOptions = transform.Options
+
+// Breakpoint strategies (EncodeOptions.Strategy).
+const (
+	// StrategyNone encodes each attribute with a single monotone
+	// function — the no-breakpoint baseline.
+	StrategyNone = transform.StrategyNone
+	// StrategyBP picks breakpoints uniformly at random (ChooseBP).
+	StrategyBP = transform.StrategyBP
+	// StrategyMaxMP exploits maximal monochromatic pieces (ChooseMaxMP),
+	// the paper's strongest configuration.
+	StrategyMaxMP = transform.StrategyMaxMP
+)
+
+// Encode draws a fresh piecewise (anti-)monotone key for every attribute
+// of d and returns the transformed data set D' together with the key.
+// The same seed reproduces the same key.
+func Encode(d *Dataset, opts EncodeOptions, seed int64) (*Dataset, *Key, error) {
+	return transform.Encode(d, opts, rand.New(rand.NewSource(seed)))
+}
+
+// MarshalKey serializes a key to JSON for storage in the custodian's
+// vault.
+func MarshalKey(k *Key) ([]byte, error) { return transform.MarshalKey(k) }
+
+// UnmarshalKey restores a key serialized by MarshalKey.
+func UnmarshalKey(data []byte) (*Key, error) { return transform.UnmarshalKey(data) }
+
+// Tree is a mined decision tree.
+type Tree = tree.Tree
+
+// TreeConfig controls decision-tree induction. The zero value uses the
+// gini index with unlimited depth.
+type TreeConfig = tree.Config
+
+// Split criteria (TreeConfig.Criterion) — the two criteria for which the
+// no-outcome-change guarantee is proved.
+const (
+	// Gini selects gini-index split selection.
+	Gini = tree.Gini
+	// Entropy selects information-gain split selection.
+	Entropy = tree.Entropy
+)
+
+// Mine builds a decision tree. Run it on D' at the mining service, or on
+// D directly for comparison.
+func Mine(d *Dataset, cfg TreeConfig) (*Tree, error) { return tree.Build(d, cfg) }
+
+// MarshalTree serializes a tree to JSON — the wire format the mining
+// service uses to return the encoded classifier.
+func MarshalTree(t *Tree) ([]byte, error) { return tree.Marshal(t) }
+
+// UnmarshalTree restores a tree serialized by MarshalTree.
+func UnmarshalTree(data []byte) (*Tree, error) { return tree.Unmarshal(data) }
+
+// DecodeTree translates a tree mined from D' back into the original
+// attribute space using the custodian's key and original data
+// (Theorem 2). The result is identical — structure, split attributes and
+// behavior — to the tree direct mining of the original data produces.
+func DecodeTree(t *Tree, key *Key, orig *Dataset) (*Tree, error) {
+	return tree.DecodeWithData(t, key, orig)
+}
+
+// DecodeTreeKeyOnly translates a tree using only the key (pure function
+// inversion, f^{-1} per node). Exact — up to floating-point resolution
+// inside heavily compressed pieces — for keys without locally
+// order-reversing pieces (StrategyNone/StrategyBP with per-piece
+// anti-monotone functions disabled). Under StrategyMaxMP a threshold
+// that lands between two table outputs of a permutation piece can
+// decode to the wrong side of that (single-class) piece — prefer
+// DecodeTree, which the custodian can always run since they hold D.
+func DecodeTreeKeyOnly(t *Tree, key *Key) (*Tree, error) {
+	return tree.Decode(t, key)
+}
+
+// SameOutcome reports whether two trees classify the given data set
+// identically at every node — the exact sense of Theorem 2's S = T.
+func SameOutcome(a, b *Tree, d *Dataset) bool { return tree.EquivalentOn(a, b, d) }
+
+// CanAppend reports whether a new batch of tuples can be encoded with an
+// existing key without voiding the no-outcome-change guarantee for the
+// combined data: the batch must stay inside each attribute's dynamic
+// range, repeat only table values inside bijection-encoded monochromatic
+// pieces, keep those pieces single-label, and use declared category
+// codes. On nil, encode the combined data with key.Apply and keep
+// mining; otherwise re-encode with a fresh key.
+func CanAppend(key *Key, old, batch *Dataset) error {
+	return transform.VerifyAppend(key, old, batch)
+}
+
+// VerifyNoOutcomeChange runs the full round trip — encode, mine both
+// sides, decode, compare — and returns an error if the guarantee is
+// violated. Useful as a self-check after changing encoder options.
+func VerifyNoOutcomeChange(d *Dataset, cfg TreeConfig, opts EncodeOptions, seed int64) error {
+	enc, key, err := Encode(d, opts, seed)
+	if err != nil {
+		return fmt.Errorf("privtree: encode: %w", err)
+	}
+	if err := transform.VerifyClassStrings(d, enc, key); err != nil {
+		return fmt.Errorf("privtree: %w", err)
+	}
+	orig, err := Mine(d, cfg)
+	if err != nil {
+		return fmt.Errorf("privtree: mining original: %w", err)
+	}
+	mined, err := Mine(enc, cfg)
+	if err != nil {
+		return fmt.Errorf("privtree: mining encoded: %w", err)
+	}
+	decoded, err := DecodeTree(mined, key, d)
+	if err != nil {
+		return fmt.Errorf("privtree: decode: %w", err)
+	}
+	if !SameOutcome(orig, decoded, d) {
+		return fmt.Errorf("privtree: decoded tree differs from direct mining")
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package privtree
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privtree/internal/synth"
+)
+
+func TestQuickstartRoundTrip(t *testing.T) {
+	d := synth.Figure1()
+	enc, key, err := Encode(d, EncodeOptions{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Mine(enc, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeTree(mined, key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Mine(d, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameOutcome(direct, decoded, d) {
+		t.Error("decoded tree differs from direct mining")
+	}
+}
+
+func TestVerifyNoOutcomeChangeAcrossConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d, err := synth.Covertype(rng, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []EncodeOptions{
+		{Strategy: StrategyNone},
+		{Strategy: StrategyBP, Breakpoints: 10},
+		{Strategy: StrategyMaxMP, Breakpoints: 20, MinPieceWidth: 5},
+	} {
+		for _, crit := range []TreeConfig{
+			{Criterion: Gini, MinLeaf: 10},
+			{Criterion: Entropy, MinLeaf: 10},
+		} {
+			if err := VerifyNoOutcomeChange(d, crit, strat, 7); err != nil {
+				t.Errorf("strategy %v criterion %v: %v", strat.Strategy, crit.Criterion, err)
+			}
+		}
+	}
+}
+
+func TestEncodeDeterministicBySeed(t *testing.T) {
+	d := synth.Figure1()
+	enc1, _, err := Encode(d, EncodeOptions{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, _, err := Encode(d, EncodeOptions{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc1.Equal(enc2) {
+		t.Error("same seed must reproduce the same encoding")
+	}
+	enc3, _, err := Encode(d, EncodeOptions{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc1.Equal(enc3) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestKeySerializationRoundTrip(t *testing.T) {
+	d := synth.Figure1()
+	enc, key, err := Encode(d, EncodeOptions{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalKey(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Mine(enc, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec1, err := DecodeTree(mined, key, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := DecodeTree(mined, restored, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameOutcome(dec1, dec2, d) {
+		t.Error("restored key decodes differently")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	d := synth.Figure1()
+	path := filepath.Join(t.TempDir(), "fig1.csv")
+	if err := WriteCSVFile(d, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(got) {
+		t.Error("CSV file round trip lost data")
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if err := WriteCSVFile(d, filepath.Join(path, "bad", "x.csv")); err == nil {
+		t.Error("expected error for unwritable path")
+	}
+	_ = os.Remove(path)
+}
+
+func TestNewDataset(t *testing.T) {
+	d := NewDataset([]string{"a"}, []string{"x", "y"})
+	if err := d.Append([]float64{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTuples() != 1 {
+		t.Error("append failed")
+	}
+}
+
+func TestDecodeTreeKeyOnlyLinear(t *testing.T) {
+	// Key-only decoding is exact without permutation pieces.
+	d := synth.Figure1()
+	enc, key, err := Encode(d, EncodeOptions{Strategy: StrategyBP, Breakpoints: 2}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := Mine(enc, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeTreeKeyOnly(mined, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Mine(d, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameOutcome(direct, dec, d) {
+		t.Error("key-only decode differs on a BP key")
+	}
+}
+
+func TestAssessRisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d, err := synth.Covertype(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, key, err := Encode(d, EncodeOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AssessRisk(d, enc, key, RiskOptions{Trials: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Attrs) != d.NumAttrs() {
+		t.Fatalf("report covers %d attributes", len(rep.Attrs))
+	}
+	for _, ar := range rep.Attrs {
+		for name, r := range ar.Domain {
+			if r < 0 || r > 1 {
+				t.Errorf("%s/%s risk out of range: %v", ar.Attr, name, r)
+			}
+		}
+		if ar.SortingWorstCase < 0 || ar.SortingWorstCase > 1 {
+			t.Errorf("%s sorting risk out of range: %v", ar.Attr, ar.SortingWorstCase)
+		}
+		// The aspect attribute (no discontinuities, few mono pieces at
+		// this small scale) is the sorting worst case.
+		if ar.Attr == "aspect" && ar.SortingWorstCase < 0.7 {
+			t.Errorf("aspect sorting risk = %v, want high", ar.SortingWorstCase)
+		}
+	}
+	if rep.PatternRisk < 0 || rep.PatternRisk > 0.2 {
+		t.Errorf("pattern risk = %v, want near zero", rep.PatternRisk)
+	}
+}
+
+func TestCategoricalEndToEnd(t *testing.T) {
+	// The full custodian workflow over mixed numeric + categorical data:
+	// encode (codes get permuted, names anonymized), mine, decode,
+	// verify the guarantee, and assess risks including the
+	// frequency-matching attack.
+	rng := rand.New(rand.NewSource(20))
+	d, err := synth.CovertypeFull(rng, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNoOutcomeChange(d, TreeConfig{MinLeaf: 10}, EncodeOptions{}, 8); err != nil {
+		t.Fatal(err)
+	}
+	enc, key, err := Encode(d, EncodeOptions{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalKey(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Attrs[d.AttrIndex("soil")].Categorical {
+		t.Error("categorical flag lost in key serialization")
+	}
+	rep, err := AssessRisk(d, enc, key, RiskOptions{Trials: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ar := range rep.Attrs {
+		if ar.Attr == "soil" || ar.Attr == "wilderness" {
+			if !ar.Categorical {
+				t.Errorf("%s should be reported as categorical", ar.Attr)
+			}
+			if ar.Domain["ignorant"] != 0 {
+				t.Error("ignorant hacker cannot mount the frequency attack")
+			}
+			if ar.SortingWorstCase < 0 || ar.SortingWorstCase > 1 {
+				t.Errorf("%s frequency rate out of range: %v", ar.Attr, ar.SortingWorstCase)
+			}
+		}
+	}
+}
+
+func TestNoOutcomeChangeContinuousData(t *testing.T) {
+	// The guarantee does not depend on integer domains: WDBC-like
+	// continuous values round-trip exactly too.
+	rng := rand.New(rand.NewSource(21))
+	d, err := synth.WDBC(rng, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []EncodeOptions{
+		{Strategy: StrategyMaxMP},
+		{Strategy: StrategyBP, Breakpoints: 15},
+	} {
+		if err := VerifyNoOutcomeChange(d, TreeConfig{MinLeaf: 8}, opts, 4); err != nil {
+			t.Errorf("strategy %v: %v", opts.Strategy, err)
+		}
+	}
+}
+
+func TestPublicFacadeCoverage(t *testing.T) {
+	// Exercise the thin façade wrappers end to end.
+	d := synth.Figure1()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Equal(d) {
+		t.Error("ReadCSV round trip lost data")
+	}
+	tr, err := Mine(d, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTree(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameOutcome(tr, back, d) {
+		t.Error("tree wire round trip changed behavior")
+	}
+	_, key, err := Encode(d, EncodeOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch repeating existing tuples is key-compatible.
+	if err := CanAppend(key, d, d.Subset([]int{0, 1})); err != nil {
+		t.Errorf("CanAppend rejected a repeat batch: %v", err)
+	}
+	// A batch outside the dynamic range is not.
+	out := NewDataset(d.AttrNames, d.ClassNames)
+	if err := out.Append([]float64{999, 999999}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CanAppend(key, d, out); err == nil {
+		t.Error("CanAppend accepted an out-of-range batch")
+	}
+}
