@@ -3,21 +3,29 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fmt vet clean
+.PHONY: all build test race bench bench-parallel experiments examples fmt vet clean
 
 all: build test
 
-build:
-	$(GO) build ./...
-
+# Plain test run; `make race` runs the same suite under the race
+# detector and should be green too — the parallel layer is exercised by
+# determinism tests in every package that fans out.
 test:
 	$(GO) test ./...
+
+build:
+	$(GO) build ./...
 
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run xxx -bench=. -benchmem ./...
+
+# Runs the workers=1 vs workers=4 benchmarks and writes
+# BENCH_parallel.json (name, ns/op, workers, speedup vs serial).
+bench-parallel:
+	./scripts/bench_parallel.sh
 
 # Regenerates every paper table/figure at full scale (see EXPERIMENTS.md).
 experiments:

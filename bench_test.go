@@ -3,10 +3,14 @@ package privtree
 import (
 	"io"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"privtree/internal/experiments"
+	"privtree/internal/forest"
+	"privtree/internal/parallel"
 	"privtree/internal/perturb"
+	"privtree/internal/risk"
 	"privtree/internal/synth"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
@@ -341,6 +345,97 @@ func BenchmarkAblationStrategy(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Parallel execution layer (internal/parallel) ---------------------
+//
+// Each benchmark runs the same deterministic workload at workers=1 and
+// workers=4; the output is bit-identical, only the wall clock changes.
+// scripts/bench_parallel.sh turns the ns/op into BENCH_parallel.json.
+
+// BenchmarkParallelTrials measures the fan-out of randomized attack
+// trials (the inner loop of every risk median in the paper's
+// evaluation).
+func BenchmarkParallelTrials(b *testing.B) {
+	d := benchData(b, 8000)
+	enc, key, err := Encode(d, EncodeOptions{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := risk.NewAttrContext(d, enc, key, 0, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := risk.MedianOfTrialsParallel(31, workers, func(t int) (float64, error) {
+					return ctx.DomainTrial(parallel.NewRand(7, int64(t)), Polyline, Expert)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelForest measures concurrent ensemble training.
+func BenchmarkParallelForest(b *testing.B) {
+	d := benchData(b, 6000)
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			cfg := forest.Config{Trees: 8, Seed: 3, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.Train(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSplitSearch measures the concurrent per-node
+// attribute scan on nodes above tree.ParallelMinRows.
+func BenchmarkParallelSplitSearch(b *testing.B) {
+	d := benchData(b, 40000)
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			cfg := tree.Config{MinLeaf: 5, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Build(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMedianReduction contrasts the pooled quickselect reduction
+// now inside MedianOfTrials against the old copy-and-full-sort one.
+func BenchmarkMedianReduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 501)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	b.Run("pooled-quickselect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := risk.MedianOfTrials(len(vals), func(t int) float64 { return vals[t] }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("alloc-and-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			xs := make([]float64, len(vals))
+			for t := range xs {
+				xs[t] = vals[t]
+			}
+			sort.Float64s(xs)
+			_ = (xs[len(xs)/2] + xs[(len(xs)-1)/2]) / 2
+		}
+	})
 }
 
 func benchName(prefix string, v int) string {

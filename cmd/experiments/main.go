@@ -30,7 +30,12 @@ func main() {
 	flag.IntVar(&cfg.W, "w", cfg.W, "minimum number of breakpoints")
 	flag.IntVar(&cfg.MinWidth, "minwidth", cfg.MinWidth, "monochromatic piece width threshold")
 	flag.StringVar(&cfg.Workload, "data", "covertype", "workload: covertype, covertype-full, census, or wdbc")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "worker goroutines per experiment grid (0: PRIVTREE_WORKERS env, then GOMAXPROCS); results are identical at any setting")
 	flag.Parse()
+
+	// Wall-clock per experiment goes to stderr so stdout stays
+	// byte-comparable across worker counts.
+	experiments.Timing = os.Stderr
 
 	var err error
 	if *run == "all" {

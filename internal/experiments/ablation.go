@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"privtree/internal/attack"
 	"privtree/internal/risk"
@@ -41,38 +42,41 @@ func Ablation(cfg *Config) (*AblationResult, error) {
 		Ws:        []int{1, 5, 20, 80, 320},
 		MinWidths: []int{1, 5, 25, 100},
 	}
-	sweep := func(opts transform.Options, streamOffset int64) (float64, error) {
-		rng := cfg.rng(streamOffset)
-		return risk.MedianOfTrials(cfg.Trials, func(int) float64 {
-			ctx, _, err := attrContext(d, attr, opts, cfg.RhoFrac, rng)
-			if err != nil {
-				panic(err)
-			}
-			r, err := ctx.DomainTrial(rng, attack.Polyline, risk.Expert)
-			if err != nil {
-				panic(err)
-			}
-			return r
-		})
-	}
-	for i, w := range res.Ws {
+	// Both sweeps form one flat grid of cells: first the ChooseBP
+	// breakpoint settings, then the ChooseMaxMP width thresholds. The
+	// cells × trials units fan out over the configured workers on
+	// per-(cell, trial) derived random streams.
+	nw := len(res.Ws)
+	cellOpts := make([]transform.Options, 0, nw+len(res.MinWidths))
+	for _, w := range res.Ws {
 		opts := cfg.encodeOptions(transform.StrategyBP)
 		opts.Breakpoints = w
-		r, err := sweep(opts, int64(50000+i))
-		if err != nil {
-			return nil, err
-		}
-		res.WRisk = append(res.WRisk, r)
+		cellOpts = append(cellOpts, opts)
 	}
-	for i, mw := range res.MinWidths {
+	for _, mw := range res.MinWidths {
 		opts := cfg.encodeOptions(transform.StrategyMaxMP)
 		opts.MinPieceWidth = mw
-		r, err := sweep(opts, int64(51000+i))
-		if err != nil {
-			return nil, err
-		}
-		res.MWRisk = append(res.MWRisk, r)
+		cellOpts = append(cellOpts, opts)
 	}
+	meds, err := cfg.gridMedians(len(cellOpts),
+		func(cell int) int64 {
+			if cell < nw {
+				return int64(50000 + cell)
+			}
+			return int64(51000 + cell - nw)
+		},
+		func(cell int, rng *rand.Rand) (float64, error) {
+			ctx, _, err := attrContext(d, attr, cellOpts[cell], cfg.RhoFrac, rng)
+			if err != nil {
+				return 0, err
+			}
+			return ctx.DomainTrial(rng, attack.Polyline, risk.Expert)
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.WRisk = meds[:nw]
+	res.MWRisk = meds[nw:]
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"privtree/internal/attack"
 	"privtree/internal/risk"
@@ -27,7 +28,8 @@ type BadKPResult struct {
 }
 
 // BadKP computes the sensitivity sweep on attribute 10 with ChooseMaxMP
-// and the polyline attack.
+// and the polyline attack. The rho × bad-KP × trial grid fans out over
+// the configured workers on per-(cell, trial) derived random streams.
 func BadKP(cfg *Config) (*BadKPResult, error) {
 	d, err := cfg.Data()
 	if err != nil {
@@ -37,38 +39,37 @@ func BadKP(cfg *Config) (*BadKPResult, error) {
 	if attr >= d.NumAttrs() {
 		attr = d.NumAttrs() - 1
 	}
-	rng := cfg.rng(621)
 	opts := cfg.encodeOptions(transform.StrategyMaxMP)
 	res := &BadKPResult{Rhos: []float64{0.01, 0.02, 0.05}}
-	for _, rho := range res.Rhos {
-		for _, setting := range []struct {
-			bad int
-			dst *[]float64
-		}{
-			{0, &res.GoodOnly}, {1, &res.OneBad}, {2, &res.TwoBad},
-		} {
-			med, err := risk.MedianOfTrials(cfg.Trials, func(int) float64 {
-				ctx, _, err := attrContext(d, attr, opts, rho, rng)
-				if err != nil {
-					panic(err)
-				}
-				kps, err := attack.GenerateKPs(rng, ctx.EncDistinct, ctx.Truth, attack.GenKPOptions{
-					Good: risk.Expert.Good, Bad: setting.bad, Rho: ctx.Rho,
-				})
-				if err != nil {
-					panic(err)
-				}
-				g, err := attack.CurveFit(attack.Polyline, kps)
-				if err != nil {
-					panic(err)
-				}
-				return risk.DomainRate(g, ctx.EncDistinct, ctx.Truth, ctx.Rho)
+	bads := []int{0, 1, 2}
+	meds, err := cfg.gridMedians(len(res.Rhos)*len(bads),
+		func(cell int) int64 { return int64(62100 + cell) },
+		func(cell int, rng *rand.Rand) (float64, error) {
+			rho := res.Rhos[cell/len(bads)]
+			bad := bads[cell%len(bads)]
+			ctx, _, err := attrContext(d, attr, opts, rho, rng)
+			if err != nil {
+				return 0, err
+			}
+			kps, err := attack.GenerateKPs(rng, ctx.EncDistinct, ctx.Truth, attack.GenKPOptions{
+				Good: risk.Expert.Good, Bad: bad, Rho: ctx.Rho,
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			*setting.dst = append(*setting.dst, med)
-		}
+			g, err := attack.CurveFit(attack.Polyline, kps)
+			if err != nil {
+				return 0, err
+			}
+			return risk.DomainRate(g, ctx.EncDistinct, ctx.Truth, ctx.Rho), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Rhos {
+		res.GoodOnly = append(res.GoodOnly, meds[i*len(bads)+0])
+		res.OneBad = append(res.OneBad, meds[i*len(bads)+1])
+		res.TwoBad = append(res.TwoBad, meds[i*len(bads)+2])
 	}
 	return res, nil
 }

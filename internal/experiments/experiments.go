@@ -7,13 +7,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"sync"
 
 	"privtree/internal/dataset"
+	"privtree/internal/parallel"
 	"privtree/internal/risk"
+	"privtree/internal/stats"
 	"privtree/internal/synth"
 	"privtree/internal/transform"
 )
@@ -40,6 +43,11 @@ type Config struct {
 	// the paper excluded), "census", or "wdbc" — the paper's other
 	// benchmark families, reported as representative.
 	Workload string
+	// Workers bounds the goroutines the randomized grids fan out over.
+	// 0 resolves through PRIVTREE_WORKERS and then GOMAXPROCS; 1 forces
+	// serial execution. Every trial derives its randomness from its own
+	// (seed, index) stream, so results are identical at any setting.
+	Workers int
 
 	mu   sync.Mutex
 	data *dataset.Dataset
@@ -84,6 +92,53 @@ func (c *Config) Data() (*dataset.Dataset, error) {
 // rng derives a deterministic stream for one experiment.
 func (c *Config) rng(offset int64) *rand.Rand {
 	return rand.New(rand.NewSource(c.Seed*7919 + offset))
+}
+
+// workers resolves the effective fan-out width.
+func (c *Config) workers() int { return parallel.ResolveWorkers(c.Workers) }
+
+// trialRNG derives the deterministic stream of one (cell, trial) unit of
+// a randomized grid: the cell's stream offset and the trial index are
+// mixed into an independent seed, so a trial's randomness never depends
+// on which worker runs it or on how many trials ran before it.
+func (c *Config) trialRNG(offset int64, trial int) *rand.Rand {
+	return parallel.NewRand(c.Seed*7919+offset, int64(trial))
+}
+
+// gridMedians evaluates a grid of independent randomized cells — the
+// shape of Fig9, the §6.2.2 table, BadKP and the ablations — and
+// reduces each cell's trials to its median. All cells × Trials units
+// fan out together over the configured workers (one flat job list gives
+// even load whatever the grid shape); unit (cell, t) runs on the stream
+// trialRNG(offset(cell), t) and writes slot [cell][t], and the median
+// reduction folds slots in index order, so the output is bit-identical
+// at any worker count.
+func (c *Config) gridMedians(cells int, offset func(cell int) int64, trial func(cell int, rng *rand.Rand) (float64, error)) ([]float64, error) {
+	per := make([][]float64, cells)
+	for i := range per {
+		per[i] = make([]float64, c.Trials)
+	}
+	err := parallel.ForEach(context.Background(), cells*c.Trials, c.workers(), func(j int) error {
+		cell, t := j/c.Trials, j%c.Trials
+		r, err := trial(cell, c.trialRNG(offset(cell), t))
+		if err != nil {
+			return err
+		}
+		per[cell][t] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	meds := make([]float64, cells)
+	for i := range meds {
+		m, err := stats.SelectMedianInPlace(per[i])
+		if err != nil {
+			return nil, err
+		}
+		meds[i] = m
+	}
+	return meds, nil
 }
 
 // encodeOptions builds the encoder options for a strategy with this

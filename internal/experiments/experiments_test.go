@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -456,5 +457,46 @@ func TestDefaultAndRunAll(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("RunAll output missing %q", want)
 		}
+	}
+}
+
+// TestParallelDeterminism asserts the heart of the parallel layer's
+// contract: every fanned-out experiment produces byte-identical output
+// whether it runs on one worker or many.
+func TestParallelDeterminism(t *testing.T) {
+	kinds := []struct {
+		name string
+		run  func(cfg *Config) (Printer, error)
+	}{
+		{"fig9", func(c *Config) (Printer, error) { return Fig9(c) }},
+		{"table622", func(c *Config) (Printer, error) { return Table622(c) }},
+		{"fig12", func(c *Config) (Printer, error) { return Fig12(c) }},
+		{"badkp", func(c *Config) (Printer, error) { return BadKP(c) }},
+		{"ablation", func(c *Config) (Printer, error) { return Ablation(c) }},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			mk := func(workers int) *Config {
+				return &Config{N: 1500, Trials: 5, Seed: 11, RhoFrac: 0.02,
+					W: 10, MinWidth: 5, Workers: workers}
+			}
+			serial, err := k.run(mk(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fanned, err := k.run(mk(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, fanned) {
+				t.Errorf("workers=1 and workers=4 results differ:\n%+v\nvs\n%+v", serial, fanned)
+			}
+			var a, b bytes.Buffer
+			serial.Print(&a)
+			fanned.Print(&b)
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Error("printed output is not byte-identical across worker counts")
+			}
+		})
 	}
 }

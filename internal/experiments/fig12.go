@@ -1,15 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 
 	"privtree/internal/dataset"
 
 	"privtree/internal/attack"
+	"privtree/internal/parallel"
 	"privtree/internal/risk"
 	"privtree/internal/stats"
 	"privtree/internal/transform"
@@ -69,37 +69,19 @@ func Fig12(cfg *Config) (*Fig12Result, error) {
 	for b := range perBar {
 		perBar[b] = make([]float64, cfg.Trials)
 	}
-	// Trials are independent; run them in parallel on bounded workers,
-	// each trial on its own deterministic stream.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
-	trialCh := make(chan int)
-	errs := make([]error, cfg.Trials)
-	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range trialCh {
-				errs[t] = fig12Trial(cfg, d, involved, subspaces, opts, t, perBar)
-			}
-		}()
-	}
-	for t := 0; t < cfg.Trials; t++ {
-		trialCh <- t
-	}
-	close(trialCh)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// Trials are independent; fan them out over the configured workers.
+	// Each trial runs on its own index-derived stream and writes only
+	// its own slot of every bar, so the medians are identical at any
+	// worker count.
+	err = parallel.ForEach(context.Background(), cfg.Trials, cfg.workers(), func(t int) error {
+		return fig12Trial(cfg, d, involved, subspaces, opts, t, perBar)
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &Fig12Result{}
 	for b, ss := range subspaces {
-		med, err := stats.MedianInPlace(perBar[b])
+		med, err := stats.SelectMedianInPlace(perBar[b])
 		if err != nil {
 			return nil, err
 		}

@@ -3,9 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
-
-	"privtree/internal/dataset"
+	"math/rand"
 
 	"privtree/internal/attack"
 	"privtree/internal/risk"
@@ -36,79 +34,71 @@ type Fig9Result struct {
 	Rows []Fig9Row
 }
 
+// fig9Cells lists the five bars of each attribute in column order.
+var fig9Cells = []struct {
+	strategy transform.Strategy
+	hacker   risk.Hacker
+}{
+	{transform.StrategyNone, risk.Expert},
+	{transform.StrategyBP, risk.Expert},
+	{transform.StrategyMaxMP, risk.Expert},
+	{transform.StrategyMaxMP, risk.Knowledgeable},
+	{transform.StrategyMaxMP, risk.Ignorant},
+}
+
 // Fig9 computes the domain-disclosure comparison. For a fair comparison
 // (Section 6.2.1), ChooseBP uses the same number of breakpoints that
-// ChooseMaxMP produced for the attribute, with a minimum of cfg.W.
-// Attributes are evaluated in parallel, each cell on its own
-// deterministic random stream, so results are reproducible regardless of
-// scheduling.
+// ChooseMaxMP produced for the attribute, with a minimum of cfg.W. The
+// whole attribute × strategy × trial grid fans out over the configured
+// workers; every trial runs on its own (seed, cell, trial)-derived
+// random stream, so the result is identical at any worker count.
 func Fig9(cfg *Config) (*Fig9Result, error) {
 	d, err := cfg.Data()
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig9Result{Rows: make([]Fig9Row, d.NumAttrs())}
-	var wg sync.WaitGroup
-	errs := make([]error, d.NumAttrs())
-	for a := 0; a < d.NumAttrs(); a++ {
-		wg.Add(1)
-		go func(a int) {
-			defer wg.Done()
-			errs[a] = fig9Attr(cfg, d, a, &res.Rows[a])
-		}(a)
+	m := d.NumAttrs()
+	// Breakpoint parity per attribute: the ChooseMaxMP piece count.
+	ws := make([]int, m)
+	for a := 0; a < m; a++ {
+		groups := runs.GroupValues(d.SortedProjection(a))
+		pieces := runs.MaxMonoPieces(groups, cfg.MinWidth)
+		ws[a] = len(pieces)
+		if ws[a] < cfg.W {
+			ws[a] = cfg.W
+		}
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	nc := len(fig9Cells)
+	meds, err := cfg.gridMedians(m*nc,
+		func(cell int) int64 {
+			a, ci := cell/nc, cell%nc
+			return int64(9000 + a*10 + ci)
+		},
+		func(cell int, rng *rand.Rand) (float64, error) {
+			a, ci := cell/nc, cell%nc
+			c := fig9Cells[ci]
+			opts := cfg.encodeOptions(c.strategy)
+			opts.Breakpoints = ws[a]
+			ctx, _, err := attrContext(d, a, opts, cfg.RhoFrac, rng)
+			if err != nil {
+				return 0, err
+			}
+			return ctx.DomainTrial(rng, attack.Polyline, c.hacker)
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rows: make([]Fig9Row, m)}
+	for a := 0; a < m; a++ {
+		row := &res.Rows[a]
+		row.Attr = d.AttrNames[a]
+		cols := []*float64{&row.BaselineExpert, &row.BPExpert, &row.MaxMPExpert,
+			&row.MaxMPKnowledgeable, &row.MaxMPIgnorant}
+		for ci, dst := range cols {
+			*dst = meds[a*nc+ci]
 		}
 	}
 	return res, nil
-}
-
-// fig9Attr fills one attribute's row.
-func fig9Attr(cfg *Config, d *dataset.Dataset, a int, row *Fig9Row) error {
-	// Determine the ChooseMaxMP piece count for breakpoint parity.
-	groups := runs.GroupValues(d.SortedProjection(a))
-	pieces := runs.MaxMonoPieces(groups, cfg.MinWidth)
-	w := len(pieces)
-	if w < cfg.W {
-		w = cfg.W
-	}
-	row.Attr = d.AttrNames[a]
-	type cell struct {
-		dst      *float64
-		strategy transform.Strategy
-		hacker   risk.Hacker
-	}
-	cells := []cell{
-		{&row.BaselineExpert, transform.StrategyNone, risk.Expert},
-		{&row.BPExpert, transform.StrategyBP, risk.Expert},
-		{&row.MaxMPExpert, transform.StrategyMaxMP, risk.Expert},
-		{&row.MaxMPKnowledgeable, transform.StrategyMaxMP, risk.Knowledgeable},
-		{&row.MaxMPIgnorant, transform.StrategyMaxMP, risk.Ignorant},
-	}
-	for ci, c := range cells {
-		rng := cfg.rng(int64(9000 + a*10 + ci))
-		opts := cfg.encodeOptions(c.strategy)
-		opts.Breakpoints = w
-		med, err := risk.MedianOfTrials(cfg.Trials, func(int) float64 {
-			ctx, _, err := attrContext(d, a, opts, cfg.RhoFrac, rng)
-			if err != nil {
-				panic(err)
-			}
-			r, err := ctx.DomainTrial(rng, attack.Polyline, c.hacker)
-			if err != nil {
-				panic(err)
-			}
-			return r
-		})
-		if err != nil {
-			return err
-		}
-		*c.dst = med
-	}
-	return nil
 }
 
 // Print renders the Figure 9 bars as a table.

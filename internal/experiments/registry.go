@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 )
 
 // Printer is a computed experiment result that can render itself.
@@ -39,15 +40,24 @@ func Names() []string {
 	return out
 }
 
+// Timing, when non-nil, receives one "name: elapsed" line per computed
+// experiment. It is kept separate from the result writer so the result
+// stream stays byte-comparable across worker counts and machines.
+var Timing io.Writer
+
 // Run computes the named experiment and prints it to w.
 func Run(name string, cfg *Config, w io.Writer) error {
 	fn, ok := registry[name]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
+	start := time.Now()
 	res, err := fn(cfg)
 	if err != nil {
 		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	if Timing != nil {
+		fmt.Fprintf(Timing, "%s: %v (workers=%d)\n", name, time.Since(start).Round(time.Millisecond), cfg.workers())
 	}
 	res.Print(w)
 	return nil

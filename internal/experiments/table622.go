@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"privtree/internal/attack"
 	"privtree/internal/risk"
@@ -26,38 +27,36 @@ type Table622Result struct {
 // attribute 10 → index 9).
 const Table622Attr = 9
 
-// Table622 computes the attack × transformation grid.
+// Table622 computes the attack × transformation grid. All method ×
+// family × trial units fan out over the configured workers on
+// per-(cell, trial) derived random streams.
 func Table622(cfg *Config) (*Table622Result, error) {
 	d, err := cfg.Data()
 	if err != nil {
 		return nil, err
 	}
-	rng := cfg.rng(622)
 	res := &Table622Result{
 		Families: []string{"power", "log", "sqrtlog"},
 		Methods:  attack.Methods(),
 	}
-	for _, m := range res.Methods {
-		var row []float64
-		for _, fam := range res.Families {
+	nf := len(res.Families)
+	meds, err := cfg.gridMedians(len(res.Methods)*nf,
+		func(cell int) int64 { return int64(62200 + cell) },
+		func(cell int, rng *rand.Rand) (float64, error) {
+			m := res.Methods[cell/nf]
+			fam := res.Families[cell%nf]
 			opts := cfg.encodeOptions(transform.StrategyMaxMP, fam)
-			med, err := risk.MedianOfTrials(cfg.Trials, func(int) float64 {
-				ctx, _, err := attrContext(d, Table622Attr, opts, cfg.RhoFrac, rng)
-				if err != nil {
-					panic(err)
-				}
-				r, err := ctx.DomainTrial(rng, m, risk.Expert)
-				if err != nil {
-					panic(err)
-				}
-				return r
-			})
+			ctx, _, err := attrContext(d, Table622Attr, opts, cfg.RhoFrac, rng)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, med)
-		}
-		res.Risk = append(res.Risk, row)
+			return ctx.DomainTrial(rng, m, risk.Expert)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Methods {
+		res.Risk = append(res.Risk, meds[i*nf:(i+1)*nf])
 	}
 	return res, nil
 }

@@ -13,11 +13,13 @@
 package forest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"privtree/internal/dataset"
+	"privtree/internal/parallel"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
@@ -34,6 +36,12 @@ type Config struct {
 	// Seed drives bootstrap and bagging; the same seed reproduces the
 	// same forest.
 	Seed int64
+	// Workers bounds the goroutines Train and Decode fan the member
+	// trees out over. 0 resolves through PRIVTREE_WORKERS and then
+	// GOMAXPROCS; 1 forces serial training. The bootstrap and bagging
+	// draws are made on a single stream before the fan-out, so the
+	// trained forest is identical at any setting.
+	Workers int
 }
 
 func (c Config) withDefaults(m int) Config {
@@ -68,37 +76,68 @@ type Forest struct {
 	numClasses int
 }
 
-// Train builds a seeded random forest.
+// memberDraw holds one member's random draws: its bootstrap indices and
+// attribute bag. Drawing every member from the shared stream before any
+// training starts keeps the stream consumption order identical to the
+// historical serial loop, so the same seed still reproduces the same
+// forest — now at any worker count.
+type memberDraw struct {
+	idx []int
+	bag []int
+}
+
+// drawMembers consumes the config's random stream exactly as serial
+// training always has: per member, n bootstrap indices then one
+// attribute permutation.
+func drawMembers(cfg Config, n, m int) []memberDraw {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draws := make([]memberDraw, cfg.Trees)
+	for t := range draws {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		draws[t] = memberDraw{idx: idx, bag: rng.Perm(m)[:cfg.Attrs]}
+	}
+	return draws
+}
+
+// Train builds a seeded random forest. Member trees are independent
+// given their draws, so they train concurrently on the configured
+// workers; each member writes only its own slot, making the forest
+// identical at any worker count.
 func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 	if d.NumTuples() == 0 || d.NumAttrs() == 0 {
 		return nil, errors.New("forest: empty training data")
 	}
 	cfg = cfg.withDefaults(d.NumAttrs())
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	f := &Forest{numClasses: d.NumClasses()}
 	n := d.NumTuples()
-	for t := 0; t < cfg.Trees; t++ {
-		// Bootstrap sample: indices only — data-independent given seed.
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = rng.Intn(n)
-		}
-		boot := d.Subset(idx)
+	draws := drawMembers(cfg, n, d.NumAttrs())
+	f.Trees = make([]*tree.Tree, cfg.Trees)
+	f.attrs = make([][]int, cfg.Trees)
+	f.inBag = make([][]bool, cfg.Trees)
+	err := parallel.ForEach(context.Background(), cfg.Trees, parallel.ResolveWorkers(cfg.Workers), func(t int) error {
+		dr := draws[t]
+		boot := d.Subset(dr.idx)
 		bagMask := make([]bool, n)
-		for _, i := range idx {
+		for _, i := range dr.idx {
 			bagMask[i] = true
 		}
 		// Attribute bag: hide the other attributes by collapsing them to
 		// a constant, preserving tuple arity so Predict sees full tuples.
-		bag := rng.Perm(d.NumAttrs())[:cfg.Attrs]
-		masked := maskedDataset(boot, bag)
+		masked := maskedDataset(boot, dr.bag)
 		member, err := tree.Build(masked, cfg.Tree)
 		if err != nil {
-			return nil, fmt.Errorf("forest: member %d: %w", t, err)
+			return fmt.Errorf("forest: member %d: %w", t, err)
 		}
-		f.Trees = append(f.Trees, member)
-		f.attrs = append(f.attrs, bag)
-		f.inBag = append(f.inBag, bagMask)
+		f.Trees[t] = member
+		f.attrs[t] = dr.bag
+		f.inBag[t] = bagMask
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -213,26 +252,27 @@ func Decode(f *Forest, key *transform.Key, orig *dataset.Dataset, cfg Config) (*
 	if len(f.Trees) != cfg.Trees {
 		return nil, fmt.Errorf("forest: config has %d trees, forest has %d", cfg.Trees, len(f.Trees))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	out := &Forest{numClasses: f.numClasses}
-	n := orig.NumTuples()
-	for t := 0; t < cfg.Trees; t++ {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = rng.Intn(n)
-		}
-		boot := orig.Subset(idx)
-		bag := rng.Perm(orig.NumAttrs())[:cfg.Attrs]
-		masked := maskedDataset(boot, bag)
+	draws := drawMembers(cfg, orig.NumTuples(), orig.NumAttrs())
+	out.Trees = make([]*tree.Tree, cfg.Trees)
+	out.attrs = make([][]int, cfg.Trees)
+	err := parallel.ForEach(context.Background(), cfg.Trees, parallel.ResolveWorkers(cfg.Workers), func(t int) error {
+		dr := draws[t]
+		boot := orig.Subset(dr.idx)
+		masked := maskedDataset(boot, dr.bag)
 		// Decoding uses the masked view the member was (equivalently)
 		// trained on: masked attributes are constant in both spaces and
 		// never split on.
 		decoded, err := tree.DecodeWithData(f.Trees[t], key, masked)
 		if err != nil {
-			return nil, fmt.Errorf("forest: member %d: %w", t, err)
+			return fmt.Errorf("forest: member %d: %w", t, err)
 		}
-		out.Trees = append(out.Trees, decoded)
-		out.attrs = append(out.attrs, bag)
+		out.Trees[t] = decoded
+		out.attrs[t] = dr.bag
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -169,3 +169,66 @@ func TestOOBError(t *testing.T) {
 		t.Error("forest without bag info should return 0,0")
 	}
 }
+
+// TestWorkersDeterminism asserts the parallel-training contract: the
+// forest trained on one worker is member-for-member identical to the
+// forest trained on many, and so is the decoded forest.
+func TestWorkersDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d, err := synth.Covertype(rng, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCfg := Config{Trees: 9, Seed: 44, Workers: 1}
+	fannedCfg := Config{Trees: 9, Seed: 44, Workers: 4}
+	serial, err := Train(d, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := Train(d, fannedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Trees {
+		a, err := tree.Marshal(serial.Trees[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tree.Marshal(fanned.Trees[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("member %d differs between workers=1 and workers=4", i)
+		}
+	}
+	se, sn := serial.OOBError(d)
+	fe, fn := fanned.OOBError(d)
+	if se != fe || sn != fn {
+		t.Error("OOB error differs across worker counts")
+	}
+	// Decode must be deterministic across worker counts too.
+	enc, key, err := transform.Encode(d, transform.Options{}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := Train(enc, Config{Trees: 5, Seed: 44, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec1, err := Decode(ef, key, d, Config{Trees: 5, Seed: 44, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec4, err := Decode(ef, key, d, Config{Trees: 5, Seed: 44, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec1.Trees {
+		a, _ := tree.Marshal(dec1.Trees[i])
+		b, _ := tree.Marshal(dec4.Trees[i])
+		if string(a) != string(b) {
+			t.Fatalf("decoded member %d differs across worker counts", i)
+		}
+	}
+}

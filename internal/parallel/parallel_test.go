@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		seen := make([]int32, n)
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(context.Background(), -3, 4, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachFirstErrorInIndexOrder(t *testing.T) {
+	// Both indices fail; the returned error must be index 3's (the
+	// lowest), no matter which worker hit its error first.
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 10, workers, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("unit %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if got := err.Error(); got != "unit 3 failed" && workers == 1 {
+			t.Fatalf("workers=1: err = %q", got)
+		}
+		// Parallel: index 7 may run before index 3 errors, but whenever
+		// both recorded errors the lower index wins; at minimum the
+		// error must be one of the failing units.
+		if got := err.Error(); got != "unit 3 failed" && got != "unit 7 failed" {
+			t.Fatalf("workers=%d: err = %q", workers, got)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if int(ran.Load()) == 1000 {
+		t.Error("error did not stop the fan-out early")
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 1000, 2, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if int(ran.Load()) == 1000 {
+		t.Error("cancellation did not stop the fan-out early")
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(5); got != 5 {
+		t.Errorf("explicit: %d", got)
+	}
+	t.Setenv(EnvWorkers, "3")
+	if got := ResolveWorkers(0); got != 3 {
+		t.Errorf("env: %d", got)
+	}
+	if got := ResolveWorkers(2); got != 2 {
+		t.Errorf("explicit beats env: %d", got)
+	}
+	t.Setenv(EnvWorkers, "garbage")
+	if got := ResolveWorkers(0); got < 1 {
+		t.Errorf("fallback: %d", got)
+	}
+	os.Unsetenv(EnvWorkers)
+	if got := ResolveWorkers(0); got < 1 {
+		t.Errorf("default: %d", got)
+	}
+}
+
+func TestSeedDeterministicAndSpread(t *testing.T) {
+	if Seed(1, 42) != Seed(1, 42) {
+		t.Fatal("Seed is not deterministic")
+	}
+	// Adjacent indices and adjacent bases must not collide (the mixer
+	// should spread them across the space).
+	seen := map[int64]bool{}
+	for base := int64(0); base < 8; base++ {
+		for idx := int64(0); idx < 1000; idx++ {
+			s := Seed(base, idx)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d idx=%d", base, idx)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestNewRandStreamsIndependent(t *testing.T) {
+	a := NewRand(7, 0)
+	b := NewRand(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws across adjacent indices", same)
+	}
+	// And the same (base, index) reproduces the same stream.
+	c, d := NewRand(7, 3), NewRand(7, 3)
+	for i := 0; i < 100; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatal("NewRand is not reproducible")
+		}
+	}
+}

@@ -5,10 +5,13 @@
 package risk
 
 import (
+	"context"
 	"errors"
 	"math"
+	"sync"
 
 	"privtree/internal/attack"
+	"privtree/internal/parallel"
 	"privtree/internal/stats"
 	"privtree/internal/tree"
 )
@@ -121,16 +124,60 @@ func PatternRate(paths []tree.Path, gs map[int]attack.CrackFunc, truths map[int]
 	return Rate(v), nil
 }
 
-// MedianOfTrials runs fn for trials indices 0..n-1 and returns the
+// trialBufs recycles the per-call trial slices of MedianOfTrials across
+// the hundreds of grid cells the experiment suite evaluates.
+var trialBufs = sync.Pool{New: func() any { return new([]float64) }}
+
+func getTrialBuf(n int) *[]float64 {
+	p := trialBufs.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// MedianOfTrials runs fn for trial indices 0..n-1 and returns the
 // median of the results — the aggregation of Section 6.1's 500 random
-// trials.
+// trials. The trials run serially on the calling goroutine; fn may
+// therefore consume a shared random stream.
 func MedianOfTrials(n int, fn func(trial int) float64) (float64, error) {
 	if n <= 0 {
 		return 0, errors.New("risk: need at least one trial")
 	}
-	xs := make([]float64, n)
+	p := getTrialBuf(n)
+	defer trialBufs.Put(p)
+	xs := *p
 	for i := range xs {
 		xs[i] = fn(i)
 	}
-	return stats.MedianInPlace(xs)
+	return stats.SelectMedianInPlace(xs)
+}
+
+// MedianOfTrialsParallel is MedianOfTrials fanned out over at most
+// workers goroutines (resolved by parallel.ResolveWorkers). Each trial
+// must derive all of its randomness from its index — typically via
+// parallel.NewRand(seed, trial) — never from a stream shared across
+// trials; under that discipline the result is identical for every
+// worker count. Trial i's result lands in slot i and the median
+// reduction is ordered, so scheduling cannot reorder the reduction.
+func MedianOfTrialsParallel(n, workers int, fn func(trial int) (float64, error)) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("risk: need at least one trial")
+	}
+	p := getTrialBuf(n)
+	defer trialBufs.Put(p)
+	xs := *p
+	err := parallel.ForEach(context.Background(), n, parallel.ResolveWorkers(workers), func(i int) error {
+		r, err := fn(i)
+		if err != nil {
+			return err
+		}
+		xs[i] = r
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return stats.SelectMedianInPlace(xs)
 }

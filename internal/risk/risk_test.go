@@ -1,12 +1,14 @@
 package risk
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"privtree/internal/attack"
 	"privtree/internal/dataset"
+	"privtree/internal/parallel"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
@@ -135,6 +137,44 @@ func TestMedianOfTrials(t *testing.T) {
 	}
 	if _, err := MedianOfTrials(0, nil); err == nil {
 		t.Error("expected error for zero trials")
+	}
+}
+
+func TestMedianOfTrialsParallel(t *testing.T) {
+	// A pure-by-index trial function: the parallel median must agree
+	// with the serial one at every worker count.
+	trial := func(i int) (float64, error) {
+		rng := parallel.NewRand(99, int64(i))
+		return rng.Float64(), nil
+	}
+	want, err := MedianOfTrials(101, func(i int) float64 { r, _ := trial(i); return r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7, 32} {
+		got, err := MedianOfTrialsParallel(101, workers, trial)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: median %v != serial %v", workers, got, want)
+		}
+	}
+	if _, err := MedianOfTrialsParallel(0, 4, nil); err == nil {
+		t.Error("expected error for zero trials")
+	}
+}
+
+func TestMedianOfTrialsParallelError(t *testing.T) {
+	boom := errors.New("trial failed")
+	_, err := MedianOfTrialsParallel(50, 4, func(i int) (float64, error) {
+		if i == 17 {
+			return 0, boom
+		}
+		return 0.5, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
 	}
 }
 

@@ -76,6 +76,103 @@ func MedianInPlace(xs []float64) (float64, error) {
 	return xs[n/2-1]/2 + xs[n/2]/2, nil
 }
 
+// SelectMedianInPlace returns the median of xs, partially reordering it.
+// It runs in expected linear time via quickselect with deterministic
+// median-of-three pivots — cheaper than the full sort MedianInPlace
+// pays when only the middle order statistic is needed, which is exactly
+// the multi-trial reduction the risk experiments run in their hot loop.
+func SelectMedianInPlace(xs []float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	if n%2 == 1 {
+		return quickselect(xs, n/2), nil
+	}
+	hi := quickselect(xs, n/2)
+	// After selecting rank n/2, every smaller order statistic sits to
+	// its left; the lower middle is the max of that prefix.
+	lo := xs[0]
+	for _, v := range xs[1 : n/2] {
+		if v > lo {
+			lo = v
+		}
+	}
+	// Halved addends avoid overflow when both neighbors are huge.
+	return lo/2 + hi/2, nil
+}
+
+// quickselect places the k-th smallest element of xs (0-based) at index
+// k, with smaller elements to its left, and returns it. Pivots are the
+// median of first/middle/last, so the selection is deterministic and
+// resistant to already-sorted inputs.
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		if hi-lo < 12 {
+			insertionSort(xs[lo : hi+1])
+			return xs[k]
+		}
+		p := medianOfThree(xs, lo, lo+(hi-lo)/2, hi)
+		xs[lo], xs[p] = xs[p], xs[lo]
+		// Hoare partition with the pivot at lo; the returned boundary j
+		// always satisfies lo <= j < hi, so each round shrinks the range.
+		pivot := xs[lo]
+		i, j := lo-1, hi+1
+		for {
+			for {
+				j--
+				if xs[j] <= pivot {
+					break
+				}
+			}
+			for {
+				i++
+				if xs[i] >= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return xs[k]
+}
+
+// medianOfThree returns the index holding the median of xs[a], xs[b],
+// xs[c].
+func medianOfThree(xs []float64, a, b, c int) int {
+	if xs[a] > xs[b] {
+		a, b = b, a
+	}
+	if xs[b] > xs[c] {
+		b = c
+		if xs[a] > xs[b] {
+			b = a
+		}
+	}
+	return b
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between closest ranks.
 func Quantile(xs []float64, q float64) (float64, error) {

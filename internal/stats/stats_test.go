@@ -69,6 +69,63 @@ func TestMedianInPlace(t *testing.T) {
 	}
 }
 
+func TestSelectMedianInPlace(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{5}, 5},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 2}, 3},
+		{[]float64{1, 1, 1, 1}, 1},
+		{[]float64{3, 3, 1, 2, 2, 3, 3, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		got, err := SelectMedianInPlace(append([]float64(nil), c.in...))
+		if err != nil || got != c.want {
+			t.Errorf("SelectMedianInPlace(%v) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := SelectMedianInPlace(nil); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestSelectMedianMatchesSortingMedian(t *testing.T) {
+	// Property check across sizes, duplicates and orderings: quickselect
+	// must agree with the full-sort median bit-for-bit.
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		a, err1 := Median(xs)
+		b, err2 := SelectMedianInPlace(append([]float64(nil), xs...))
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Adversarial shapes quick.Check rarely generates: sorted, reversed,
+	// constant, and two-valued runs at every length up to 100.
+	for n := 1; n <= 100; n++ {
+		shapes := [][]float64{make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)}
+		for i := 0; i < n; i++ {
+			shapes[0][i] = float64(i)
+			shapes[1][i] = float64(n - i)
+			shapes[2][i] = 7
+			shapes[3][i] = float64(i % 2)
+		}
+		for si, xs := range shapes {
+			want, _ := Median(xs)
+			got, err := SelectMedianInPlace(append([]float64(nil), xs...))
+			if err != nil || got != want {
+				t.Fatalf("n=%d shape=%d: got %v, %v; want %v", n, si, got, err, want)
+			}
+		}
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	for _, c := range []struct{ q, want float64 }{

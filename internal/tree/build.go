@@ -1,11 +1,13 @@
 package tree
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
 
 	"privtree/internal/dataset"
+	"privtree/internal/parallel"
 	"privtree/internal/runs"
 )
 
@@ -100,6 +102,8 @@ func unflip(n *Node, flipped []bool) {
 type builder struct {
 	d   *dataset.Dataset
 	cfg Config
+	// workers is the resolved fan-out width of the split search.
+	workers int
 	// orders holds, per numeric attribute, every tuple index sorted by
 	// (value, label) — the SPRINT-style presort that lets split search
 	// scan attributes without re-sorting at every node. Categorical
@@ -108,12 +112,22 @@ type builder struct {
 	// side is per-tuple scratch for stable list partitioning: the
 	// branch index each member of the current node goes to.
 	side []int32
+	// left and right are class-count scratch for the serial split scan;
+	// concurrent scans allocate their own.
+	left, right []int
 }
 
 // newBuilder presorts the attribute orders once; split search then runs
 // in linear time per attribute per node.
 func newBuilder(d *dataset.Dataset, cfg Config) *builder {
-	b := &builder{d: d, cfg: cfg, side: make([]int32, d.NumTuples())}
+	b := &builder{
+		d:       d,
+		cfg:     cfg,
+		workers: parallel.ResolveWorkers(cfg.Workers),
+		side:    make([]int32, d.NumTuples()),
+		left:    make([]int, d.NumClasses()),
+		right:   make([]int, d.NumClasses()),
+	}
 	b.orders = make([][]int, d.NumAttrs())
 	for a := range b.orders {
 		if d.IsCategorical(a) {
@@ -297,95 +311,127 @@ func (s split) better(t split, eps float64) bool {
 	return s.boundary < t.boundary
 }
 
-// bestSplit searches all attributes for the impurity-optimal split,
-// scanning each numeric attribute's presorted list once.
+// bestSplit searches all attributes for the impurity-optimal split.
+// Each attribute's candidate search is independent, so at nodes with at
+// least ParallelMinRows tuples (and Workers > 1) the attributes are
+// evaluated concurrently; the per-attribute winners are then reduced in
+// attribute order — the same order the serial loop visits them — so the
+// selected split is identical at any worker count.
 func (b *builder) bestSplit(lists [][]int, idx []int, counts []int) (split, bool) {
 	total := len(idx)
 	parentImp := b.cfg.Criterion.Impurity(counts, total)
+	m := b.d.NumAttrs()
+	if b.workers > 1 && total >= ParallelMinRows && m > 1 {
+		cands := make([]split, m)
+		founds := make([]bool, m)
+		// fn never returns an error, so ForEach cannot fail.
+		_ = parallel.ForEach(context.Background(), m, b.workers, func(a int) error {
+			left := make([]int, len(counts))
+			right := make([]int, len(counts))
+			cands[a], founds[a] = b.attrBest(a, lists[a], idx, counts, parentImp, left, right)
+			return nil
+		})
+		var best split
+		found := false
+		for a := 0; a < m; a++ {
+			if founds[a] && (!found || cands[a].better(best, 1e-12)) {
+				best = cands[a]
+				found = true
+			}
+		}
+		return best, found
+	}
 	var best split
 	found := false
-	left := make([]int, len(counts))
-	right := make([]int, len(counts))
-	for a := 0; a < b.d.NumAttrs(); a++ {
-		col := b.d.Cols[a]
-		labels := b.d.Labels
-		if b.d.IsCategorical(a) {
-			if cand, ok := b.categoricalSplit(idx, counts, a, parentImp); ok {
-				if !found || cand.better(best, 1e-12) {
-					best = cand
-					found = true
-				}
+	for a := 0; a < m; a++ {
+		if cand, ok := b.attrBest(a, lists[a], idx, counts, parentImp, b.left, b.right); ok {
+			if !found || cand.better(best, 1e-12) {
+				best = cand
+				found = true
 			}
+		}
+	}
+	return best, found
+}
+
+// attrBest returns attribute a's best candidate split over the node's
+// tuples, scanning the presorted list once for numeric attributes. left
+// and right are class-count scratch owned by the caller.
+func (b *builder) attrBest(a int, order []int, idx []int, counts []int, parentImp float64, left, right []int) (split, bool) {
+	if b.d.IsCategorical(a) {
+		return b.categoricalSplit(idx, counts, a, parentImp)
+	}
+	total := len(idx)
+	col := b.d.Cols[a]
+	labels := b.d.Labels
+	var best split
+	found := false
+	for c := range left {
+		left[c] = 0
+		right[c] = counts[c]
+	}
+	nLeft := 0
+	boundary := 0
+	k := 0
+	for k < len(order) {
+		// Advance over the group of equal values, tracking whether
+		// it is label-pure and which label it carries.
+		v := col[order[k]]
+		groupLabel := labels[order[k]]
+		pure := true
+		for k < len(order) && col[order[k]] == v {
+			l := labels[order[k]]
+			if l != groupLabel {
+				pure = false
+			}
+			left[l]++
+			right[l]--
+			nLeft++
+			k++
+		}
+		if k == len(order) {
+			break
+		}
+		boundary++
+		if nLeft < b.cfg.MinLeaf || total-nLeft < b.cfg.MinLeaf {
 			continue
 		}
-		order := lists[a]
-		for c := range left {
-			left[c] = 0
-			right[c] = counts[c]
+		// Lemma 2: a boundary strictly inside a label run — both
+		// adjacent groups pure with the same label — can never be
+		// optimal, so skip it (unless benchmarking the full scan).
+		if !b.cfg.FullSplitScan {
+			nextLabel := labels[order[k]]
+			if pure && groupLabel == nextLabel && groupPure(col, labels, order, k) {
+				continue
+			}
 		}
-		nLeft := 0
-		boundary := 0
-		k := 0
-		for k < len(order) {
-			// Advance over the group of equal values, tracking whether
-			// it is label-pure and which label it carries.
-			v := col[order[k]]
-			groupLabel := labels[order[k]]
-			pure := true
-			for k < len(order) && col[order[k]] == v {
-				l := labels[order[k]]
-				if l != groupLabel {
-					pure = false
-				}
-				left[l]++
-				right[l]--
-				nLeft++
-				k++
-			}
-			if k == len(order) {
-				break
-			}
-			boundary++
-			if nLeft < b.cfg.MinLeaf || total-nLeft < b.cfg.MinLeaf {
+		nRight := total - nLeft
+		imp := float64(nLeft)/float64(total)*b.cfg.Criterion.Impurity(left, nLeft) +
+			float64(nRight)/float64(total)*b.cfg.Criterion.Impurity(right, nRight)
+		gain := parentImp - imp
+		if b.cfg.Criterion == GainRatio {
+			si := splitInfo(nLeft, nRight, total)
+			if si <= 0 {
 				continue
 			}
-			// Lemma 2: a boundary strictly inside a label run — both
-			// adjacent groups pure with the same label — can never be
-			// optimal, so skip it (unless benchmarking the full scan).
-			if !b.cfg.FullSplitScan {
-				nextLabel := labels[order[k]]
-				if pure && groupLabel == nextLabel && groupPure(col, labels, order, k) {
-					continue
-				}
-			}
-			nRight := total - nLeft
-			imp := float64(nLeft)/float64(total)*b.cfg.Criterion.Impurity(left, nLeft) +
-				float64(nRight)/float64(total)*b.cfg.Criterion.Impurity(right, nRight)
-			gain := parentImp - imp
-			if b.cfg.Criterion == GainRatio {
-				si := splitInfo(nLeft, nRight, total)
-				if si <= 0 {
-					continue
-				}
-				gain /= si
-			}
-			if gain < b.cfg.MinGain {
-				continue
-			}
-			cand := split{
-				attr:      a,
-				threshold: (v + col[order[k]]) / 2,
-				gain:      gain,
-				boundary:  boundary,
-			}
-			// The signature is only needed for tie comparisons; skip the
-			// copies when the candidate is not competitive.
-			if !found || cand.gain >= best.gain-1e-12 {
-				cand.signature(left, right)
-				if !found || cand.better(best, 1e-12) {
-					best = cand
-					found = true
-				}
+			gain /= si
+		}
+		if gain < b.cfg.MinGain {
+			continue
+		}
+		cand := split{
+			attr:      a,
+			threshold: (v + col[order[k]]) / 2,
+			gain:      gain,
+			boundary:  boundary,
+		}
+		// The signature is only needed for tie comparisons; skip the
+		// copies when the candidate is not competitive.
+		if !found || cand.gain >= best.gain-1e-12 {
+			cand.signature(left, right)
+			if !found || cand.better(best, 1e-12) {
+				best = cand
+				found = true
 			}
 		}
 	}

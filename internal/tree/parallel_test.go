@@ -1,0 +1,71 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+)
+
+// parallelFixture builds a dataset large enough that the root and first
+// few levels exceed ParallelMinRows, with mixed numeric and categorical
+// attributes and deliberate value ties to stress tie-breaking.
+func parallelFixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	d := dataset.New([]string{"a", "b", "c", "cat", "d"}, []string{"neg", "pos"})
+	if err := d.MarkCategorical(3, []string{"x", "y", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	n := 3 * ParallelMinRows
+	for i := 0; i < n; i++ {
+		a := float64(rng.Intn(50))  // heavy ties
+		b := rng.NormFloat64() * 10 // continuous
+		c := float64(i % 7)         // cyclic ties
+		cat := float64(rng.Intn(3)) // categorical codes
+		e := rng.Float64() * 100    // continuous
+		label := 0
+		if a+b > 25 || (c > 3 && e > 50) || (cat == 2 && e < 20) {
+			label = 1
+		}
+		if rng.Float64() < 0.05 {
+			label = 1 - label // label noise keeps nodes impure deeper down
+		}
+		if err := d.Append([]float64{a, b, c, cat, e}, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestBuildWorkersDeterminism asserts that the concurrent split search
+// mines exactly the tree the serial search mines, for both criteria and
+// both orientations.
+func TestBuildWorkersDeterminism(t *testing.T) {
+	d := parallelFixture(t)
+	for _, crit := range []Criterion{Gini, Entropy, GainRatio} {
+		for _, o := range []Orientation{OrientationCanonical, OrientationRaw} {
+			serial, err := Build(d, Config{MinLeaf: 5, Criterion: crit, Orientation: o, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				fanned, err := Build(d, Config{MinLeaf: 5, Criterion: crit, Orientation: o, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := Marshal(serial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := Marshal(fanned)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(a) != string(b) {
+					t.Fatalf("crit=%v orient=%v: workers=1 and workers=%d trees differ", crit, o, workers)
+				}
+			}
+		}
+	}
+}

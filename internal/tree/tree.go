@@ -113,7 +113,20 @@ type Config struct {
 	// optimum lies on a run boundary); the flag exists to benchmark the
 	// optimization.
 	FullSplitScan bool
+	// Workers bounds the goroutines the per-node split search fans
+	// candidate attributes out over at nodes with at least
+	// ParallelMinRows tuples (smaller nodes stay serial — the fan-out
+	// overhead would dominate). 0 resolves through PRIVTREE_WORKERS and
+	// then GOMAXPROCS; 1 forces a fully serial build. Candidate
+	// evaluation is independent per attribute and the reduction to the
+	// best split folds candidates in attribute order, so the mined tree
+	// is identical at any setting.
+	Workers int
 }
+
+// ParallelMinRows is the node size at which Config.Workers > 1 switches
+// the split search from serial to concurrent attribute evaluation.
+const ParallelMinRows = 2048
 
 func (c Config) withDefaults() Config {
 	if c.MinLeaf <= 0 {

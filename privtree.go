@@ -129,7 +129,9 @@ func UnmarshalKey(data []byte) (*Key, error) { return transform.UnmarshalKey(dat
 type Tree = tree.Tree
 
 // TreeConfig controls decision-tree induction. The zero value uses the
-// gini index with unlimited depth.
+// gini index with unlimited depth. TreeConfig.Workers bounds the
+// goroutines the per-node split search fans out over on large nodes;
+// the mined tree is identical at any setting.
 type TreeConfig = tree.Config
 
 // Split criteria (TreeConfig.Criterion) — the two criteria for which the

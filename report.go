@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"privtree/internal/attack"
+	"privtree/internal/parallel"
 	"privtree/internal/risk"
 )
 
@@ -54,6 +55,12 @@ type RiskOptions struct {
 	Hackers []Hacker
 	// Seed makes the assessment reproducible.
 	Seed int64
+	// Workers bounds the goroutines the randomized trials fan out
+	// over. 0 resolves through PRIVTREE_WORKERS and then GOMAXPROCS; 1
+	// forces serial evaluation. Every trial derives its randomness from
+	// (Seed, attribute, hacker, trial), so the report is identical at
+	// any setting.
+	Workers int
 }
 
 func (o RiskOptions) withDefaults() RiskOptions {
@@ -104,7 +111,6 @@ type RiskReport struct {
 // enc and key must come from one Encode call.
 func AssessRisk(orig, enc *Dataset, key *Key, opts RiskOptions) (*RiskReport, error) {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
 	rep := &RiskReport{}
 	for a := 0; a < orig.NumAttrs(); a++ {
 		if orig.IsCategorical(a) {
@@ -120,13 +126,14 @@ func AssessRisk(orig, enc *Dataset, key *Key, opts RiskOptions) (*RiskReport, er
 			return nil, err
 		}
 		ar := AttrRisk{Attr: orig.AttrNames[a], Domain: map[string]float64{}}
-		for _, h := range opts.Hackers {
-			med, err := risk.MedianOfTrials(opts.Trials, func(int) float64 {
-				r, err := ctx.DomainTrial(rng, opts.Method, h)
-				if err != nil {
-					panic(err) // only config errors reach here; surfaced below
-				}
-				return r
+		for hi, h := range opts.Hackers {
+			// Each (attribute, hacker) cell owns a base stream; each
+			// trial derives its own rand from (base, trial), so the
+			// fanned-out medians match serial evaluation exactly.
+			base := parallel.Seed(opts.Seed, int64(a)*1009+int64(hi))
+			h := h
+			med, err := risk.MedianOfTrialsParallel(opts.Trials, opts.Workers, func(trial int) (float64, error) {
+				return ctx.DomainTrial(parallel.NewRand(base, int64(trial)), opts.Method, h)
 			})
 			if err != nil {
 				return nil, err
@@ -142,13 +149,17 @@ func AssessRisk(orig, enc *Dataset, key *Key, opts RiskOptions) (*RiskReport, er
 	if err != nil {
 		return nil, fmt.Errorf("privtree: mining for pattern risk: %w", err)
 	}
-	pr, err := patternRisk(rng, orig, enc, key, mined, opts)
+	pr, err := patternRisk(parallel.NewRand(opts.Seed, patternStream), orig, enc, key, mined, opts)
 	if err != nil {
 		return nil, err
 	}
 	rep.PatternRisk = pr
 	return rep, nil
 }
+
+// patternStream is the reserved stream index of the pattern-risk
+// evaluation, far outside the (attr*1009 + hacker) cell indices.
+const patternStream = 1 << 40
 
 // categoricalRisk assesses a permutation-encoded categorical attribute
 // against the frequency-matching attack: the hacker knows the true

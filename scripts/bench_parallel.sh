@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench_parallel.sh — run the workers=1 vs workers=4 benchmarks and emit
+# BENCH_parallel.json: one record per benchmark with ns/op at each
+# worker count and the speedup of workers=4 over workers=1.
+#
+# Usage: scripts/bench_parallel.sh [benchtime]   (default 2x)
+#
+# Results are machine-dependent; on a single-core host the speedup
+# hovers around 1.0 because there is nothing to fan out over. The point
+# of the layer is that the output is bit-identical either way, so the
+# worker count is purely a wall-clock knob.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2x}"
+OUT=BENCH_parallel.json
+
+# Bench into a temp file first: a go test failure must abort (set -e)
+# instead of being swallowed by a pipe and clobbering $OUT with an
+# empty benchmark list.
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run xxx -bench 'BenchmarkParallel(Trials|Forest|SplitSearch)' \
+	-benchtime "$BENCHTIME" . >"$RAW"
+
+awk '
+	/^Benchmark/ {
+		# BenchmarkParallelTrials/workers=4-8   100   5152684 ns/op
+		split($1, parts, "/")
+		name = parts[1]
+		sub(/^Benchmark/, "", name)
+		w = parts[2]
+		sub(/^workers=/, "", w)
+		sub(/-[0-9]+$/, "", w)   # strip the GOMAXPROCS suffix
+		ns[name, w] = $3
+		if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+	}
+	END {
+		printf "{\n  \"gomaxprocs\": %d,\n  \"benchmarks\": [\n", procs
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			s = ns[name, 1]; p = ns[name, 4]
+			speedup = (p > 0) ? s / p : 0
+			printf "    {\"name\": \"%s\", \"ns_per_op\": {\"workers_1\": %d, \"workers_4\": %d}, \"speedup\": %.2f}%s\n", \
+				name, s, p, speedup, (i < n) ? "," : ""
+		}
+		printf "  ]\n}\n"
+	}' procs="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" "$RAW" >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
