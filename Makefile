@@ -3,9 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel experiments examples fmt vet clean
+.PHONY: all build test race bench bench-parallel experiments examples fmt vet clean check
 
 all: build test
+
+# The full local gate, mirroring .github/workflows/ci.yml: build, vet,
+# race-enabled tests, and a short parallel-benchmark smoke run (the
+# smoke writes its JSON to a scratch file so the committed
+# BENCH_parallel.json keeps its full-length numbers).
+check: build vet race
+	BENCH_OUT="$$(mktemp)" ./scripts/bench_parallel.sh 1x
 
 # Plain test run; `make race` runs the same suite under the race
 # detector and should be green too — the parallel layer is exercised by

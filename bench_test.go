@@ -10,9 +10,9 @@ import (
 	"privtree/internal/forest"
 	"privtree/internal/parallel"
 	"privtree/internal/perturb"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
 	"privtree/internal/synth"
-	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
 
@@ -332,7 +332,7 @@ func BenchmarkAblationStrategy(b *testing.B) {
 	d := benchData(b, 10000)
 	for _, sub := range []struct {
 		name  string
-		strat transform.Strategy
+		strat pipeline.Strategy
 	}{
 		{"none", StrategyNone}, {"choosebp", StrategyBP}, {"choosemaxmp", StrategyMaxMP},
 	} {

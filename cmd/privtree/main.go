@@ -25,13 +25,24 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"privtree"
+	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
 )
+
+// usageError marks a command-line usage mistake: missing required flags,
+// an unknown subcommand, or an invalid enum value. main exits 2 for
+// these (matching flag.ExitOnError) and 1 for runtime failures, so
+// scripts can tell "you called me wrong" from "the work failed".
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
 
 func main() {
 	if len(os.Args) < 2 {
@@ -59,6 +70,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privtree:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -78,7 +93,7 @@ func strategyFlag(s string) (opt privtree.EncodeOptions, err error) {
 	case "maxmp":
 		opt.Strategy = privtree.StrategyMaxMP
 	default:
-		err = fmt.Errorf("unknown strategy %q (none, bp, maxmp)", s)
+		err = usageError{fmt.Sprintf("unknown strategy %q (none, bp, maxmp)", s)}
 	}
 	return opt, err
 }
@@ -92,9 +107,10 @@ func cmdEncode(args []string) error {
 	w := fs.Int("w", 20, "minimum number of breakpoints")
 	minWidth := fs.Int("minwidth", 5, "monochromatic piece width threshold")
 	seed := fs.Int64("seed", 1, "random seed")
+	chunk := fs.Int("chunk", 0, "tuples per streamed output block (0 = default)")
 	fs.Parse(args)
 	if *in == "" || *out == "" || *keyPath == "" {
-		return fmt.Errorf("encode needs -in, -out and -key")
+		return usageError{"encode needs -in, -out and -key"}
 	}
 	opts, err := strategyFlag(*strategy)
 	if err != nil {
@@ -106,18 +122,29 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
-	enc, key, err := privtree.Encode(d, opts, *seed)
+	key, err := privtree.BuildKey(d, opts, *seed)
 	if err != nil {
 		return err
 	}
-	if err := privtree.WriteCSVFile(enc, *out); err != nil {
+	if err := privtree.SaveKey(key, *keyPath); err != nil {
 		return err
 	}
-	blob, err := privtree.MarshalKey(key)
+	// Stream the transformed data out block-wise: the key is built, so
+	// the apply stage never needs the encoded relation in memory.
+	outSchema, err := pipeline.OutputSchema(key, d.Schema())
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*keyPath, blob, 0o600); err != nil {
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	sink := dataset.NewCSVSink(f, outSchema)
+	if err := pipeline.ApplyStream(key, dataset.NewDatasetSource(d), sink, *chunk, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("encoded %d tuples × %d attributes → %s (key: %s)\n",
@@ -141,7 +168,7 @@ func treeConfig(criterion string, minLeaf, maxDepth int) (privtree.TreeConfig, e
 	case "entropy":
 		cfg.Criterion = privtree.Entropy
 	default:
-		return cfg, fmt.Errorf("unknown criterion %q", criterion)
+		return cfg, usageError{fmt.Sprintf("unknown criterion %q", criterion)}
 	}
 	return cfg, nil
 }
@@ -153,7 +180,7 @@ func cmdMine(args []string) error {
 	criterion, minLeaf, maxDepth := treeFlags(fs)
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("mine needs -in")
+		return usageError{"mine needs -in"}
 	}
 	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
 	if err != nil {
@@ -193,7 +220,7 @@ func cmdDecode(args []string) error {
 	criterion, minLeaf, maxDepth := treeFlags(fs)
 	fs.Parse(args)
 	if (*in == "" && *treePath == "") || *orig == "" || *keyPath == "" {
-		return fmt.Errorf("decode needs -orig, -key, and one of -in or -tree")
+		return usageError{"decode needs -orig, -key, and one of -in or -tree"}
 	}
 	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
 	if err != nil {
@@ -203,11 +230,7 @@ func cmdDecode(args []string) error {
 	if err != nil {
 		return err
 	}
-	blob, err := os.ReadFile(*keyPath)
-	if err != nil {
-		return err
-	}
-	key, err := privtree.UnmarshalKey(blob)
+	key, err := privtree.LoadKey(*keyPath)
 	if err != nil {
 		return err
 	}
@@ -253,7 +276,7 @@ func cmdAppend(args []string) error {
 	out := fs.String("out", "", "output CSV for the encoded batch")
 	fs.Parse(args)
 	if *orig == "" || *batchPath == "" || *keyPath == "" || *out == "" {
-		return fmt.Errorf("append needs -orig, -batch, -key and -out")
+		return usageError{"append needs -orig, -batch, -key and -out"}
 	}
 	d, err := privtree.ReadCSVFile(*orig)
 	if err != nil {
@@ -263,22 +286,27 @@ func cmdAppend(args []string) error {
 	if err != nil {
 		return err
 	}
-	blob, err := os.ReadFile(*keyPath)
-	if err != nil {
-		return err
-	}
-	key, err := privtree.UnmarshalKey(blob)
+	key, err := privtree.LoadKey(*keyPath)
 	if err != nil {
 		return err
 	}
 	if err := privtree.CanAppend(key, d, b); err != nil {
 		return fmt.Errorf("batch cannot reuse this key (re-encode everything with a fresh key): %w", err)
 	}
-	encBatch, err := key.Apply(b)
+	outSchema, err := pipeline.OutputSchema(key, b.Schema())
 	if err != nil {
 		return err
 	}
-	if err := privtree.WriteCSVFile(encBatch, *out); err != nil {
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	sink := dataset.NewCSVSink(f, outSchema)
+	if err := pipeline.ApplyStream(key, dataset.NewDatasetSource(b), sink, 0, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("batch of %d tuples encoded under the existing key → %s\n", b.NumTuples(), *out)
@@ -293,7 +321,7 @@ func cmdRisk(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("risk needs -in")
+		return usageError{"risk needs -in"}
 	}
 	d, err := privtree.ReadCSVFile(*in)
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -72,6 +73,39 @@ func TestCommandFlagValidation(t *testing.T) {
 	train := writeFixture(t, dir)
 	if err := cmdEncode([]string{"-in", train, "-out", filepath.Join(dir, "e.csv"), "-key", filepath.Join(dir, "k.json"), "-strategy", "bogus"}); err == nil {
 		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	// Usage mistakes must surface as usageError (exit 2); runtime
+	// failures must not (exit 1).
+	usageCases := map[string]error{
+		"missing flags":    cmdEncode([]string{"-in", "x"}),
+		"unknown strategy": func() error { _, err := strategyFlag("bogus"); return err }(),
+		"mine no -in":      cmdMine(nil),
+		"decode no flags":  cmdDecode(nil),
+		"risk no -in":      cmdRisk(nil),
+		"append no flags":  cmdAppend(nil),
+	}
+	for name, err := range usageCases {
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: %v is not a usageError", name, err)
+		}
+	}
+	runtimeCases := map[string]error{
+		"missing input file": cmdMine([]string{"-in", "missing.csv"}),
+		"missing key file":   cmdDecode([]string{"-in", "e.csv", "-orig", "t.csv", "-key", "nope.json"}),
+	}
+	for name, err := range runtimeCases {
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+			continue
+		}
+		var ue usageError
+		if errors.As(err, &ue) {
+			t.Errorf("%s: %v wrongly classified as usage error", name, err)
+		}
 	}
 }
 

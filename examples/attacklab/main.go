@@ -13,9 +13,9 @@ import (
 	"math/rand"
 
 	"privtree/internal/attack"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
 	"privtree/internal/synth"
-	"privtree/internal/transform"
 )
 
 func main() {
@@ -28,10 +28,10 @@ func main() {
 	// worst-case attribute 2 (aspect: dense, classless).
 	for _, a := range []int{0, 1} {
 		fmt.Printf("=== attribute %d (%s) ===\n", a+1, d.AttrNames[a])
-		for _, strat := range []transform.Strategy{
-			transform.StrategyNone, transform.StrategyBP, transform.StrategyMaxMP,
+		for _, strat := range []pipeline.Strategy{
+			pipeline.StrategyNone, pipeline.StrategyBP, pipeline.StrategyMaxMP,
 		} {
-			enc, key, err := transform.Encode(d, transform.Options{Strategy: strat}, rng)
+			enc, key, err := pipeline.Encode(d, pipeline.Options{Strategy: strat}, rng)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -65,7 +65,7 @@ func main() {
 	// hacker? Fit all three models to the same knowledge points and
 	// fuse the verdicts.
 	fmt.Println("=== combination attack on attribute 10 (sqrt(log) pieces) ===")
-	enc, key, err := transform.Encode(d, transform.Options{Families: []string{"sqrtlog"}}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{Families: []string{"sqrtlog"}}, rng)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,15 +16,15 @@ import "fmt"
 // in [0, len(names))).
 func (d *Dataset) MarkCategorical(a int, names []string) error {
 	if a < 0 || a >= d.NumAttrs() {
-		return fmt.Errorf("dataset: attribute %d out of range", a)
+		return fmt.Errorf("attribute %d out of range: %w", a, ErrSchemaMismatch)
 	}
 	if len(names) == 0 {
-		return fmt.Errorf("dataset: categorical attribute needs at least one category")
+		return fmt.Errorf("categorical attribute needs at least one category: %w", ErrBadCategory)
 	}
 	for i, v := range d.Cols[a] {
 		code := int(v)
 		if float64(code) != v || code < 0 || code >= len(names) {
-			return fmt.Errorf("dataset: tuple %d has invalid category code %v for attribute %q", i, v, d.AttrNames[a])
+			return fmt.Errorf("tuple %d has invalid category code %v for attribute %q: %w", i, v, d.AttrNames[a], ErrBadCategory)
 		}
 	}
 	if d.catNames == nil {
@@ -66,12 +66,12 @@ func (d *Dataset) CatName(a, c int) string {
 func (d *Dataset) validateCategorical() error {
 	for a, names := range d.catNames {
 		if a < 0 || a >= d.NumAttrs() {
-			return fmt.Errorf("dataset: categorical metadata for missing attribute %d", a)
+			return fmt.Errorf("categorical metadata for missing attribute %d: %w", a, ErrBadCategory)
 		}
 		for i, v := range d.Cols[a] {
 			code := int(v)
 			if float64(code) != v || code < 0 || code >= len(names) {
-				return fmt.Errorf("dataset: tuple %d has invalid category code %v for attribute %q", i, v, d.AttrNames[a])
+				return fmt.Errorf("tuple %d has invalid category code %v for attribute %q: %w", i, v, d.AttrNames[a], ErrBadCategory)
 			}
 		}
 	}

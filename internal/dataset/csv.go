@@ -37,10 +37,10 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading header: %w", err)
+		return nil, fmt.Errorf("reading header: %w: %w", err, ErrMalformedCSV)
 	}
 	if len(header) < 2 {
-		return nil, fmt.Errorf("dataset: need at least one attribute and a class column, got %d columns", len(header))
+		return nil, fmt.Errorf("need at least one attribute and a class column, got %d columns: %w", len(header), ErrMalformedCSV)
 	}
 	attrs := header[:len(header)-1]
 	d := New(attrs, nil)
@@ -51,15 +51,15 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+			return nil, fmt.Errorf("line %d: %w: %w", line, err, ErrMalformedCSV)
 		}
 		if len(rec) != len(header) {
-			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), len(header))
+			return nil, fmt.Errorf("line %d has %d fields, want %d: %w", line, len(rec), len(header), ErrMalformedCSV)
 		}
 		for a := 0; a < len(attrs); a++ {
 			v, err := strconv.ParseFloat(rec[a], 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d attribute %q: %w", line, attrs[a], err)
+				return nil, fmt.Errorf("line %d attribute %q: %w: %w", line, attrs[a], err, ErrMalformedCSV)
 			}
 			d.Cols[a] = append(d.Cols[a], v)
 		}

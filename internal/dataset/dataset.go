@@ -7,7 +7,6 @@
 package dataset
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 )
@@ -53,10 +52,10 @@ func (d *Dataset) NumClasses() int { return len(d.ClassNames) }
 // label must be a valid class index.
 func (d *Dataset) Append(vals []float64, label int) error {
 	if len(vals) != d.NumAttrs() {
-		return fmt.Errorf("dataset: tuple has %d values, want %d", len(vals), d.NumAttrs())
+		return fmt.Errorf("tuple has %d values, want %d: %w", len(vals), d.NumAttrs(), ErrSchemaMismatch)
 	}
 	if label < 0 || label >= len(d.ClassNames) {
-		return fmt.Errorf("dataset: label %d out of range [0,%d)", label, len(d.ClassNames))
+		return fmt.Errorf("label %d out of range [0,%d): %w", label, len(d.ClassNames), ErrBadLabel)
 	}
 	for a, v := range vals {
 		d.Cols[a] = append(d.Cols[a], v)
@@ -98,17 +97,17 @@ func (d *Dataset) Clone() *Dataset {
 // column lengths, valid labels, and non-empty attribute metadata.
 func (d *Dataset) Validate() error {
 	if len(d.AttrNames) != len(d.Cols) {
-		return errors.New("dataset: attribute names and columns disagree")
+		return fmt.Errorf("attribute names and columns disagree: %w", ErrSchemaMismatch)
 	}
 	n := len(d.Labels)
 	for a, col := range d.Cols {
 		if len(col) != n {
-			return fmt.Errorf("dataset: column %q has %d values, want %d", d.AttrNames[a], len(col), n)
+			return fmt.Errorf("column %q has %d values, want %d: %w", d.AttrNames[a], len(col), n, ErrSchemaMismatch)
 		}
 	}
 	for i, l := range d.Labels {
 		if l < 0 || l >= len(d.ClassNames) {
-			return fmt.Errorf("dataset: tuple %d has label %d out of range", i, l)
+			return fmt.Errorf("tuple %d has label %d out of range: %w", i, l, ErrBadLabel)
 		}
 	}
 	return d.validateCategorical()

@@ -1,7 +1,7 @@
 package dataset
 
 import (
-	"errors"
+	"fmt"
 	"math/rand"
 )
 
@@ -11,11 +11,11 @@ import (
 // synthetic workloads this is adequate for holdout evaluation.
 func (d *Dataset) TrainTestSplit(rng *rand.Rand, trainFrac float64) (train, test *Dataset, err error) {
 	if trainFrac <= 0 || trainFrac >= 1 {
-		return nil, nil, errors.New("dataset: train fraction must be in (0,1)")
+		return nil, nil, fmt.Errorf("train fraction must be in (0,1): %w", ErrBadSplit)
 	}
 	n := d.NumTuples()
 	if n < 2 {
-		return nil, nil, errors.New("dataset: need at least 2 tuples to split")
+		return nil, nil, fmt.Errorf("need at least 2 tuples to split: %w", ErrBadSplit)
 	}
 	perm := rng.Perm(n)
 	cut := int(float64(n) * trainFrac)
@@ -35,13 +35,13 @@ func (d *Dataset) TrainTestSplit(rng *rand.Rand, trainFrac float64) (train, test
 func (d *Dataset) Fold(perm []int, i, k int) (train, test *Dataset, err error) {
 	n := d.NumTuples()
 	if k < 2 || k > n {
-		return nil, nil, errors.New("dataset: fold count out of range")
+		return nil, nil, fmt.Errorf("fold count out of range: %w", ErrBadSplit)
 	}
 	if i < 0 || i >= k {
-		return nil, nil, errors.New("dataset: fold index out of range")
+		return nil, nil, fmt.Errorf("fold index out of range: %w", ErrBadSplit)
 	}
 	if len(perm) != n {
-		return nil, nil, errors.New("dataset: permutation length mismatch")
+		return nil, nil, fmt.Errorf("permutation length mismatch: %w", ErrBadSplit)
 	}
 	lo := i * n / k
 	hi := (i + 1) * n / k

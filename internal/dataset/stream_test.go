@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func streamFixture(t *testing.T, n int) *Dataset {
+	t.Helper()
+	d := New([]string{"a", "b", "c"}, []string{"X", "Y", "Z"})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		row := []float64{rng.NormFloat64() * 10, float64(rng.Intn(50)), rng.Float64()}
+		if err := d.Append(row, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func drain(t *testing.T, src Source, sink Sink, chunk int) {
+	t.Helper()
+	for {
+		blk, err := src.Next(chunk)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Write(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetSourceCollectorRoundTrip(t *testing.T) {
+	d := streamFixture(t, 1000)
+	for _, chunk := range []int{0, 1, 7, 1000, 5000} {
+		src := NewDatasetSource(d)
+		col := NewCollector(src.Schema())
+		drain(t, src, col, chunk)
+		got, err := col.Dataset()
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if !d.Equal(got) {
+			t.Fatalf("chunk=%d: collected dataset differs from source", chunk)
+		}
+	}
+}
+
+func TestDatasetSourceBlocksAreCopies(t *testing.T) {
+	d := streamFixture(t, 10)
+	src := NewDatasetSource(d)
+	blk, err := src.Next(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk.Cols[0][0] = -12345
+	if d.Cols[0][0] == -12345 {
+		t.Fatal("mutating a block mutated the backing dataset")
+	}
+}
+
+func TestCSVSourceMatchesReadCSV(t *testing.T) {
+	d := streamFixture(t, 500)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{0, 1, 13, 1000} {
+		src, err := NewCSVSource(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := NewCollector(src.Schema())
+		drain(t, src, col, chunk)
+		got, err := col.Dataset()
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("chunk=%d: streamed CSV differs from ReadCSV", chunk)
+		}
+	}
+}
+
+func TestCSVSinkMatchesWriteCSV(t *testing.T) {
+	d := streamFixture(t, 300)
+	var want bytes.Buffer
+	if err := d.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 64, 1000} {
+		var got bytes.Buffer
+		src := NewDatasetSource(d)
+		drain(t, src, NewCSVSink(&got, src.Schema()), chunk)
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("chunk=%d: CSVSink output differs from Dataset.WriteCSV", chunk)
+		}
+	}
+}
+
+func TestCSVSinkEmptyStreamWritesHeader(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSVSink(&buf, &Schema{AttrNames: []string{"a", "b"}})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b,class\n" {
+		t.Fatalf("empty stream wrote %q, want header only", got)
+	}
+}
+
+func TestCSVSourceErrors(t *testing.T) {
+	cases := []string{
+		"",               // no header at all
+		"onlyone\n1\n",   // fewer than two columns
+		"a,class\nx,P\n", // non-numeric attribute value
+		"a,class\n1\n",   // wrong field count rejected by csv.Reader
+	}
+	for i, c := range cases {
+		src, err := NewCSVSource(strings.NewReader(c))
+		if err == nil {
+			_, err = src.Next(0)
+		}
+		if !errors.Is(err, ErrMalformedCSV) {
+			t.Errorf("case %d: got %v, want ErrMalformedCSV", i, err)
+		}
+	}
+}
+
+func TestCSVSourceLiveClassNames(t *testing.T) {
+	// The schema's ClassNames must grow block by block, in order of
+	// first appearance, exactly like ReadCSV.
+	csvData := "a,class\n1,P\n2,Q\n3,P\n4,R\n"
+	src, err := NewCSVSource(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.Schema().ClassNames) != 0 {
+		t.Fatal("classes known before any block was read")
+	}
+	if _, err := src.Next(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Schema().ClassNames; len(got) != 2 || got[0] != "P" || got[1] != "Q" {
+		t.Fatalf("after first block: ClassNames = %v", got)
+	}
+	if _, err := src.Next(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Schema().ClassNames; len(got) != 3 || got[2] != "R" {
+		t.Fatalf("after second block: ClassNames = %v", got)
+	}
+}
+
+func TestCollectorSchemaMismatch(t *testing.T) {
+	col := NewCollector(&Schema{AttrNames: []string{"a", "b"}})
+	err := col.Write(&Block{Cols: [][]float64{{1}}, Labels: []int{0}})
+	if !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("got %v, want ErrSchemaMismatch", err)
+	}
+}
+
+func TestSchemaCloneIndependence(t *testing.T) {
+	s := &Schema{
+		AttrNames:   []string{"a"},
+		ClassNames:  []string{"X"},
+		Categorical: map[int][]string{0: {"u", "v"}},
+	}
+	c := s.Clone()
+	s.ClassNames = append(s.ClassNames, "Y")
+	s.Categorical[0][0] = "w"
+	if len(c.ClassNames) != 1 || c.Categorical[0][0] != "u" {
+		t.Fatal("Clone aliases the original schema")
+	}
+}

@@ -6,8 +6,8 @@ import (
 	"math/rand"
 
 	"privtree/internal/attack"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
-	"privtree/internal/transform"
 )
 
 // AblationResult sweeps the two tunables of the piecewise framework on
@@ -47,14 +47,14 @@ func Ablation(cfg *Config) (*AblationResult, error) {
 	// cells × trials units fan out over the configured workers on
 	// per-(cell, trial) derived random streams.
 	nw := len(res.Ws)
-	cellOpts := make([]transform.Options, 0, nw+len(res.MinWidths))
+	cellOpts := make([]pipeline.Options, 0, nw+len(res.MinWidths))
 	for _, w := range res.Ws {
-		opts := cfg.encodeOptions(transform.StrategyBP)
+		opts := cfg.encodeOptions(pipeline.StrategyBP)
 		opts.Breakpoints = w
 		cellOpts = append(cellOpts, opts)
 	}
 	for _, mw := range res.MinWidths {
-		opts := cfg.encodeOptions(transform.StrategyMaxMP)
+		opts := cfg.encodeOptions(pipeline.StrategyMaxMP)
 		opts.MinPieceWidth = mw
 		cellOpts = append(cellOpts, opts)
 	}

@@ -6,8 +6,8 @@ import (
 	"math/rand"
 
 	"privtree/internal/attack"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
-	"privtree/internal/transform"
 )
 
 // BadKPResult reproduces the last observation of Section 6.2.1: the
@@ -39,7 +39,7 @@ func BadKP(cfg *Config) (*BadKPResult, error) {
 	if attr >= d.NumAttrs() {
 		attr = d.NumAttrs() - 1
 	}
-	opts := cfg.encodeOptions(transform.StrategyMaxMP)
+	opts := cfg.encodeOptions(pipeline.StrategyMaxMP)
 	res := &BadKPResult{Rhos: []float64{0.01, 0.02, 0.05}}
 	bads := []int{0, 1, 2}
 	meds, err := cfg.gridMedians(len(res.Rhos)*len(bads),

@@ -15,6 +15,7 @@ import (
 
 	"privtree/internal/dataset"
 	"privtree/internal/parallel"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
 	"privtree/internal/stats"
 	"privtree/internal/synth"
@@ -143,8 +144,8 @@ func (c *Config) gridMedians(cells int, offset func(cell int) int64, trial func(
 
 // encodeOptions builds the encoder options for a strategy with this
 // configuration's breakpoint parameters.
-func (c *Config) encodeOptions(strategy transform.Strategy, families ...string) transform.Options {
-	return transform.Options{
+func (c *Config) encodeOptions(strategy pipeline.Strategy, families ...string) pipeline.Options {
+	return pipeline.Options{
 		Strategy:      strategy,
 		Breakpoints:   c.W,
 		MinPieceWidth: c.MinWidth,
@@ -156,8 +157,8 @@ func (c *Config) encodeOptions(strategy transform.Strategy, families ...string) 
 // builds its attack context without materializing the whole transformed
 // data set: the distinct transformed values are the images of the
 // distinct original values.
-func attrContext(d *dataset.Dataset, a int, opts transform.Options, rhoFrac float64, rng *rand.Rand) (risk.AttrContext, *transform.AttributeKey, error) {
-	ak, err := transform.EncodeAttr(d, a, opts, rng)
+func attrContext(d *dataset.Dataset, a int, opts pipeline.Options, rhoFrac float64, rng *rand.Rand) (risk.AttrContext, *transform.AttributeKey, error) {
+	ak, err := pipeline.EncodeColumn(d, a, opts, rng)
 	if err != nil {
 		return risk.AttrContext{}, nil, err
 	}

@@ -6,9 +6,9 @@ import (
 	"sort"
 
 	"privtree/internal/attack"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
 	"privtree/internal/stats"
-	"privtree/internal/transform"
 )
 
 // Fig10Result reproduces Figure 10's combination attack on attribute 10
@@ -37,7 +37,7 @@ func Fig10(cfg *Config) (*Fig10Result, error) {
 		return nil, err
 	}
 	rng := cfg.rng(10)
-	opts := cfg.encodeOptions(transform.StrategyMaxMP, "sqrtlog")
+	opts := cfg.encodeOptions(pipeline.StrategyMaxMP, "sqrtlog")
 	methods := attack.Methods()
 	names := make([]string, len(methods))
 	for i, m := range methods {

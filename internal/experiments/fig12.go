@@ -10,9 +10,9 @@ import (
 
 	"privtree/internal/attack"
 	"privtree/internal/parallel"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
 	"privtree/internal/stats"
-	"privtree/internal/transform"
 )
 
 // Fig12Bar is one bar of Figure 12: a subspace (singleton bars show the
@@ -64,7 +64,7 @@ func Fig12(cfg *Config) (*Fig12Result, error) {
 		}
 	}
 	sort.Ints(involved)
-	opts := cfg.encodeOptions(transform.StrategyMaxMP)
+	opts := cfg.encodeOptions(pipeline.StrategyMaxMP)
 	perBar := make([][]float64, len(subspaces))
 	for b := range perBar {
 		perBar[b] = make([]float64, cfg.Trials)
@@ -92,7 +92,7 @@ func Fig12(cfg *Config) (*Fig12Result, error) {
 
 // fig12Trial runs one randomized trial: one encoding + one fitted
 // attack per involved attribute, then every subspace's crack rate.
-func fig12Trial(cfg *Config, d *dataset.Dataset, involved []int, subspaces [][]int, opts transform.Options, t int, perBar [][]float64) error {
+func fig12Trial(cfg *Config, d *dataset.Dataset, involved []int, subspaces [][]int, opts pipeline.Options, t int, perBar [][]float64) error {
 	rng := cfg.rng(int64(12000 + t))
 	gs := map[int]attack.CrackFunc{}
 	truths := map[int]attack.Oracle{}

@@ -6,9 +6,9 @@ import (
 	"math/rand"
 
 	"privtree/internal/attack"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
 	"privtree/internal/runs"
-	"privtree/internal/transform"
 )
 
 // Fig9Row holds the four bars of one attribute in Figure 9: domain
@@ -36,14 +36,14 @@ type Fig9Result struct {
 
 // fig9Cells lists the five bars of each attribute in column order.
 var fig9Cells = []struct {
-	strategy transform.Strategy
+	strategy pipeline.Strategy
 	hacker   risk.Hacker
 }{
-	{transform.StrategyNone, risk.Expert},
-	{transform.StrategyBP, risk.Expert},
-	{transform.StrategyMaxMP, risk.Expert},
-	{transform.StrategyMaxMP, risk.Knowledgeable},
-	{transform.StrategyMaxMP, risk.Ignorant},
+	{pipeline.StrategyNone, risk.Expert},
+	{pipeline.StrategyBP, risk.Expert},
+	{pipeline.StrategyMaxMP, risk.Expert},
+	{pipeline.StrategyMaxMP, risk.Knowledgeable},
+	{pipeline.StrategyMaxMP, risk.Ignorant},
 }
 
 // Fig9 computes the domain-disclosure comparison. For a fair comparison

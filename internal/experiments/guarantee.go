@@ -2,17 +2,19 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
 
 // GuaranteeCase is one configuration of the no-outcome-change check.
 type GuaranteeCase struct {
-	Strategy  transform.Strategy
+	Strategy  pipeline.Strategy
 	Criterion tree.Criterion
 	Anti      bool
 	OK        bool
@@ -42,21 +44,26 @@ func Guarantee(cfg *Config) (*GuaranteeResult, error) {
 	rng := cfg.rng(2)
 	res := &GuaranteeResult{}
 	treeCfg := tree.Config{MinLeaf: 5}
-	for _, strat := range []transform.Strategy{transform.StrategyNone, transform.StrategyBP, transform.StrategyMaxMP} {
+	for _, strat := range []pipeline.Strategy{pipeline.StrategyNone, pipeline.StrategyBP, pipeline.StrategyMaxMP} {
 		for _, crit := range []tree.Criterion{tree.Gini, tree.Entropy} {
 			for _, anti := range []bool{false, true} {
 				c := GuaranteeCase{Strategy: strat, Criterion: crit, Anti: anti}
 				opts := cfg.encodeOptions(strat)
 				opts.Anti = anti
-				enc, key, err := transform.Encode(d, opts, rng)
+				enc, key, err := pipeline.Encode(d, opts, rng)
 				if err != nil {
 					return nil, err
 				}
 				if res.Unchanged == 0 {
 					res.Unchanged = transform.VerifyEveryValueChanged(d, enc)
 				}
-				if res.KeyBytes == 0 && strat == transform.StrategyMaxMP {
-					if blob, err := transform.MarshalKey(key); err == nil {
+				if res.KeyBytes == 0 && strat == pipeline.StrategyMaxMP {
+					// Measure the key payload — the per-attribute pieces —
+					// without the constant-size wire-version envelope, so
+					// the reported figure is the decode material itself.
+					if blob, err := json.MarshalIndent(struct {
+						Attrs []*transform.AttributeKey
+					}{key.Attrs}, "", "  "); err == nil {
 						res.KeyBytes = len(blob)
 					}
 					var buf bytes.Buffer

@@ -5,7 +5,7 @@ import (
 	"io"
 
 	"privtree/internal/perturb"
-	"privtree/internal/transform"
+	"privtree/internal/pipeline"
 	"privtree/internal/tree"
 )
 
@@ -94,7 +94,7 @@ func PerturbBaseline(cfg *Config) (*PerturbResult, error) {
 		})
 	}
 	// The piecewise framework row.
-	enc, key, err := transform.Encode(d, cfg.encodeOptions(transform.StrategyMaxMP), rng)
+	enc, key, err := pipeline.Encode(d, cfg.encodeOptions(pipeline.StrategyMaxMP), rng)
 	if err != nil {
 		return nil, err
 	}

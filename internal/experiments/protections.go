@@ -8,6 +8,7 @@ import (
 	"privtree/internal/dataset"
 	"privtree/internal/kanon"
 	"privtree/internal/perturb"
+	"privtree/internal/pipeline"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
@@ -85,7 +86,7 @@ func Protections(cfg *Config) (*ProtectionsResult, error) {
 
 	// 1. OPE-flavored: one random monotone function per attribute —
 	// order fully preserved, so the rank attack applies everywhere.
-	opeEnc, opeKey, err := transform.Encode(d, cfg.encodeOptions(transform.StrategyNone), rng)
+	opeEnc, opeKey, err := pipeline.Encode(d, cfg.encodeOptions(pipeline.StrategyNone), rng)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +136,7 @@ func Protections(cfg *Config) (*ProtectionsResult, error) {
 	res.Rows = append(res.Rows, row)
 
 	// 4. The piecewise framework.
-	enc, key, err := transform.Encode(d, cfg.encodeOptions(transform.StrategyMaxMP), rng)
+	enc, key, err := pipeline.Encode(d, cfg.encodeOptions(pipeline.StrategyMaxMP), rng)
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"privtree/internal/pipeline"
 	"privtree/internal/svm"
-	"privtree/internal/transform"
 )
 
 // SVMExtResult explores the paper's Section 7 future work: extending the
@@ -78,7 +78,7 @@ func SVMExt(cfg *Config) (*SVMExtResult, error) {
 	}
 
 	// Piecewise encoding does not preserve the SVM...
-	penc, _, err := transform.Encode(d, cfg.encodeOptions(transform.StrategyMaxMP), rng)
+	penc, _, err := pipeline.Encode(d, cfg.encodeOptions(pipeline.StrategyMaxMP), rng)
 	if err != nil {
 		return nil, err
 	}

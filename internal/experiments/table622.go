@@ -6,8 +6,8 @@ import (
 	"math/rand"
 
 	"privtree/internal/attack"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
-	"privtree/internal/transform"
 )
 
 // Table622Result reproduces the Section 6.2.2 table: domain disclosure
@@ -45,7 +45,7 @@ func Table622(cfg *Config) (*Table622Result, error) {
 		func(cell int, rng *rand.Rand) (float64, error) {
 			m := res.Methods[cell/nf]
 			fam := res.Families[cell%nf]
-			opts := cfg.encodeOptions(transform.StrategyMaxMP, fam)
+			opts := cfg.encodeOptions(pipeline.StrategyMaxMP, fam)
 			ctx, _, err := attrContext(d, Table622Attr, opts, cfg.RhoFrac, rng)
 			if err != nil {
 				return 0, err

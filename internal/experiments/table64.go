@@ -5,8 +5,8 @@ import (
 	"io"
 
 	"privtree/internal/attack"
+	"privtree/internal/pipeline"
 	"privtree/internal/risk"
-	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
 
@@ -33,8 +33,8 @@ func Table64(cfg *Config) (*Table64Result, error) {
 		return nil, err
 	}
 	rng := cfg.rng(64)
-	opts := cfg.encodeOptions(transform.StrategyMaxMP)
-	enc, key, err := transform.Encode(d, opts, rng)
+	opts := cfg.encodeOptions(pipeline.StrategyMaxMP)
+	enc, key, err := pipeline.Encode(d, opts, rng)
 	if err != nil {
 		return nil, err
 	}

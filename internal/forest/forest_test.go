@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
 	"privtree/internal/synth"
-	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
 
@@ -70,7 +70,7 @@ func TestForestNoOutcomeChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc, key, err := transform.Encode(d, transform.Options{}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestDecodeConfigMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc, key, err := transform.Encode(d, transform.Options{}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestWorkersDeterminism(t *testing.T) {
 		t.Error("OOB error differs across worker counts")
 	}
 	// Decode must be deterministic across worker counts too.
-	enc, key, err := transform.Encode(d, transform.Options{}, rand.New(rand.NewSource(7)))
+	enc, key, err := pipeline.Encode(d, pipeline.Options{}, rand.New(rand.NewSource(7)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
 	"privtree/internal/synth"
-	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
 
@@ -98,7 +98,7 @@ func TestKAnonymityChangesMiningOutcome(t *testing.T) {
 		t.Errorf("generalization should cost accuracy: %v vs %v", at.Accuracy(d), orig.Accuracy(d))
 	}
 	// Contrast: the piecewise framework preserves it exactly.
-	enc, key, err := transform.Encode(d, transform.Options{}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
-	"privtree/internal/transform"
+	"privtree/internal/pipeline"
 	"privtree/internal/tree"
 )
 
@@ -105,7 +105,7 @@ func TestDiscretizedPerturbationLeaksValues(t *testing.T) {
 		t.Errorf("unchanged fraction = %v, want around 0.25", frac)
 	}
 	// Contrast: the piecewise transformation changes everything.
-	enc, _, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	enc, _, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestPerturbationChangesOutcome(t *testing.T) {
 		t.Error("perturbed tree should disagree somewhere")
 	}
 	// The piecewise transformation preserves it exactly.
-	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
-	"privtree/internal/transform"
+	"privtree/internal/pipeline"
 )
 
 // correlatedDataset builds strongly correlated attributes: a latent
@@ -64,7 +64,7 @@ func TestSpectralFilterUselessAgainstPiecewise(t *testing.T) {
 	// invert the secret key. The crack rate stays at (near) zero.
 	rng := rand.New(rand.NewSource(2))
 	d := correlatedDataset(rng, 3000)
-	enc, _, err := transform.Encode(d, transform.Options{}, rng)
+	enc, _, err := pipeline.Encode(d, pipeline.Options{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-package transform
+package pipeline
 
 import (
 	"math/rand"

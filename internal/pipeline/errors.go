@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stage names, as reported by StageError. They match the pipeline's
+// package-level documentation: profile → choose → draw → verify →
+// apply.
+const (
+	StageProfile = "profile"
+	StageChoose  = "choose"
+	StageDraw    = "draw"
+	StageVerify  = "verify"
+	StageApply   = "apply"
+)
+
+// Sentinel errors of the encode pipeline. Stage failures wrap these (or
+// sentinels of the dataset/transform packages) inside a StageError, so
+// callers can both errors.Is against the cause and report which stage
+// and attribute failed.
+var (
+	// ErrUnknownStrategy reports an Options.Strategy outside the
+	// declared enum.
+	ErrUnknownStrategy = errors.New("pipeline: unknown breakpoint strategy")
+	// ErrNoValues reports an attribute with no values to encode.
+	ErrNoValues = errors.New("pipeline: attribute has no values")
+)
+
+// StageError identifies the pipeline stage (and, when per-attribute,
+// the attribute) at which encoding failed. It wraps the underlying
+// cause, so errors.Is/As reach the sentinel through it.
+type StageError struct {
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Attr is the attribute name, empty for whole-dataset failures.
+	Attr string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error; the message names the stage and attribute so
+// operators can see where in the pipeline a dataset failed.
+func (e *StageError) Error() string {
+	if e.Attr == "" {
+		return fmt.Sprintf("pipeline: stage %s: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("pipeline: stage %s: attribute %q: %v", e.Stage, e.Attr, e.Err)
+}
+
+// Unwrap implements errors.Unwrap.
+func (e *StageError) Unwrap() error { return e.Err }

@@ -1,0 +1,79 @@
+package pipeline
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"privtree/internal/transform"
+)
+
+// TestEncodeWorkerCountInvariance pins the pipeline's determinism
+// contract: the encoded data set and key are byte-identical whether the
+// pure stages run serially or fanned out, because randomness is
+// consumed only by the serial choose/draw stages.
+func TestEncodeWorkerCountInvariance(t *testing.T) {
+	workloads := legacyWorkloads(t, 300)
+	for name, d := range workloads {
+		for _, strat := range []Strategy{StrategyNone, StrategyBP, StrategyMaxMP} {
+			opts := Options{Strategy: strat, Breakpoints: 6, MinPieceWidth: 3, Workers: 1}
+			baseEnc, baseKey, err := Encode(d, opts, rand.New(rand.NewSource(5)))
+			if err != nil {
+				t.Fatalf("%s/%v workers=1: %v", name, strat, err)
+			}
+			baseBlob, err := transform.MarshalKey(baseKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				opts.Workers = workers
+				enc, key, err := Encode(d, opts, rand.New(rand.NewSource(5)))
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d: %v", name, strat, workers, err)
+				}
+				blob, err := transform.MarshalKey(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(baseBlob, blob) {
+					t.Fatalf("%s/%v: key differs between workers=1 and workers=%d", name, strat, workers)
+				}
+				if !baseEnc.Equal(enc) {
+					t.Fatalf("%s/%v: encoded data differs between workers=1 and workers=%d", name, strat, workers)
+				}
+				for a := range baseEnc.Cols {
+					for i := range baseEnc.Cols[a] {
+						if math.Float64bits(baseEnc.Cols[a][i]) != math.Float64bits(enc.Cols[a][i]) {
+							t.Fatalf("%s/%v workers=%d: attr %d tuple %d differs bitwise",
+								name, strat, workers, a, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyMatchesKeyApply pins the parallel apply stage against the
+// serial reference transform.Key.Apply.
+func TestApplyMatchesKeyApply(t *testing.T) {
+	d := legacyWorkloads(t, 300)["covertype-full"]
+	_, key, err := Encode(d, Options{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := key.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Apply(d, key, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("workers=%d: Apply differs from transform.Key.Apply", workers)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"privtree/internal/dataset"
+	"privtree/internal/parallel"
+	"privtree/internal/transform"
+)
+
+// OutputSchema returns the schema of the transformed stream: attribute
+// and class names are unchanged, but categorical attributes get opaque
+// "k0", "k1", ... category names — the real names would leak which
+// permuted code means what. The returned schema does not alias in; it
+// is safe to hand to a Sink while in keeps growing.
+func OutputSchema(key *transform.Key, in *dataset.Schema) (*dataset.Schema, error) {
+	if len(key.Attrs) != in.NumAttrs() {
+		return nil, &StageError{
+			Stage: StageApply,
+			Err:   fmt.Errorf("key has %d attributes, schema has %d: %w", len(key.Attrs), in.NumAttrs(), transform.ErrKeyMismatch),
+		}
+	}
+	out := in.Clone()
+	for a, ak := range key.Attrs {
+		if !ak.Categorical {
+			continue
+		}
+		names := in.Categorical[a]
+		opaque := make([]string, len(names))
+		for c := range opaque {
+			opaque[c] = fmt.Sprintf("k%d", c)
+		}
+		out.Categorical[a] = opaque
+	}
+	return out, nil
+}
+
+// ApplyStream is the block-wise apply stage: it drains src, transforms
+// every attribute value of each block under key — fanning out per
+// attribute over workers goroutines within a block — and writes the
+// transformed blocks to sink. chunk bounds the tuples per block
+// (<= 0 for the source's default). Values are identical to Apply on the
+// materialized data set at any chunk size and worker count: the
+// per-value transform is pure, so neither blocking nor fan-out can
+// reorder or change anything.
+//
+// Sinks that carry category names should be constructed against
+// OutputSchema(key, src.Schema()).
+func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chunk, workers int) error {
+	sch := src.Schema()
+	if len(key.Attrs) != sch.NumAttrs() {
+		return &StageError{
+			Stage: StageApply,
+			Err:   fmt.Errorf("key has %d attributes, source has %d: %w", len(key.Attrs), sch.NumAttrs(), transform.ErrKeyMismatch),
+		}
+	}
+	workers = parallel.ResolveWorkers(workers)
+	for {
+		blk, err := src.Next(chunk)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return &StageError{Stage: StageApply, Err: err}
+		}
+		err = parallel.ForEach(noCtx, len(blk.Cols), workers, func(a int) error {
+			ak := key.Attrs[a]
+			col := blk.Cols[a]
+			for i, v := range col {
+				col[i] = ak.Apply(v)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := sink.Write(blk); err != nil {
+			return &StageError{Stage: StageApply, Err: err}
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		return &StageError{Stage: StageApply, Err: err}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"privtree/internal/attack"
 	"privtree/internal/dataset"
 	"privtree/internal/parallel"
+	"privtree/internal/pipeline"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
@@ -197,7 +198,7 @@ func encodedFixture(t *testing.T, seed int64) (*dataset.Dataset, *dataset.Datase
 			t.Fatal(err)
 		}
 	}
-	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

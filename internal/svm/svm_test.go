@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
-	"privtree/internal/transform"
+	"privtree/internal/pipeline"
 )
 
 // linearlySeparable builds a 2-class data set separated by the plane
@@ -132,7 +132,7 @@ func TestPiecewiseTransformBreaksSVM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc, _, err := transform.Encode(d, transform.Options{}, rng)
+	enc, _, err := pipeline.Encode(d, pipeline.Options{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
@@ -54,7 +55,7 @@ type row = struct {
 func TestVerifyAppendAccepts(t *testing.T) {
 	d := appendFixture(t)
 	rng := rand.New(rand.NewSource(1))
-	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP, MinPieceWidth: 5}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestVerifyAppendAccepts(t *testing.T) {
 func TestVerifyAppendRejectsRangeExtension(t *testing.T) {
 	d := appendFixture(t)
 	rng := rand.New(rand.NewSource(2))
-	_, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	_, key, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP, MinPieceWidth: 5}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestVerifyAppendRejectsRangeExtension(t *testing.T) {
 func TestVerifyAppendRejectsLabelBreak(t *testing.T) {
 	d := appendFixture(t)
 	rng := rand.New(rand.NewSource(3))
-	_, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	_, key, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP, MinPieceWidth: 5}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestVerifyAppendRejectsNewValueInBijectionPiece(t *testing.T) {
 	}
 	d2 := d.Subset(idx)
 	rng := rand.New(rand.NewSource(4))
-	_, key, err := transform.Encode(d2, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	_, key, err := pipeline.Encode(d2, pipeline.Options{Strategy: pipeline.StrategyMaxMP, MinPieceWidth: 5}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestVerifyAppendRejectsNewValueInBijectionPiece(t *testing.T) {
 func TestVerifyAppendSchemaMismatch(t *testing.T) {
 	d := appendFixture(t)
 	rng := rand.New(rand.NewSource(5))
-	_, key, err := transform.Encode(d, transform.Options{}, rng)
+	_, key, err := pipeline.Encode(d, pipeline.Options{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestVerifyAppendCategorical(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(6))
-	_, key, err := transform.Encode(d, transform.Options{}, rng)
+	_, key, err := pipeline.Encode(d, pipeline.Options{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestVerifyAppendCategorical(t *testing.T) {
 func TestVerifyAppendRemapsClassNames(t *testing.T) {
 	d := appendFixture(t)
 	rng := rand.New(rand.NewSource(7))
-	_, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP, MinPieceWidth: 5}, rng)
+	_, key, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP, MinPieceWidth: 5}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

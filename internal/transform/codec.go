@@ -5,6 +5,13 @@ import (
 	"fmt"
 )
 
+// KeyVersion is the current wire-format version of serialized keys. A
+// custodian key marshaled by one binary must decode identically in
+// another, possibly years later — so the envelope carries an explicit
+// version and UnmarshalKey refuses anything it does not speak rather
+// than silently misinterpreting it.
+const KeyVersion = 1
+
 // shapeJSON is the serialized form of a Shape, supporting nested
 // compositions.
 type shapeJSON struct {
@@ -38,7 +45,7 @@ func unmarshalShape(j *shapeJSON) (Shape, error) {
 	}
 	if j.Name == "compose" {
 		if j.Outer == nil || j.Inner == nil {
-			return nil, fmt.Errorf("transform: compose shape missing components")
+			return nil, fmt.Errorf("compose shape missing components: %w", ErrShapeParams)
 		}
 		outer, err := unmarshalShape(j.Outer)
 		if err != nil {
@@ -93,7 +100,7 @@ func (p *Piece) UnmarshalJSON(data []byte) error {
 	case "permutation":
 		p.Kind = KindPermutation
 	default:
-		return fmt.Errorf("transform: unknown piece kind %q", j.Kind)
+		return fmt.Errorf("piece kind %q: %w", j.Kind, ErrUnknownKind)
 	}
 	s, err := unmarshalShape(j.Shape)
 	if err != nil {
@@ -104,7 +111,7 @@ func (p *Piece) UnmarshalJSON(data []byte) error {
 	p.DomVals, p.OutVals = j.DomVals, j.OutVals
 	if p.Kind == KindPermutation {
 		if len(p.DomVals) == 0 || len(p.DomVals) != len(p.OutVals) {
-			return fmt.Errorf("transform: permutation piece has inconsistent tables")
+			return fmt.Errorf("permutation piece has inconsistent tables: %w", ErrInvalidPiece)
 		}
 		p.buildIndex()
 	} else if p.Shape == nil {
@@ -113,12 +120,43 @@ func (p *Piece) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// MarshalKey serializes a Key to JSON.
+// keyJSON is the versioned wire envelope of a Key. The version field
+// comes first so truncated or foreign files fail fast and readably.
+type keyJSON struct {
+	Version int             `json:"version"`
+	Attrs   []*AttributeKey `json:"attrs"`
+}
+
+// MarshalJSON implements json.Marshaler: keys serialize inside the
+// versioned envelope.
+func (k *Key) MarshalJSON() ([]byte, error) {
+	return json.Marshal(keyJSON{Version: KeyVersion, Attrs: k.Attrs})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Keys whose version is
+// missing or differs from KeyVersion are rejected with ErrKeyVersion:
+// a custodian must never decode a tree with a misread key.
+func (k *Key) UnmarshalJSON(data []byte) error {
+	var j keyJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Version != KeyVersion {
+		return fmt.Errorf("key version %d, this binary speaks %d: %w", j.Version, KeyVersion, ErrKeyVersion)
+	}
+	k.Attrs = j.Attrs
+	return nil
+}
+
+// MarshalKey serializes a Key to versioned JSON. The output is
+// deterministic: marshal → unmarshal → marshal yields identical bytes,
+// which the key round-trip tests pin.
 func MarshalKey(k *Key) ([]byte, error) {
 	return json.MarshalIndent(k, "", "  ")
 }
 
-// UnmarshalKey deserializes a Key from JSON and validates it.
+// UnmarshalKey deserializes a Key from JSON, enforcing the wire-format
+// version, and validates its structural invariants.
 func UnmarshalKey(data []byte) (*Key, error) {
 	var k Key
 	if err := json.Unmarshal(data, &k); err != nil {

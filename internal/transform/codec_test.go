@@ -2,48 +2,10 @@ package transform
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
-	"math/rand"
 	"testing"
-
-	"privtree/internal/dataset"
 )
-
-func TestKeyJSONRoundTrip(t *testing.T) {
-	d := smallDataset(t)
-	rng := rand.New(rand.NewSource(21))
-	_, key, err := Encode(d, Options{Strategy: StrategyMaxMP, Breakpoints: 4}, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data, err := MarshalKey(key)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := UnmarshalKey(data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The reconstructed key must produce identical transforms and
-	// inversions on the active domain and on gap points.
-	for a, ak := range key.Attrs {
-		gak := got.Attrs[a]
-		if gak.Attr != ak.Attr || gak.Anti != ak.Anti || len(gak.Pieces) != len(ak.Pieces) {
-			t.Fatalf("attribute %d metadata differs", a)
-		}
-		lo, hi := ak.DomRange()
-		for i := 0; i <= 200; i++ {
-			x := lo + (hi-lo)*float64(i)/200
-			y1, y2 := ak.Apply(x), gak.Apply(x)
-			if math.Abs(y1-y2) > 1e-9 {
-				t.Fatalf("attr %d Apply(%v): %v != %v", a, x, y1, y2)
-			}
-			if math.Abs(ak.Invert(y1)-gak.Invert(y2)) > 1e-9 {
-				t.Fatalf("attr %d Invert mismatch at %v", a, x)
-			}
-		}
-	}
-}
 
 func TestComposeShapeJSONRoundTrip(t *testing.T) {
 	p, err := NewMonotonePiece(0, 1, 0, 1, ComposeShape{
@@ -72,17 +34,36 @@ func TestComposeShapeJSONRoundTrip(t *testing.T) {
 func TestUnmarshalKeyRejectsInvalid(t *testing.T) {
 	cases := []string{
 		`{`,
-		`{"Attrs": []}`,
-		`{"Attrs": [null]}`,
-		`{"Attrs": [{"Attr":"a","Pieces":[]}]}`,
+		`{"version":1,"attrs": []}`,
+		`{"version":1,"attrs": [null]}`,
+		`{"version":1,"attrs": [{"Attr":"a","Pieces":[]}]}`,
 		// Overlapping domains.
-		`{"Attrs":[{"Attr":"a","Pieces":[
+		`{"version":1,"attrs":[{"Attr":"a","Pieces":[
 			{"domLo":0,"domHi":10,"outLo":0,"outHi":1,"kind":"monotone"},
 			{"domLo":5,"domHi":20,"outLo":2,"outHi":3,"kind":"monotone"}]}]}`,
 	}
 	for i, c := range cases {
 		if _, err := UnmarshalKey([]byte(c)); err == nil {
 			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestUnmarshalKeyRejectsWrongVersion(t *testing.T) {
+	valid := `{"Attr":"a","Pieces":[{"domLo":0,"domHi":10,"outLo":0,"outHi":5,"kind":"monotone"}]}`
+	cases := []string{
+		// Missing version field (also the pre-versioning wire format).
+		`{"attrs":[` + valid + `]}`,
+		`{"Attrs":[` + valid + `]}`,
+		// Explicitly wrong versions, past and future.
+		`{"version":0,"attrs":[` + valid + `]}`,
+		`{"version":2,"attrs":[` + valid + `]}`,
+		`{"version":-1,"attrs":[` + valid + `]}`,
+	}
+	for i, c := range cases {
+		_, err := UnmarshalKey([]byte(c))
+		if !errors.Is(err, ErrKeyVersion) {
+			t.Errorf("case %d: got %v, want ErrKeyVersion", i, err)
 		}
 	}
 }
@@ -133,24 +114,5 @@ func TestPermutationPieceJSONRoundTrip(t *testing.T) {
 		if got.Invert(y) != p.Invert(y) {
 			t.Errorf("Invert(%v) differs after round trip", y)
 		}
-	}
-}
-
-func TestVerifyClassStringsMismatchDetected(t *testing.T) {
-	d := smallDataset(t)
-	rng := rand.New(rand.NewSource(4))
-	enc, key, err := Encode(d, Options{Strategy: StrategyMaxMP}, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Corrupt the encoded data: swap two values with different labels.
-	bad := enc.Clone()
-	bad.Cols[0][0], bad.Cols[0][4] = bad.Cols[0][4], bad.Cols[0][0]
-	if err := VerifyClassStrings(d, bad, key); err == nil {
-		t.Error("corruption not detected")
-	}
-	other := dataset.New([]string{"only"}, []string{"A"})
-	if err := VerifyClassStrings(d, other, key); err == nil {
-		t.Error("dimension mismatch not detected")
 	}
 }

@@ -1,0 +1,36 @@
+package transform
+
+import "errors"
+
+// Sentinel errors of the key algebra. Sites that report these wrap them
+// with %w and contextual detail (attribute, piece index, offending
+// values), so callers can errors.Is against the sentinel while
+// operators still see the specifics.
+var (
+	// ErrKeyVersion reports a serialized key whose wire-format version
+	// this binary does not speak (missing, older, or newer).
+	ErrKeyVersion = errors.New("transform: unsupported key version")
+	// ErrEmptyKey reports a key (or attribute key) with no content.
+	ErrEmptyKey = errors.New("transform: empty key")
+	// ErrNotMonotone reports a violation of the global-(anti-)monotone
+	// invariant: overlapping domain pieces or output intervals out of
+	// the order Definition 8 requires.
+	ErrNotMonotone = errors.New("transform: monotone invariant violated")
+	// ErrInvalidPiece reports a structurally broken piece: NaN or empty
+	// intervals, or an inconsistent permutation table.
+	ErrInvalidPiece = errors.New("transform: invalid piece")
+	// ErrUnknownShape reports an unrecognized shape family name.
+	ErrUnknownShape = errors.New("transform: unknown shape")
+	// ErrShapeParams reports a shape specification whose parameters are
+	// out of the family's domain.
+	ErrShapeParams = errors.New("transform: invalid shape parameters")
+	// ErrUnknownKind reports an unrecognized piece kind in serialized
+	// form.
+	ErrUnknownKind = errors.New("transform: unknown piece kind")
+	// ErrKeyMismatch reports a key applied to data it does not fit:
+	// attribute counts or schemas disagree.
+	ErrKeyMismatch = errors.New("transform: key does not match dataset")
+	// ErrAppendUnsafe reports a batch that cannot be encoded under an
+	// existing key without voiding the no-outcome-change guarantee.
+	ErrAppendUnsafe = errors.New("transform: batch cannot reuse key")
+)

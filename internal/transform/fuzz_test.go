@@ -1,24 +1,54 @@
 package transform
 
-import "testing"
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
 
 // FuzzUnmarshalKey exercises the key codec against arbitrary JSON: it
-// must never panic, and any key it accepts must be valid and usable.
+// must never panic, any key it accepts must be valid, usable, and carry
+// the current wire version, and anything mis-versioned must be rejected
+// with ErrKeyVersion.
 func FuzzUnmarshalKey(f *testing.F) {
-	f.Add([]byte(`{"Attrs":[{"Attr":"a","Pieces":[
+	f.Add([]byte(`{"version":1,"attrs":[{"Attr":"a","Pieces":[
 		{"domLo":0,"domHi":10,"outLo":0,"outHi":5,"kind":"monotone",
 		 "shape":{"name":"log","params":[4]}}]}]}`))
-	f.Add([]byte(`{"Attrs":[{"Attr":"a","Categorical":true,"Pieces":[
+	f.Add([]byte(`{"version":1,"attrs":[{"Attr":"a","Categorical":true,"Pieces":[
 		{"domLo":0,"domHi":2,"outLo":0,"outHi":2,"kind":"permutation",
 		 "domVals":[0,1,2],"outVals":[2,0,1]}]}]}`))
 	f.Add([]byte(`{}`))
-	f.Add([]byte(`{"Attrs":[{"Attr":"a","Anti":true,"Pieces":[
+	f.Add([]byte(`{"version":1,"attrs":[{"Attr":"a","Anti":true,"Pieces":[
 		{"domLo":0,"domHi":1,"outLo":5,"outHi":9,"kind":"anti-monotone"},
 		{"domLo":2,"domHi":3,"outLo":0,"outHi":4,"kind":"anti-monotone"}]}]}`))
+	// Mis-versioned and pre-versioning inputs: must be rejected.
+	f.Add([]byte(`{"version":2,"attrs":[{"Attr":"a","Pieces":[
+		{"domLo":0,"domHi":10,"outLo":0,"outHi":5,"kind":"monotone"}]}]}`))
+	f.Add([]byte(`{"Attrs":[{"Attr":"a","Pieces":[
+		{"domLo":0,"domHi":10,"outLo":0,"outHi":5,"kind":"monotone"}]}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		key, err := UnmarshalKey(data)
 		if err != nil {
+			// A parseable envelope whose version is exactly current must
+			// never be rejected *for its version*.
+			var env struct {
+				Version int `json:"version"`
+			}
+			if errors.Is(err, ErrKeyVersion) && json.Unmarshal(data, &env) == nil && env.Version == KeyVersion {
+				t.Fatalf("current-version key rejected with ErrKeyVersion: %v", err)
+			}
 			return
+		}
+		// Whatever was accepted must carry the current wire version; a
+		// missing or foreign version must have been rejected above.
+		var env struct {
+			Version int `json:"version"`
+		}
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatalf("accepted key but envelope is unparseable: %v", err)
+		}
+		if env.Version != KeyVersion {
+			t.Fatalf("accepted key with wire version %d, want %d", env.Version, KeyVersion)
 		}
 		// An accepted key must survive its own invariants and apply
 		// without panicking across each attribute's domain.
@@ -32,9 +62,21 @@ func FuzzUnmarshalKey(f *testing.F) {
 				ak.Invert(ak.Apply(x))
 			}
 		}
-		// Accepted keys must re-marshal.
-		if _, err := MarshalKey(key); err != nil {
+		// Accepted keys must re-marshal and round-trip byte-identically.
+		out, err := MarshalKey(key)
+		if err != nil {
 			t.Fatalf("accepted key fails to marshal: %v", err)
+		}
+		again, err := UnmarshalKey(out)
+		if err != nil {
+			t.Fatalf("re-marshaled key rejected: %v", err)
+		}
+		out2, err := MarshalKey(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(out2) {
+			t.Fatal("marshal → unmarshal → marshal is not byte-stable")
 		}
 	})
 }

@@ -1,0 +1,113 @@
+package transform_test
+
+// Golden-file test for the versioned key wire format. The golden file
+// under testdata stands in for "a key marshaled by another process at
+// another time": the test asserts both that today's encoder still
+// produces those exact bytes for a fixed seed, and that the stored
+// bytes decode into a key whose transform matches the freshly built
+// one value for value. Regenerate with: go test ./internal/transform
+// -run TestKeyGolden -update (only when the wire format intentionally
+// changes, alongside a KeyVersion bump).
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
+	"privtree/internal/transform"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const goldenPath = "testdata/key_v1.golden.json"
+
+func goldenDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New([]string{"num", "cat"}, []string{"P", "N"})
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 120; i++ {
+		if err := d.Append([]float64{float64(rng.Intn(200)), float64(rng.Intn(5))}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.MarkCategorical(1, []string{"a", "b", "c", "d", "e"}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func goldenKey(t *testing.T) *transform.Key {
+	t.Helper()
+	d := goldenDataset(t)
+	opts := pipeline.Options{Strategy: pipeline.StrategyMaxMP, Breakpoints: 4, MinPieceWidth: 2}
+	key, err := pipeline.BuildKey(d, opts, rand.New(rand.NewSource(1234)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestKeyGolden(t *testing.T) {
+	key := goldenKey(t)
+	got, err := transform.MarshalKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("marshaled key differs from golden file; the wire format or the encoder's draw order changed")
+	}
+}
+
+func TestKeyGoldenDecodesInFreshProcess(t *testing.T) {
+	// Decode the stored bytes as a second process would — no state
+	// shared with the marshaling side beyond the file — and check the
+	// decoded key reproduces the original transform exactly.
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run TestKeyGolden with -update first)", err)
+	}
+	decoded, err := transform.UnmarshalKey(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := goldenKey(t)
+	if len(decoded.Attrs) != len(fresh.Attrs) {
+		t.Fatalf("decoded key has %d attributes, want %d", len(decoded.Attrs), len(fresh.Attrs))
+	}
+	d := goldenDataset(t)
+	for a := range fresh.Attrs {
+		for _, v := range d.ActiveDomain(a) {
+			fw := fresh.Attrs[a].Apply(v)
+			dw := decoded.Attrs[a].Apply(v)
+			if math.Float64bits(fw) != math.Float64bits(dw) {
+				t.Fatalf("attr %d value %v: fresh %v, decoded %v", a, v, fw, dw)
+			}
+			// Invert is numerically approximate for curved shapes, so
+			// require the decoded key to invert bit-identically to the
+			// fresh one rather than exactly to v.
+			fb := fresh.Attrs[a].Invert(fw)
+			db := decoded.Attrs[a].Invert(dw)
+			if math.Float64bits(fb) != math.Float64bits(db) {
+				t.Fatalf("attr %d value %v: fresh inverts to %v, decoded to %v", a, v, fb, db)
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package transform
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -37,7 +36,7 @@ type AttributeKey struct {
 // according to the global-(anti-)monotone invariant.
 func (k *AttributeKey) Validate() error {
 	if len(k.Pieces) == 0 {
-		return errors.New("transform: attribute key has no pieces")
+		return fmt.Errorf("attribute key has no pieces: %w", ErrEmptyKey)
 	}
 	for i, p := range k.Pieces {
 		if err := checkIntervals(p.DomLo, p.DomHi, p.OutLo, p.OutHi); err != nil {
@@ -48,15 +47,15 @@ func (k *AttributeKey) Validate() error {
 		}
 		prev := k.Pieces[i-1]
 		if p.DomLo <= prev.DomHi {
-			return fmt.Errorf("transform: piece %d domain [%v,%v] overlaps previous [%v,%v]",
-				i, p.DomLo, p.DomHi, prev.DomLo, prev.DomHi)
+			return fmt.Errorf("piece %d domain [%v,%v] overlaps previous [%v,%v]: %w",
+				i, p.DomLo, p.DomHi, prev.DomLo, prev.DomHi, ErrNotMonotone)
 		}
 		if k.Anti {
 			if p.OutHi >= prev.OutLo {
-				return fmt.Errorf("transform: piece %d violates global-anti-monotone invariant", i)
+				return fmt.Errorf("piece %d violates global-anti-monotone invariant: %w", i, ErrNotMonotone)
 			}
 		} else if p.OutLo <= prev.OutHi {
-			return fmt.Errorf("transform: piece %d violates global-monotone invariant", i)
+			return fmt.Errorf("piece %d violates global-monotone invariant: %w", i, ErrNotMonotone)
 		}
 	}
 	return nil
@@ -227,11 +226,11 @@ type Key struct {
 // Validate validates every attribute key.
 func (k *Key) Validate() error {
 	if len(k.Attrs) == 0 {
-		return errors.New("transform: key has no attributes")
+		return fmt.Errorf("key has no attributes: %w", ErrEmptyKey)
 	}
 	for i, ak := range k.Attrs {
 		if ak == nil {
-			return fmt.Errorf("transform: attribute %d key is nil", i)
+			return fmt.Errorf("attribute %d key is nil: %w", i, ErrEmptyKey)
 		}
 		if err := ak.Validate(); err != nil {
 			return fmt.Errorf("transform: attribute %q: %w", ak.Attr, err)
@@ -244,7 +243,7 @@ func (k *Key) Validate() error {
 // data set D'. Class labels are carried over unchanged (Section 3.1).
 func (k *Key) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 	if len(k.Attrs) != d.NumAttrs() {
-		return nil, fmt.Errorf("transform: key has %d attributes, dataset has %d", len(k.Attrs), d.NumAttrs())
+		return nil, fmt.Errorf("key has %d attributes, dataset has %d: %w", len(k.Attrs), d.NumAttrs(), ErrKeyMismatch)
 	}
 	out := d.Clone()
 	for a, ak := range k.Attrs {
@@ -271,7 +270,7 @@ func (k *Key) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 // For permutation pieces this is exact on the encoded active domain.
 func (k *Key) Invert(d *dataset.Dataset) (*dataset.Dataset, error) {
 	if len(k.Attrs) != d.NumAttrs() {
-		return nil, fmt.Errorf("transform: key has %d attributes, dataset has %d", len(k.Attrs), d.NumAttrs())
+		return nil, fmt.Errorf("key has %d attributes, dataset has %d: %w", len(k.Attrs), d.NumAttrs(), ErrKeyMismatch)
 	}
 	out := d.Clone()
 	for a, ak := range k.Attrs {

@@ -1,7 +1,6 @@
 package transform
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -84,20 +83,20 @@ func NewAntiMonotonePiece(domLo, domHi, outLo, outHi float64, s Shape) (*Piece, 
 // values must be distinct and lie within [outLo, outHi].
 func NewPermutationPiece(domVals, outVals []float64, outLo, outHi float64) (*Piece, error) {
 	if len(domVals) == 0 || len(domVals) != len(outVals) {
-		return nil, errors.New("transform: permutation piece needs equal, non-empty value slices")
+		return nil, fmt.Errorf("permutation piece needs equal, non-empty value slices: %w", ErrInvalidPiece)
 	}
 	for i := 1; i < len(domVals); i++ {
 		if domVals[i] <= domVals[i-1] {
-			return nil, errors.New("transform: permutation domain values must be strictly increasing")
+			return nil, fmt.Errorf("permutation domain values must be strictly increasing: %w", ErrInvalidPiece)
 		}
 	}
 	seen := map[float64]bool{}
 	for _, v := range outVals {
 		if v < outLo || v > outHi {
-			return nil, fmt.Errorf("transform: permutation output %v outside [%v,%v]", v, outLo, outHi)
+			return nil, fmt.Errorf("permutation output %v outside [%v,%v]: %w", v, outLo, outHi, ErrInvalidPiece)
 		}
 		if seen[v] {
-			return nil, fmt.Errorf("transform: duplicate permutation output %v", v)
+			return nil, fmt.Errorf("duplicate permutation output %v: %w", v, ErrInvalidPiece)
 		}
 		seen[v] = true
 	}
@@ -114,13 +113,13 @@ func NewPermutationPiece(domVals, outVals []float64, outLo, outHi float64) (*Pie
 
 func checkIntervals(domLo, domHi, outLo, outHi float64) error {
 	if math.IsNaN(domLo) || math.IsNaN(domHi) || math.IsNaN(outLo) || math.IsNaN(outHi) {
-		return errors.New("transform: NaN interval bound")
+		return fmt.Errorf("NaN interval bound: %w", ErrInvalidPiece)
 	}
 	if domHi < domLo {
-		return fmt.Errorf("transform: empty domain interval [%v,%v]", domLo, domHi)
+		return fmt.Errorf("empty domain interval [%v,%v]: %w", domLo, domHi, ErrInvalidPiece)
 	}
 	if outHi < outLo {
-		return fmt.Errorf("transform: empty output interval [%v,%v]", outLo, outHi)
+		return fmt.Errorf("empty output interval [%v,%v]: %w", outLo, outHi, ErrInvalidPiece)
 	}
 	return nil
 }

@@ -152,26 +152,26 @@ func NewShape(name string, params []float64) (Shape, error) {
 		return LinearShape{}, nil
 	case "power":
 		if len(params) != 1 || params[0] <= 0 {
-			return nil, fmt.Errorf("transform: power shape needs one positive param, got %v", params)
+			return nil, fmt.Errorf("power shape needs one positive param, got %v: %w", params, ErrShapeParams)
 		}
 		return PowerShape{Gamma: params[0]}, nil
 	case "log":
 		if len(params) != 1 || params[0] <= 0 {
-			return nil, fmt.Errorf("transform: log shape needs one positive param, got %v", params)
+			return nil, fmt.Errorf("log shape needs one positive param, got %v: %w", params, ErrShapeParams)
 		}
 		return LogShape{C: params[0]}, nil
 	case "sqrtlog":
 		if len(params) != 1 || params[0] <= 0 {
-			return nil, fmt.Errorf("transform: sqrtlog shape needs one positive param, got %v", params)
+			return nil, fmt.Errorf("sqrtlog shape needs one positive param, got %v: %w", params, ErrShapeParams)
 		}
 		return SqrtLogShape{C: params[0]}, nil
 	case "exp":
 		if len(params) != 1 || params[0] == 0 {
-			return nil, fmt.Errorf("transform: exp shape needs one nonzero param, got %v", params)
+			return nil, fmt.Errorf("exp shape needs one nonzero param, got %v: %w", params, ErrShapeParams)
 		}
 		return ExpShape{K: params[0]}, nil
 	default:
-		return nil, fmt.Errorf("transform: unknown shape %q", name)
+		return nil, fmt.Errorf("shape %q: %w", name, ErrUnknownShape)
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 // It returns a descriptive error naming the first violated attribute.
 func VerifyClassStrings(orig, enc *dataset.Dataset, key *Key) error {
 	if orig.NumAttrs() != enc.NumAttrs() || len(key.Attrs) != orig.NumAttrs() {
-		return fmt.Errorf("transform: attribute count mismatch")
+		return fmt.Errorf("attribute count mismatch: %w", ErrKeyMismatch)
 	}
 	for a := 0; a < orig.NumAttrs(); a++ {
 		if key.Attrs[a].Categorical {
@@ -29,7 +29,7 @@ func VerifyClassStrings(orig, enc *dataset.Dataset, key *Key) error {
 		}
 		got := runs.ClassStringOf(enc, a)
 		if !runs.EqualStrings(got, want) {
-			return fmt.Errorf("transform: attribute %q class string changed", orig.AttrNames[a])
+			return fmt.Errorf("attribute %q class string changed: %w", orig.AttrNames[a], ErrNotMonotone)
 		}
 	}
 	return nil
@@ -87,11 +87,11 @@ func VerifyEveryValueChanged(orig, enc *dataset.Dataset) float64 {
 // re-encode with a fresh key.
 func VerifyAppend(key *Key, old, batch *dataset.Dataset) error {
 	if old.NumAttrs() != batch.NumAttrs() || len(key.Attrs) != old.NumAttrs() {
-		return fmt.Errorf("transform: append schema mismatch")
+		return fmt.Errorf("append schema mismatch: %w", ErrKeyMismatch)
 	}
 	for a, name := range old.AttrNames {
 		if batch.AttrNames[a] != name {
-			return fmt.Errorf("transform: append attribute %d is %q, want %q", a, batch.AttrNames[a], name)
+			return fmt.Errorf("append attribute %d is %q, want %q: %w", a, batch.AttrNames[a], name, ErrKeyMismatch)
 		}
 	}
 	// Class labels are matched by NAME: a batch parsed independently
@@ -105,7 +105,7 @@ func VerifyAppend(key *Key, old, batch *dataset.Dataset) error {
 		name := batch.ClassNames[batch.Labels[i]]
 		label, ok := classIdx[name]
 		if !ok {
-			return fmt.Errorf("transform: append: unknown class %q", name)
+			return fmt.Errorf("append: unknown class %q: %w", name, ErrAppendUnsafe)
 		}
 		if err := combined.Append(batch.Tuple(i), label); err != nil {
 			return fmt.Errorf("transform: append: %w", err)
@@ -116,7 +116,7 @@ func VerifyAppend(key *Key, old, batch *dataset.Dataset) error {
 			k := float64(old.NumCategories(a))
 			for _, v := range batch.Cols[a] {
 				if v < 0 || v >= k || v != float64(int(v)) {
-					return fmt.Errorf("transform: attribute %q: new category code %v outside the key", ak.Attr, v)
+					return fmt.Errorf("attribute %q: new category code %v outside the key: %w", ak.Attr, v, ErrAppendUnsafe)
 				}
 			}
 			continue
@@ -124,8 +124,8 @@ func VerifyAppend(key *Key, old, batch *dataset.Dataset) error {
 		lo, hi := ak.DomRange()
 		for _, v := range batch.Cols[a] {
 			if v < lo || v > hi {
-				return fmt.Errorf("transform: attribute %q: value %v outside the key's dynamic range [%v, %v]",
-					ak.Attr, v, lo, hi)
+				return fmt.Errorf("attribute %q: value %v outside the key's dynamic range [%v, %v]: %w",
+					ak.Attr, v, lo, hi, ErrAppendUnsafe)
 			}
 		}
 		// A permutation piece requires monochromaticity over the
@@ -142,8 +142,8 @@ func VerifyAppend(key *Key, old, batch *dataset.Dataset) error {
 		}
 		for i, v := range batch.Cols[a] {
 			if ak.PermutationEncoded(v) && !seen[v] {
-				return fmt.Errorf("transform: attribute %q: new value %v falls inside a bijection piece without a table entry",
-					ak.Attr, v)
+				return fmt.Errorf("attribute %q: new value %v falls inside a bijection piece without a table entry: %w",
+					ak.Attr, v, ErrAppendUnsafe)
 			}
 			_ = i
 		}

@@ -2,7 +2,7 @@ package tree
 
 import (
 	"context"
-	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -17,10 +17,10 @@ func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
 		return nil, err
 	}
 	if d.NumTuples() == 0 {
-		return nil, errors.New("tree: empty training data")
+		return nil, fmt.Errorf("no training tuples: %w", ErrEmptyData)
 	}
 	if d.NumAttrs() == 0 {
-		return nil, errors.New("tree: no attributes")
+		return nil, fmt.Errorf("%w: %w", ErrEmptyData, dataset.ErrNoAttributes)
 	}
 	cfg = cfg.withDefaults()
 	var flipped []bool

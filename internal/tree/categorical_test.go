@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
 	"privtree/internal/transform"
 )
 
@@ -130,8 +131,8 @@ func TestNoOutcomeChangeWithCategorical(t *testing.T) {
 		// PieceAntiProb disabled so the key-only decode assertion below
 		// is exact for BP/None keys (locally order-reversing pieces make
 		// key-only inversion of deep-node thresholds heuristic).
-		opts := transform.Options{Strategy: transform.Strategy(seed % 3), PieceAntiProb: -1}
-		enc, key, err := transform.Encode(d, opts, rng)
+		opts := pipeline.Options{Strategy: pipeline.Strategy(seed % 3), PieceAntiProb: -1}
+		enc, key, err := pipeline.Encode(d, opts, rng)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -174,7 +175,7 @@ func TestNoOutcomeChangeWithCategorical(t *testing.T) {
 		// resolution inside heavily compressed pieces (rare, but each
 		// occurrence misroutes a handful of tuples at one node).
 		min := 0.97
-		if opts.Strategy == transform.StrategyMaxMP {
+		if opts.Strategy == pipeline.StrategyMaxMP {
 			// Numeric permutation pieces make key-only decoding of
 			// deep-node thresholds heuristic; use DecodeWithData there.
 			min = 0.9
@@ -228,5 +229,5 @@ func (e errorString) Error() string { return string(e) }
 
 // encodeFixture draws a MaxMP key for tests that need one.
 func encodeFixture(d *dataset.Dataset, rng *rand.Rand) (*dataset.Dataset, *transform.Key, error) {
-	return transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	return pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP}, rng)
 }

@@ -2,7 +2,6 @@ package tree
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 )
 
@@ -56,17 +55,17 @@ func decodeNodeJSON(j *nodeJSON) (*Node, error) {
 	}
 	if n.Leaf {
 		if j.Left != nil || j.Right != nil || len(j.Branches) > 0 {
-			return nil, errors.New("tree: leaf node with children")
+			return nil, fmt.Errorf("leaf node with children: %w", ErrMalformedTree)
 		}
 		return n, nil
 	}
 	if n.Multiway {
 		if len(j.Cats) != len(j.Branches) || len(j.Cats) < 2 {
-			return nil, fmt.Errorf("tree: multiway node with %d cats, %d branches", len(j.Cats), len(j.Branches))
+			return nil, fmt.Errorf("multiway node with %d cats, %d branches: %w", len(j.Cats), len(j.Branches), ErrMalformedTree)
 		}
 		for i := 1; i < len(j.Cats); i++ {
 			if j.Cats[i] <= j.Cats[i-1] {
-				return nil, errors.New("tree: multiway branch codes not ascending")
+				return nil, fmt.Errorf("multiway branch codes not ascending: %w", ErrMalformedTree)
 			}
 		}
 		for _, bj := range j.Branches {
@@ -75,7 +74,7 @@ func decodeNodeJSON(j *nodeJSON) (*Node, error) {
 				return nil, err
 			}
 			if b == nil {
-				return nil, errors.New("tree: nil multiway branch")
+				return nil, fmt.Errorf("nil multiway branch: %w", ErrMalformedTree)
 			}
 			n.Branches = append(n.Branches, b)
 		}
@@ -89,7 +88,7 @@ func decodeNodeJSON(j *nodeJSON) (*Node, error) {
 		return nil, err
 	}
 	if n.Left == nil || n.Right == nil {
-		return nil, errors.New("tree: internal node missing a child")
+		return nil, fmt.Errorf("internal node missing a child: %w", ErrMalformedTree)
 	}
 	return n, nil
 }
@@ -114,7 +113,7 @@ func Unmarshal(data []byte) (*Tree, error) {
 		return nil, err
 	}
 	if j.Root == nil {
-		return nil, errors.New("tree: missing root")
+		return nil, fmt.Errorf("missing root: %w", ErrMalformedTree)
 	}
 	root, err := decodeNodeJSON(j.Root)
 	if err != nil {
@@ -136,7 +135,7 @@ func Unmarshal(data []byte) (*Tree, error) {
 			return nil
 		}
 		if n.Attr < 0 || n.Attr >= len(t.AttrNames) {
-			return fmt.Errorf("tree: split attribute %d outside schema", n.Attr)
+			return fmt.Errorf("split attribute %d outside schema: %w", n.Attr, ErrMalformedTree)
 		}
 		for _, c := range children(n) {
 			if err := check(c); err != nil {

@@ -20,7 +20,7 @@ import (
 // the active domain identically.
 func Decode(t *Tree, key *transform.Key) (*Tree, error) {
 	if len(key.Attrs) != len(t.AttrNames) {
-		return nil, fmt.Errorf("tree: key has %d attributes, tree has %d", len(key.Attrs), len(t.AttrNames))
+		return nil, fmt.Errorf("tree: key has %d attributes, tree has %d: %w", len(key.Attrs), len(t.AttrNames), transform.ErrKeyMismatch)
 	}
 	out := t.Clone()
 	decodeNode(out.Root, key)
@@ -78,10 +78,10 @@ func decodeMultiway(n *Node, ak *transform.AttributeKey) {
 // precisely the threshold the miner would have chosen on D.
 func DecodeWithData(t *Tree, key *transform.Key, d *dataset.Dataset) (*Tree, error) {
 	if len(key.Attrs) != len(t.AttrNames) {
-		return nil, fmt.Errorf("tree: key has %d attributes, tree has %d", len(key.Attrs), len(t.AttrNames))
+		return nil, fmt.Errorf("tree: key has %d attributes, tree has %d: %w", len(key.Attrs), len(t.AttrNames), transform.ErrKeyMismatch)
 	}
 	if d.NumAttrs() != len(t.AttrNames) {
-		return nil, fmt.Errorf("tree: data has %d attributes, tree has %d", d.NumAttrs(), len(t.AttrNames))
+		return nil, fmt.Errorf("tree: data has %d attributes, tree has %d: %w", d.NumAttrs(), len(t.AttrNames), transform.ErrKeyMismatch)
 	}
 	out := t.Clone()
 	idx := make([]int, d.NumTuples())

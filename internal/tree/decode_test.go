@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
 	"privtree/internal/transform"
 )
 
@@ -119,13 +120,13 @@ func TestNoOutcomeChangeProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		d := randomDataset(rng, 120, 3)
 		crit := Criterion(seed % 2)
-		strat := transform.Strategy(seed % 3)
-		opts := transform.Options{
+		strat := pipeline.Strategy(seed % 3)
+		opts := pipeline.Options{
 			Strategy:      strat,
 			Breakpoints:   int(seed%7) + 2,
 			MinPieceWidth: int(seed%3) + 1,
 		}
-		enc, key, err := transform.Encode(d, opts, rng)
+		enc, key, err := pipeline.Encode(d, opts, rng)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -167,8 +168,8 @@ func TestNoOutcomeChangeAntiMonotone(t *testing.T) {
 	for seed := int64(100); seed < 115; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		d := randomDataset(rng, 300, 3)
-		opts := transform.Options{Strategy: transform.StrategyMaxMP, Breakpoints: 4, Anti: true}
-		enc, key, err := transform.Encode(d, opts, rng)
+		opts := pipeline.Options{Strategy: pipeline.StrategyMaxMP, Breakpoints: 4, Anti: true}
+		enc, key, err := pipeline.Encode(d, opts, rng)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -240,7 +241,7 @@ func TestNoOutcomeChangeMultiClass(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		enc, key, err := transform.Encode(d, transform.Options{}, rng)
+		enc, key, err := pipeline.Encode(d, pipeline.Options{}, rng)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -268,7 +269,7 @@ func TestFeatureImportancePreserved(t *testing.T) {
 	// decoded trees carry exactly the original importance vector.
 	rng := rand.New(rand.NewSource(60))
 	d := randomDataset(rng, 400, 3)
-	enc, key, err := transform.Encode(d, transform.Options{}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

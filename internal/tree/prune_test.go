@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"privtree/internal/dataset"
-	"privtree/internal/transform"
+	"privtree/internal/pipeline"
 )
 
 // noisyDataset builds data whose fine structure is label noise: a good
@@ -98,7 +98,7 @@ func TestPruneCommutesWithEncoding(t *testing.T) {
 	// pruning the tree mined from D.
 	rng := rand.New(rand.NewSource(7))
 	d := randomDataset(rng, 400, 3)
-	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestGainRatioBuildsAndPreserves(t *testing.T) {
 		t.Error("criterion name wrong")
 	}
 	// The guarantee holds for gain ratio too.
-	enc, key, err := transform.Encode(d, transform.Options{Strategy: transform.StrategyMaxMP}, rng)
+	enc, key, err := pipeline.Encode(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP}, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

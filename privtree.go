@@ -45,6 +45,7 @@ import (
 	"os"
 
 	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
 )
@@ -97,33 +98,68 @@ type Key = transform.Key
 // EncodeOptions configures the randomized piecewise encoder. The zero
 // value selects ChooseMaxMP with at least 20 breakpoints — the
 // configuration the paper's experiments recommend.
-type EncodeOptions = transform.Options
+type EncodeOptions = pipeline.Options
 
 // Breakpoint strategies (EncodeOptions.Strategy).
 const (
 	// StrategyNone encodes each attribute with a single monotone
 	// function — the no-breakpoint baseline.
-	StrategyNone = transform.StrategyNone
+	StrategyNone = pipeline.StrategyNone
 	// StrategyBP picks breakpoints uniformly at random (ChooseBP).
-	StrategyBP = transform.StrategyBP
+	StrategyBP = pipeline.StrategyBP
 	// StrategyMaxMP exploits maximal monochromatic pieces (ChooseMaxMP),
 	// the paper's strongest configuration.
-	StrategyMaxMP = transform.StrategyMaxMP
+	StrategyMaxMP = pipeline.StrategyMaxMP
 )
 
 // Encode draws a fresh piecewise (anti-)monotone key for every attribute
 // of d and returns the transformed data set D' together with the key.
-// The same seed reproduces the same key.
+// The same seed reproduces the same key at any EncodeOptions.Workers
+// setting.
 func Encode(d *Dataset, opts EncodeOptions, seed int64) (*Dataset, *Key, error) {
-	return transform.Encode(d, opts, rand.New(rand.NewSource(seed)))
+	return pipeline.Encode(d, opts, rand.New(rand.NewSource(seed)))
 }
 
-// MarshalKey serializes a key to JSON for storage in the custodian's
-// vault.
+// BuildKey runs the key-construction stages only (profile → choose →
+// draw → verify), without transforming any data. Pair it with
+// ApplyStream to encode data sets block-wise.
+func BuildKey(d *Dataset, opts EncodeOptions, seed int64) (*Key, error) {
+	return pipeline.BuildKey(d, opts, rand.New(rand.NewSource(seed)))
+}
+
+// MarshalKey serializes a key to the versioned JSON wire format for
+// storage in the custodian's vault.
 func MarshalKey(k *Key) ([]byte, error) { return transform.MarshalKey(k) }
 
-// UnmarshalKey restores a key serialized by MarshalKey.
+// UnmarshalKey restores a key serialized by MarshalKey. Keys written by
+// an incompatible wire version are rejected with an error wrapping
+// transform.ErrKeyVersion.
 func UnmarshalKey(data []byte) (*Key, error) { return transform.UnmarshalKey(data) }
+
+// SaveKey writes a key to a file with private permissions — the key IS
+// the secret; whoever holds it can decode D' and the mined tree.
+func SaveKey(k *Key, path string) error {
+	data, err := transform.MarshalKey(k)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// LoadKey reads a key written by SaveKey, possibly by another process:
+// the wire format is versioned and self-contained, so a key marshaled
+// in one process round-trips and decodes identically in another.
+func LoadKey(path string) (*Key, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	k, err := transform.UnmarshalKey(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return k, nil
+}
 
 // Tree is a mined decision tree.
 type Tree = tree.Tree

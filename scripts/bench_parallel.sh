@@ -4,6 +4,8 @@
 # worker count and the speedup of workers=4 over workers=1.
 #
 # Usage: scripts/bench_parallel.sh [benchtime]   (default 2x)
+# Set BENCH_OUT to redirect the JSON (e.g. a scratch path for the
+# `make check` smoke run, which must not clobber the committed file).
 #
 # Results are machine-dependent; on a single-core host the speedup
 # hovers around 1.0 because there is nothing to fan out over. The point
@@ -13,7 +15,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2x}"
-OUT=BENCH_parallel.json
+OUT="${BENCH_OUT:-BENCH_parallel.json}"
 
 # Bench into a temp file first: a go test failure must abort (set -e)
 # instead of being swallowed by a pipe and clobbering $OUT with an
