@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel experiments examples fmt vet clean check
+.PHONY: all build test race bench bench-parallel experiments examples fmt vet clean check fuzz-smoke cover verify
 
 all: build test
 
@@ -33,6 +33,24 @@ bench:
 # BENCH_parallel.json (name, ns/op, workers, speedup vs serial).
 bench-parallel:
 	./scripts/bench_parallel.sh
+
+# Short fuzzing budget per target — replays the committed corpora and
+# explores a little beyond them. CI runs this on every push; longer
+# local runs just raise -fuzztime.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/transform -run FuzzUnmarshalKey -fuzz FuzzUnmarshalKey -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dataset -run FuzzReadCSV -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/conformance -run FuzzGuarantee -fuzz FuzzGuarantee -fuzztime $(FUZZTIME)
+
+# Coverage profile + per-package floor on the correctness-critical
+# packages (see scripts/coverage.sh).
+cover:
+	./scripts/coverage.sh
+
+# The randomized conformance self-test at the documented scale.
+verify:
+	$(GO) run ./cmd/privtree verify -rand -trials 25
 
 # Regenerates every paper table/figure at full scale (see EXPERIMENTS.md).
 experiments:

@@ -14,36 +14,41 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"privtree/internal/experiments"
 )
 
-func main() {
+// run parses args and executes the selected experiment(s), writing
+// results to stdout. Wall-clock per experiment goes to stderr so stdout
+// stays byte-comparable across worker counts.
+func run(args []string, stdout, stderr io.Writer) error {
 	cfg := experiments.Default()
-	run := flag.String("run", "all", "experiment to run: all or one of "+strings.Join(experiments.Names(), ", "))
-	flag.IntVar(&cfg.N, "n", cfg.N, "number of synthetic tuples")
-	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "randomized trials per reported median (paper: 500)")
-	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
-	flag.Float64Var(&cfg.RhoFrac, "rho", cfg.RhoFrac, "crack radius as a fraction of the dynamic range width")
-	flag.IntVar(&cfg.W, "w", cfg.W, "minimum number of breakpoints")
-	flag.IntVar(&cfg.MinWidth, "minwidth", cfg.MinWidth, "monochromatic piece width threshold")
-	flag.StringVar(&cfg.Workload, "data", "covertype", "workload: covertype, covertype-full, census, or wdbc")
-	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "worker goroutines per experiment grid (0: PRIVTREE_WORKERS env, then GOMAXPROCS); results are identical at any setting")
-	flag.Parse()
-
-	// Wall-clock per experiment goes to stderr so stdout stays
-	// byte-comparable across worker counts.
-	experiments.Timing = os.Stderr
-
-	var err error
-	if *run == "all" {
-		err = experiments.RunAll(cfg, os.Stdout)
-	} else {
-		err = experiments.Run(*run, cfg, os.Stdout)
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runName := fs.String("run", "all", "experiment to run: all or one of "+strings.Join(experiments.Names(), ", "))
+	fs.IntVar(&cfg.N, "n", cfg.N, "number of synthetic tuples")
+	fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "randomized trials per reported median (paper: 500)")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	fs.Float64Var(&cfg.RhoFrac, "rho", cfg.RhoFrac, "crack radius as a fraction of the dynamic range width")
+	fs.IntVar(&cfg.W, "w", cfg.W, "minimum number of breakpoints")
+	fs.IntVar(&cfg.MinWidth, "minwidth", cfg.MinWidth, "monochromatic piece width threshold")
+	fs.StringVar(&cfg.Workload, "data", "covertype", "workload: covertype, covertype-full, census, or wdbc")
+	fs.IntVar(&cfg.Workers, "workers", cfg.Workers, "worker goroutines per experiment grid (0: PRIVTREE_WORKERS env, then GOMAXPROCS); results are identical at any setting")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	if err != nil {
+	experiments.Timing = stderr
+	if *runName == "all" {
+		return experiments.RunAll(cfg, stdout)
+	}
+	return experiments.Run(*runName, cfg, stdout)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-run", "fig8", "-n", "800", "-trials", "3"}, &out, &errOut); err != nil {
+		t.Fatalf("run fig8: %v (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Figure 8") {
+		t.Errorf("fig8 output missing its header:\n%s", out.String())
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if err := run([]string{"-run", "fig8", "-n", "600", "-trials", "2"}, &out, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("same flags produced different output")
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-bogusflag"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

@@ -22,6 +22,13 @@
 //	privtree append -orig train.csv -batch new.csv -key key.json -out batch_enc.csv
 //	    Check that a new batch can reuse the existing key without voiding
 //	    the guarantee, and encode it for shipping.
+//
+//	privtree verify -in train.csv -key key.json [tree flags]
+//	privtree verify -rand [-trials 25] [-strategy all] [-workers 8] [-seed 1]
+//	    Run the conformance battery: check a concrete key's structural
+//	    invariants and the no-outcome-change guarantee against its data,
+//	    or (-rand) sweep randomized synthetic workloads through both
+//	    breakpoint procedures as a self-test.
 package main
 
 import (
@@ -61,6 +68,8 @@ func main() {
 		err = cmdRisk(os.Args[2:])
 	case "append":
 		err = cmdAppend(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -79,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: privtree <encode|mine|decode|risk|append> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: privtree <encode|mine|decode|risk|append|verify> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'privtree <command> -h' for command flags")
 }
 

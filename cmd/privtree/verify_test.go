@@ -1,0 +1,96 @@
+package main
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"privtree"
+	"privtree/internal/conformance"
+)
+
+func TestVerifyKeyAgainstData(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFixture(t, dir)
+	enc := filepath.Join(dir, "enc.csv")
+	key := filepath.Join(dir, "key.json")
+	if err := cmdEncode([]string{"-in", train, "-out", enc, "-key", key, "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-in", train, "-key", key, "-minleaf", "10"}); err != nil {
+		t.Fatalf("verifying a freshly built key failed: %v", err)
+	}
+}
+
+func TestVerifyRejectsCorruptedKey(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFixture(t, dir)
+	enc := filepath.Join(dir, "enc.csv")
+	keyPath := filepath.Join(dir, "key.json")
+	if err := cmdEncode([]string{"-in", train, "-out", enc, "-key", keyPath, "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	// Swap two piece functions in the stored key and re-save it.
+	key, err := privtree.LoadKey(keyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := false
+	for _, ak := range key.Attrs {
+		if len(ak.Pieces) >= 2 {
+			ak.Pieces[0], ak.Pieces[1] = ak.Pieces[1], ak.Pieces[0]
+			swapped = true
+			break
+		}
+	}
+	if !swapped {
+		t.Fatal("fixture key has no multi-piece attribute")
+	}
+	if err := privtree.SaveKey(key, keyPath); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdVerify([]string{"-in", train, "-key", keyPath})
+	if err == nil {
+		t.Fatal("corrupted key passed verification")
+	}
+	if !errors.Is(err, conformance.ErrViolation) {
+		t.Errorf("error %v does not wrap conformance.ErrViolation", err)
+	}
+	var v *conformance.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not a *conformance.Violation", err)
+	}
+	if v.Attr == "" || v.Piece < 0 {
+		t.Errorf("violation does not name attribute and piece: %+v", v)
+	}
+}
+
+func TestVerifySelfTest(t *testing.T) {
+	for _, strat := range []string{"bp", "maxmp", "all"} {
+		if err := cmdVerify([]string{"-rand", "-trials", "2", "-strategy", strat, "-workers", "4"}); err != nil {
+			t.Errorf("self-test %s: %v", strat, err)
+		}
+	}
+}
+
+func TestVerifyFlagValidation(t *testing.T) {
+	usageCases := map[string]error{
+		"no flags":         cmdVerify(nil),
+		"unknown strategy": cmdVerify([]string{"-rand", "-strategy", "bogus"}),
+		"bad criterion":    cmdVerify([]string{"-in", "x.csv", "-key", "k.json", "-criterion", "nope"}),
+	}
+	for name, err := range usageCases {
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: %v is not a usageError", name, err)
+		}
+	}
+	if err := cmdVerify([]string{"-in", "missing.csv", "-key", "nope.json"}); err == nil {
+		t.Error("missing files should fail")
+	} else {
+		var ue usageError
+		if errors.As(err, &ue) {
+			t.Errorf("missing file wrongly classified as usage error: %v", err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs the example and returns what it printed. Any failure
+// inside the example calls log.Fatal, which fails the test process.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() { os.Stdout = old }()
+	main()
+	os.Stdout = old
+	w.Close()
+	return <-done
+}
+
+func TestAttackLab(t *testing.T) {
+	out := captureMain(t)
+	if !strings.Contains(out, "combination attack on attribute 10") {
+		t.Errorf("attacklab did not run the combination attack:\n%s", out)
+	}
+	if !strings.Contains(out, "union") {
+		t.Errorf("attacklab did not report attack union coverage:\n%s", out)
+	}
+}

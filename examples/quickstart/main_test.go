@@ -1,0 +1,40 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs the example and returns what it printed. Any failure
+// inside the example calls log.Fatal, which fails the test process.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	defer func() { os.Stdout = old }()
+	main()
+	os.Stdout = old
+	w.Close()
+	return <-done
+}
+
+func TestQuickstart(t *testing.T) {
+	out := captureMain(t)
+	if !strings.Contains(out, "no outcome change (S = T): true") {
+		t.Errorf("quickstart did not demonstrate the guarantee:\n%s", out)
+	}
+	if !strings.Contains(out, "transformed ages:") {
+		t.Errorf("quickstart did not print the transformed data:\n%s", out)
+	}
+}

@@ -1,0 +1,224 @@
+// Package conformance is the machine-checked safety net around the
+// paper's no-outcome-change guarantee (Theorems 1–2): a reusable
+// verification subsystem that checks the structural invariants of a
+// built key, runs differential encode→mine→decode verification against
+// direct mining, and drives a randomized metamorphic harness over
+// synthetic workloads.
+//
+// Three layers, each mapped to the paper:
+//
+//   - CheckKey validates the structural invariants a key must satisfy
+//     for the guarantee to hold on a given data set: the
+//     global-(anti-)monotone stitching invariant (Definition 8),
+//     breakpoint validity — the pieces must tile the attribute's active
+//     domain (Section 5.1) — bijectivity and monochromaticity of
+//     permutation-encoded pieces (Section 5.2, Definition 9), and
+//     class-string / label-run preservation (Definitions 6–7, Lemma 1).
+//   - CheckGuarantee runs the differential round trip of Theorem 2:
+//     apply the key, mine both relations, decode the encoded tree, and
+//     require node-by-node equivalence (tree.DivergenceOn) plus
+//     decode∘encode round-trip identity on the data itself.
+//   - SelfTest sweeps randomized synthetic data sets, seeds, breakpoint
+//     strategies and worker counts (1 vs N must be byte-identical)
+//     through both checks, reporting the first violated invariant with
+//     the offending attribute, piece and seed for replay.
+//
+// Every failed check is a typed Violation collected into a Report, so
+// callers (the privtree verify subcommand, the Go tests, FuzzGuarantee)
+// can both render the findings and errors.Is/As-classify them.
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Check names, used as Violation.Check. Each names the paper property
+// the check enforces.
+const (
+	// CheckStructure covers per-piece well-formedness: NaN-free,
+	// non-empty domain and output intervals, consistent permutation
+	// tables.
+	CheckStructure = "structure"
+	// CheckMonotone covers the global-(anti-)monotone stitching
+	// invariant of Definition 8: domain pieces in ascending order with
+	// output intervals pairwise disjoint and ordered (reverse-ordered
+	// when anti).
+	CheckMonotone = "global-monotone"
+	// CheckBreakpoints covers breakpoint validity: the pieces must tile
+	// the attribute's active domain — every distinct data value inside
+	// exactly one piece, every piece anchored on actual data values.
+	CheckBreakpoints = "breakpoints"
+	// CheckBijection covers the F_bi discipline of Section 5.2: a
+	// permutation piece must be a bijection between exactly the piece's
+	// distinct values and pairwise-distinct outputs inside its interval,
+	// and the piece must be monochromatic (Definition 9) in the data.
+	CheckBijection = "bijection"
+	// CheckClassString covers Definition 6 / Lemma 1: the transformed
+	// relation's per-attribute class string must equal the original
+	// (monotone) or its reversal (anti-monotone).
+	CheckClassString = "class-string"
+	// CheckLabelRuns covers Definition 7 / Lemma 2: the label runs of
+	// the class string — the only candidate split boundaries — must be
+	// preserved in count and length profile.
+	CheckLabelRuns = "label-runs"
+	// CheckRoundTrip covers decode∘encode identity on the data: every
+	// encoded value must invert back to its original within tolerance
+	// (exactly, for permutation pieces).
+	CheckRoundTrip = "round-trip"
+	// CheckTree covers Theorems 1–2 end to end: the decoded tree must be
+	// node-by-node equivalent to the tree mined directly from the
+	// original data.
+	CheckTree = "tree-equivalence"
+	// CheckDeterminism covers the repository's parallel-execution
+	// contract: Workers:1 and Workers:N must produce byte-identical keys
+	// and encoded data for the same seed.
+	CheckDeterminism = "determinism"
+)
+
+// ErrViolation is the sentinel every Violation (and every Report.Err of
+// a failed report) wraps, so callers can errors.Is-classify conformance
+// failures without matching message text.
+var ErrViolation = errors.New("conformance: invariant violated")
+
+// Violation is one violated invariant, carrying enough context to
+// locate (attribute, piece) and replay (seed, trial) the failure.
+type Violation struct {
+	// Check is one of the Check* constants.
+	Check string
+	// Attr is the offending attribute name; empty for whole-dataset
+	// violations.
+	Attr string
+	// Piece is the offending piece index in domain order, or -1 when
+	// the violation is not piece-scoped.
+	Piece int
+	// Seed is the encode seed that reproduces the failure; 0 when the
+	// check ran outside a seeded context.
+	Seed int64
+	// Trial is the self-test trial index the violation surfaced in, or
+	// -1 outside the randomized harness.
+	Trial int
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance: check %s", v.Check)
+	if v.Attr != "" {
+		fmt.Fprintf(&b, ": attribute %q", v.Attr)
+	}
+	if v.Piece >= 0 {
+		fmt.Fprintf(&b, ": piece %d", v.Piece)
+	}
+	if v.Detail != "" {
+		fmt.Fprintf(&b, ": %s", v.Detail)
+	}
+	if v.Trial >= 0 {
+		fmt.Fprintf(&b, " (trial %d, seed %d)", v.Trial, v.Seed)
+	} else if v.Seed != 0 {
+		fmt.Fprintf(&b, " (seed %d)", v.Seed)
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(v, ErrViolation) hold.
+func (v *Violation) Unwrap() error { return ErrViolation }
+
+// Report collects the outcome of a conformance run: which checks ran,
+// over how many randomized trials, and every violation found.
+type Report struct {
+	// Checks lists the distinct check names that ran, in first-run
+	// order.
+	Checks []string
+	// Trials is the number of randomized trials behind the report; 0
+	// for single-shot CheckKey/CheckGuarantee runs.
+	Trials int
+	// Violations holds every violated invariant, in discovery order.
+	Violations []*Violation
+}
+
+// ran records that a check executed (independent of outcome).
+func (r *Report) ran(check string) {
+	for _, c := range r.Checks {
+		if c == check {
+			return
+		}
+	}
+	r.Checks = append(r.Checks, check)
+}
+
+// add records a violation (and that its check ran). It returns the
+// violation so call sites can decorate Seed/Trial.
+func (r *Report) add(v *Violation) *Violation {
+	r.ran(v.Check)
+	r.Violations = append(r.Violations, v)
+	return v
+}
+
+// Merge folds another report into this one: checks run accumulate and
+// violations concatenate in discovery order. Use it to combine the
+// structural battery with the differential guarantee into one verdict.
+func (r *Report) Merge(o *Report) { r.merge(o, 0, -1) }
+
+// merge folds another report into this one, stamping seed/trial onto
+// violations that do not carry one yet.
+func (r *Report) merge(o *Report, seed int64, trial int) {
+	for _, c := range o.Checks {
+		r.ran(c)
+	}
+	for _, v := range o.Violations {
+		if v.Seed == 0 {
+			v.Seed = seed
+		}
+		if v.Trial < 0 {
+			v.Trial = trial
+		}
+		r.Violations = append(r.Violations, v)
+	}
+}
+
+// Ok reports whether no invariant was violated.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns the first violation as an error, or nil when the report
+// is clean. The returned error wraps ErrViolation.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	return r.Violations[0]
+}
+
+// String renders a one-screen summary: the verdict, the checks run, and
+// every violation.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Ok() {
+		b.WriteString("PASS")
+	} else {
+		fmt.Fprintf(&b, "FAIL (%d violation(s))", len(r.Violations))
+	}
+	fmt.Fprintf(&b, " — checks: %s", strings.Join(r.Checks, ", "))
+	if r.Trials > 0 {
+		fmt.Fprintf(&b, "; trials: %d", r.Trials)
+	}
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.Error())
+	}
+	return b.String()
+}
+
+// newViolation builds a violation with the not-piece-scoped /
+// not-in-a-trial defaults.
+func newViolation(check, attr string, detail string) *Violation {
+	return &Violation{Check: check, Attr: attr, Piece: -1, Trial: -1, Detail: detail}
+}
+
+// newPieceViolation builds a piece-scoped violation.
+func newPieceViolation(check, attr string, piece int, detail string) *Violation {
+	return &Violation{Check: check, Attr: attr, Piece: piece, Trial: -1, Detail: detail}
+}

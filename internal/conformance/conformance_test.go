@@ -1,0 +1,343 @@
+package conformance
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/pipeline"
+	"privtree/internal/synth"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+func testData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	d, err := synth.Covertype(rand.New(rand.NewSource(1)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func buildKey(t *testing.T, d *dataset.Dataset, strat pipeline.Strategy, seed int64) *transform.Key {
+	t.Helper()
+	key, err := pipeline.BuildKey(d, pipeline.Options{Strategy: strat}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestCheckKeyCleanAcrossStrategies(t *testing.T) {
+	d := testData(t, 600)
+	for _, strat := range []pipeline.Strategy{pipeline.StrategyNone, pipeline.StrategyBP, pipeline.StrategyMaxMP} {
+		for _, anti := range []bool{false, true} {
+			key, err := pipeline.BuildKey(d, pipeline.Options{Strategy: strat, Anti: anti},
+				rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := CheckKey(d, key)
+			if !rep.Ok() {
+				t.Errorf("%v anti=%v: clean key reported violations:\n%s", strat, anti, rep)
+			}
+			for _, want := range []string{CheckStructure, CheckMonotone, CheckBreakpoints,
+				CheckBijection, CheckClassString, CheckLabelRuns} {
+				found := false
+				for _, c := range rep.Checks {
+					if c == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%v: check %s did not run", strat, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckKeyCategorical(t *testing.T) {
+	d, err := synth.CovertypeFull(rand.New(rand.NewSource(3)), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := buildKey(t, d, pipeline.StrategyMaxMP, 11)
+	if rep := CheckKey(d, key); !rep.Ok() {
+		t.Fatalf("clean categorical key reported violations:\n%s", rep)
+	}
+	// Corrupt the categorical permutation: map two codes to the same
+	// output.
+	for _, ak := range key.Attrs {
+		if ak.Categorical && len(ak.Pieces[0].OutVals) > 1 {
+			ak.Pieces[0].OutVals[1] = ak.Pieces[0].OutVals[0]
+			break
+		}
+	}
+	rep := CheckKey(d, key)
+	if rep.Ok() {
+		t.Fatal("duplicate categorical outputs not detected")
+	}
+	if v := rep.Violations[0]; v.Check != CheckBijection {
+		t.Errorf("violation check = %s, want %s", v.Check, CheckBijection)
+	}
+}
+
+// TestCheckKeyRejectsSwappedPieces is the acceptance scenario: a
+// deliberately corrupted key — two piece transformations swapped —
+// must be rejected with a Violation naming the attribute and piece.
+func TestCheckKeyRejectsSwappedPieces(t *testing.T) {
+	d := testData(t, 600)
+	key := buildKey(t, d, pipeline.StrategyMaxMP, 5)
+	// Find an attribute with at least two pieces and swap the first two
+	// piece transformations wholesale.
+	var attr string
+	for _, ak := range key.Attrs {
+		if len(ak.Pieces) >= 2 {
+			ak.Pieces[0], ak.Pieces[1] = ak.Pieces[1], ak.Pieces[0]
+			attr = ak.Attr
+			break
+		}
+	}
+	if attr == "" {
+		t.Fatal("no multi-piece attribute in the fixture key")
+	}
+	rep := CheckKey(d, key)
+	if rep.Ok() {
+		t.Fatal("swapped piece functions not detected")
+	}
+	v := rep.Violations[0]
+	if v.Check != CheckMonotone {
+		t.Errorf("violation check = %s, want %s", v.Check, CheckMonotone)
+	}
+	if v.Attr != attr {
+		t.Errorf("violation names attribute %q, want %q", v.Attr, attr)
+	}
+	if v.Piece < 0 {
+		t.Error("violation does not name the offending piece")
+	}
+	if !errors.Is(v, ErrViolation) {
+		t.Error("violation does not wrap ErrViolation")
+	}
+	if msg := v.Error(); !strings.Contains(msg, attr) || !strings.Contains(msg, "piece") {
+		t.Errorf("violation message %q does not name attribute and piece", msg)
+	}
+}
+
+func TestCheckKeyDetectsClassStringDamage(t *testing.T) {
+	d := testData(t, 600)
+	key := buildKey(t, d, pipeline.StrategyBP, 9)
+	// Flip a mixed-label monotone piece to anti-monotone: structurally
+	// sound, but it reverses that piece's class substring (unsound
+	// outside single-label pieces — cf. Figure 4). Which pieces are
+	// mixed-label depends on the draw, so search for a flip the checker
+	// must catch and restore the ones it legitimately tolerates
+	// (monochromatic or palindromic substrings).
+	var rep *Report
+	for _, ak := range key.Attrs {
+		for _, p := range ak.Pieces {
+			if p.Kind != transform.KindMonotone {
+				continue
+			}
+			p.Kind = transform.KindAntiMonotone
+			if r := CheckKey(d, key); !r.Ok() {
+				rep = r
+				break
+			}
+			p.Kind = transform.KindMonotone
+		}
+		if rep != nil {
+			break
+		}
+	}
+	if rep == nil {
+		t.Fatal("class-string damage not detected for any piece flip")
+	}
+	for _, v := range rep.Violations {
+		if v.Check != CheckClassString && v.Check != CheckLabelRuns {
+			t.Errorf("unexpected violation %s (want class-string/label-runs only): %v", v.Check, v)
+		}
+	}
+}
+
+func TestCheckKeyDetectsUncoveredValues(t *testing.T) {
+	d := testData(t, 400)
+	key := buildKey(t, d, pipeline.StrategyMaxMP, 13)
+	// Shrink the first attribute's last piece so the top data values
+	// fall in no piece.
+	ak := key.Attrs[0]
+	last := ak.Pieces[len(ak.Pieces)-1]
+	last.DomHi = (last.DomLo + last.DomHi) / 2
+	rep := CheckKey(d, key)
+	if rep.Ok() {
+		t.Fatal("uncovered data values not detected")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Check == CheckBreakpoints && v.Attr == ak.Attr {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no breakpoint violation for %q:\n%s", ak.Attr, rep)
+	}
+}
+
+func TestCheckGuaranteeCleanAndDegenerate(t *testing.T) {
+	d := testData(t, 600)
+	key := buildKey(t, d, pipeline.StrategyMaxMP, 21)
+	if rep := CheckGuarantee(d, key, tree.Config{MinLeaf: 3}); !rep.Ok() {
+		t.Fatalf("clean guarantee run reported violations:\n%s", rep)
+	}
+	// A degenerate key that collapses an attribute to a constant
+	// destroys both the round trip and the mined tree.
+	lo, hi := key.Attrs[0].DomRange()
+	flat, err := transform.NewMonotonePiece(lo, hi, 100, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key.Attrs[0].Pieces = []*transform.Piece{flat}
+	key.Attrs[0].Anti = false
+	rep := CheckGuarantee(d, key, tree.Config{MinLeaf: 3})
+	if rep.Ok() {
+		t.Fatal("degenerate constant key not detected")
+	}
+	var haveRT, haveTree bool
+	for _, v := range rep.Violations {
+		switch v.Check {
+		case CheckRoundTrip:
+			haveRT = true
+			if v.Attr != key.Attrs[0].Attr {
+				t.Errorf("round-trip violation names %q, want %q", v.Attr, key.Attrs[0].Attr)
+			}
+		case CheckTree:
+			haveTree = true
+			if !strings.Contains(v.Detail, "root") {
+				t.Errorf("tree violation carries no node path: %q", v.Detail)
+			}
+		}
+	}
+	if !haveRT || !haveTree {
+		t.Errorf("want both round-trip and tree violations, got:\n%s", rep)
+	}
+}
+
+func TestCheckArtifacts(t *testing.T) {
+	d := testData(t, 500)
+	key, arts, err := pipeline.BuildKeyArtifacts(d, pipeline.Options{Strategy: pipeline.StrategyMaxMP},
+		rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = key
+	if rep := CheckArtifacts(arts); !rep.Ok() {
+		t.Fatalf("clean artifacts reported violations:\n%s", rep)
+	}
+	// Tamper 1: claim a mixed piece is monochromatic.
+	tampered := false
+	for ai := range arts {
+		for pi := range arts[ai].Pieces {
+			if !arts[ai].Pieces[pi].Mono {
+				arts[ai].Pieces[pi].Mono = true
+				tampered = true
+				break
+			}
+		}
+		if tampered {
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no non-mono piece to tamper with")
+	}
+	if rep := CheckArtifacts(arts); rep.Ok() {
+		t.Error("false monochromatic claim not detected")
+	}
+}
+
+func TestCheckArtifactsTiling(t *testing.T) {
+	d := testData(t, 500)
+	_, arts, err := pipeline.BuildKeyArtifacts(d, pipeline.Options{Strategy: pipeline.StrategyBP},
+		rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: drop the first chosen piece so the tiling starts late.
+	for ai := range arts {
+		if len(arts[ai].Pieces) > 1 {
+			arts[ai].Pieces = arts[ai].Pieces[1:]
+			break
+		}
+	}
+	rep := CheckArtifacts(arts)
+	if rep.Ok() {
+		t.Fatal("broken tiling not detected")
+	}
+	if v := rep.Violations[0]; v.Check != CheckBreakpoints {
+		t.Errorf("violation check = %s, want %s", v.Check, CheckBreakpoints)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{}
+	rep.ran(CheckMonotone)
+	if !rep.Ok() || rep.Err() != nil {
+		t.Error("empty report should be ok")
+	}
+	if s := rep.String(); !strings.HasPrefix(s, "PASS") {
+		t.Errorf("clean report renders %q", s)
+	}
+	v := newPieceViolation(CheckMonotone, "elevation", 3, "out of order")
+	v.Seed, v.Trial = 42, 7
+	rep.add(v)
+	if rep.Ok() {
+		t.Error("report with violations should not be ok")
+	}
+	if err := rep.Err(); !errors.Is(err, ErrViolation) {
+		t.Errorf("Err() = %v, does not wrap ErrViolation", err)
+	}
+	s := rep.String()
+	for _, want := range []string{"FAIL", "elevation", "piece 3", "trial 7", "seed 42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSelfTestPasses(t *testing.T) {
+	rep := SelfTest(SelfTestOptions{Trials: 6, Seed: 1, Workers: 4, MaxTuples: 250})
+	if !rep.Ok() {
+		t.Fatalf("self-test found violations:\n%s", rep)
+	}
+	if rep.Trials != 6 {
+		t.Errorf("ran %d trials, want 6", rep.Trials)
+	}
+	for _, want := range []string{CheckDeterminism, CheckClassString, CheckTree, CheckRoundTrip} {
+		found := false
+		for _, c := range rep.Checks {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("self-test never ran check %s (ran %v)", want, rep.Checks)
+		}
+	}
+}
+
+func TestSelfTestSingleStrategyAndWorkers(t *testing.T) {
+	for _, strat := range []pipeline.Strategy{pipeline.StrategyBP, pipeline.StrategyMaxMP} {
+		for _, w := range []int{1, 8} {
+			rep := SelfTest(SelfTestOptions{
+				Trials: 3, Seed: 2, Workers: w, MaxTuples: 150,
+				Strategies: []pipeline.Strategy{strat},
+			})
+			if !rep.Ok() {
+				t.Errorf("%v workers=%d:\n%s", strat, w, rep)
+			}
+		}
+	}
+}

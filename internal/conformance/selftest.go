@@ -1,0 +1,200 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privtree/internal/dataset"
+	"privtree/internal/parallel"
+	"privtree/internal/pipeline"
+	"privtree/internal/synth"
+	"privtree/internal/transform"
+	"privtree/internal/tree"
+)
+
+// SelfTestOptions configures the randomized metamorphic harness.
+type SelfTestOptions struct {
+	// Trials is the number of randomized data sets to sweep. Default 25.
+	Trials int
+	// Seed is the base seed; trial t derives its whole configuration
+	// from (Seed, t), so a reported trial replays exactly.
+	Seed int64
+	// Strategies lists the breakpoint strategies to verify per trial.
+	// Default ChooseBP and ChooseMaxMP — the two randomized procedures.
+	Strategies []pipeline.Strategy
+	// Workers is the parallel worker count pinned against Workers:1 for
+	// byte identity. Default 8.
+	Workers int
+	// MaxTuples bounds the synthetic data set size. Default 400.
+	MaxTuples int
+}
+
+func (o SelfTestOptions) withDefaults() SelfTestOptions {
+	if o.Trials <= 0 {
+		o.Trials = 25
+	}
+	if len(o.Strategies) == 0 {
+		o.Strategies = []pipeline.Strategy{pipeline.StrategyBP, pipeline.StrategyMaxMP}
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.MaxTuples <= 0 {
+		o.MaxTuples = 400
+	}
+	return o
+}
+
+// SelfTest sweeps randomized synthetic data sets through the full
+// conformance battery: per trial it draws a workload (varying shapes,
+// separations, quantization, class counts — every fifth trial the
+// categorical covertype-full family), then for every configured
+// strategy it
+//
+//   - builds the key at Workers:1 and Workers:N and requires
+//     byte-identical keys and encoded data (CheckDeterminism),
+//   - cross-checks the pipeline's stage artifacts (CheckArtifacts),
+//   - runs the structural battery (CheckKey), and
+//   - runs the differential Theorem 1–2 verification (CheckGuarantee)
+//     under a trial-dependent tree configuration.
+//
+// The sweep stops at the first trial with violations; its report
+// carries the offending attribute, piece, and the (seed, trial) pair
+// that replays it.
+func SelfTest(opts SelfTestOptions) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{}
+	for t := 0; t < opts.Trials; t++ {
+		rep.Trials = t + 1
+		trialRep := runTrial(opts, t)
+		rep.merge(trialRep, 0, t)
+		if !rep.Ok() {
+			return rep
+		}
+	}
+	return rep
+}
+
+// runTrial executes one randomized trial. All randomness derives from
+// (opts.Seed, t): the data set, the encode options, the encode seed and
+// the tree configuration.
+func runTrial(opts SelfTestOptions, t int) *Report {
+	rep := &Report{}
+	rng := parallel.NewRand(opts.Seed, int64(t))
+	d, err := trialData(rng, t, opts.MaxTuples)
+	if err != nil {
+		rep.add(newViolation(CheckStructure, "", fmt.Sprintf("synthesizing trial data failed: %v", err)))
+		return rep
+	}
+	treeCfg := tree.Config{MinLeaf: 1 + rng.Intn(5)}
+	if rng.Intn(2) == 1 {
+		treeCfg.Criterion = tree.Entropy
+	}
+	for _, strat := range opts.Strategies {
+		encOpts := pipeline.Options{
+			Strategy:      strat,
+			Breakpoints:   5 + rng.Intn(36),
+			MinPieceWidth: 1 + rng.Intn(8),
+			Anti:          rng.Intn(4) == 0,
+		}
+		seed := rng.Int63()
+		stratRep := checkEncodeConfig(d, encOpts, seed, opts.Workers, treeCfg)
+		rep.merge(stratRep, seed, t)
+		if !rep.Ok() {
+			return rep
+		}
+	}
+	return rep
+}
+
+// checkEncodeConfig runs the full battery for one (data, options, seed)
+// configuration: workers-determinism pinning, artifact cross-checks,
+// structural key checks, and the differential guarantee.
+func checkEncodeConfig(d *dataset.Dataset, encOpts pipeline.Options, seed int64, workers int, treeCfg tree.Config) *Report {
+	rep := &Report{}
+	rep.ran(CheckDeterminism)
+
+	serial := encOpts
+	serial.Workers = 1
+	key, arts, err := pipeline.BuildKeyArtifacts(d, serial, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		rep.add(newViolation(CheckStructure, "", fmt.Sprintf("encode failed: %v", err)))
+		return rep
+	}
+	enc, err := pipeline.Apply(d, key, 1)
+	if err != nil {
+		rep.add(newViolation(CheckStructure, "", fmt.Sprintf("apply failed: %v", err)))
+		return rep
+	}
+
+	fanned := encOpts
+	fanned.Workers = workers
+	keyN, err := pipeline.BuildKey(d, fanned, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		rep.add(newViolation(CheckDeterminism, "",
+			fmt.Sprintf("encode failed at workers=%d but not at workers=1: %v", workers, err)))
+		return rep
+	}
+	if !sameKey(key, keyN) {
+		rep.add(newViolation(CheckDeterminism, "",
+			fmt.Sprintf("keys differ between workers=1 and workers=%d for the same seed", workers)))
+	}
+	encN, err := pipeline.Apply(d, keyN, workers)
+	if err != nil {
+		rep.add(newViolation(CheckDeterminism, "",
+			fmt.Sprintf("apply failed at workers=%d: %v", workers, err)))
+		return rep
+	}
+	if !enc.Equal(encN) {
+		rep.add(newViolation(CheckDeterminism, "",
+			fmt.Sprintf("encoded data differs between workers=1 and workers=%d for the same seed", workers)))
+	}
+
+	rep.merge(CheckArtifacts(arts), seed, -1)
+	rep.merge(CheckKey(d, key), seed, -1)
+	if rep.Ok() {
+		rep.merge(CheckGuarantee(d, key, treeCfg), seed, -1)
+	}
+	return rep
+}
+
+// sameKey compares two keys by their serialized wire form — the same
+// byte-identity notion the repository's determinism regressions pin.
+func sameKey(a, b *transform.Key) bool {
+	ab, aerr := transform.MarshalKey(a)
+	bb, berr := transform.MarshalKey(b)
+	return aerr == nil && berr == nil && string(ab) == string(bb)
+}
+
+// trialData draws the trial's synthetic workload. Most trials build a
+// fresh randomized numeric spec (shape, separation, spread, skew and
+// quantization all varying); every fifth trial uses the covertype-full
+// family so categorical code-permutation keys are swept too.
+func trialData(rng *rand.Rand, t, maxTuples int) (*dataset.Dataset, error) {
+	n := 60 + rng.Intn(maxTuples-59)
+	if t%5 == 4 {
+		return synth.CovertypeFull(rng, n)
+	}
+	classes := 2 + rng.Intn(3)
+	attrs := 2 + rng.Intn(3)
+	specs := make([]synth.AttrSpec, attrs)
+	for a := range specs {
+		spec := synth.AttrSpec{
+			Name:   fmt.Sprintf("x%d", a),
+			Width:  float64(50 + rng.Intn(1950)),
+			Shape:  synth.Shape(rng.Intn(3)),
+			Sep:    0.8 * rng.Float64(),
+			Spread: 0.05 + 0.25*rng.Float64(),
+			Skew:   1 + 2*rng.Float64(),
+		}
+		if rng.Intn(3) == 0 {
+			spec.Step = float64(2 + rng.Intn(5))
+		}
+		specs[a] = spec
+	}
+	overlap := 0.0
+	if rng.Intn(2) == 0 {
+		overlap = 0.3 * rng.Float64()
+	}
+	return synth.GenerateOverlap(rng, n, classes, overlap, specs)
+}

@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachStressHighWorkers hammers ForEach with far more workers
+// than items and vice versa. Run under -race (the CI stress job does)
+// to surface ordering and publication bugs the functional tests miss.
+func TestForEachStressHighWorkers(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{1, 32}, {5, 32}, {32, 32}, {100, 32}, {1000, 32}, {32, 1},
+	} {
+		t.Run(fmt.Sprintf("n=%d_w=%d", tc.n, tc.workers), func(t *testing.T) {
+			out := make([]int64, tc.n)
+			var calls atomic.Int64
+			err := ForEach(context.Background(), tc.n, tc.workers, func(i int) error {
+				calls.Add(1)
+				out[i] = int64(i) * 3
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := calls.Load(); got != int64(tc.n) {
+				t.Fatalf("fn called %d times, want %d", got, tc.n)
+			}
+			for i, v := range out {
+				if v != int64(i)*3 {
+					t.Fatalf("slot %d = %d, want %d", i, v, int64(i)*3)
+				}
+			}
+		})
+	}
+}
+
+// TestForEachStressErrorPropagation checks that an error from any index
+// cancels the sweep and surfaces, regardless of scheduling.
+func TestForEachStressErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for round := 0; round < 20; round++ {
+		failAt := round % 7
+		err := ForEach(context.Background(), 64, 32, func(i int) error {
+			if i%7 == failAt {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("round %d: err = %v, want %v", round, err, boom)
+		}
+	}
+}
+
+// TestSeedStreamsIndependentOfWorkers pins the (baseSeed, index)
+// discipline: the stream for an index is a pure function of the pair,
+// so any scheduling of any worker count observes identical randomness.
+func TestSeedStreamsIndependentOfWorkers(t *testing.T) {
+	const n = 200
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = NewRand(99, int64(i)).Float64()
+	}
+	for _, workers := range []int{1, 4, 32} {
+		got := make([]float64, n)
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			got[i] = NewRand(99, int64(i)).Float64()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: stream %d diverged", workers, i)
+			}
+		}
+	}
+}

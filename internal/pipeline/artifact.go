@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"math/rand"
+
+	"privtree/internal/dataset"
+	"privtree/internal/parallel"
+	"privtree/internal/runs"
+	"privtree/internal/transform"
+)
+
+// Artifact is the checkable output of the pipeline's stitch/verify
+// stage for one attribute: the profile-stage value groups, the
+// choose-stage domain decomposition (over the group index space), and
+// the finished attribute key. The conformance layer consumes artifacts
+// to verify the choose/draw stages against each other — e.g. that a
+// piece the chooser marked monochromatic really is, and that the drawn
+// key's piece boundaries land exactly on the chosen group values —
+// without re-deriving the pipeline's intermediate state.
+type Artifact struct {
+	// Attr is the attribute name; Index its schema position.
+	Attr  string
+	Index int
+	// Categorical marks a code-permutation attribute; Groups and Pieces
+	// are empty for it.
+	Categorical bool
+	// Groups is the profile-stage output: sorted distinct values with
+	// their label-run summary (Definition 6's substrate).
+	Groups []runs.ValueGroup
+	// Pieces is the choose-stage output: the decomposition of the group
+	// index space (Figures 5–6).
+	Pieces []runs.Piece
+	// Key is the draw-stage output.
+	Key *transform.AttributeKey
+}
+
+// BuildKeyArtifacts is BuildKey plus the per-attribute stage artifacts:
+// it runs profile → choose → draw → verify and returns both the
+// finished key and, for every attribute, the intermediate state the
+// verify stage checked it against. Same determinism contract as
+// BuildKey: identical output for a given rng state at any worker count.
+func BuildKeyArtifacts(d *dataset.Dataset, opts Options, rng *rand.Rand) (*transform.Key, []Artifact, error) {
+	if d.NumAttrs() == 0 {
+		return nil, nil, &StageError{Stage: StageProfile, Err: dataset.ErrNoAttributes}
+	}
+	opts = opts.normalize()
+	workers := parallel.ResolveWorkers(opts.Workers)
+
+	cols, err := profileColumns(d, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Randomized section: choose and draw interleave per attribute, in
+	// attribute order, on the caller's stream — see the package comment
+	// for why this section is serial.
+	for i := range cols {
+		if err := cols[i].choose(opts, rng); err != nil {
+			return nil, nil, &StageError{Stage: StageChoose, Attr: cols[i].Name, Err: err}
+		}
+		if err := cols[i].draw(opts, rng); err != nil {
+			return nil, nil, &StageError{Stage: StageDraw, Attr: cols[i].Name, Err: err}
+		}
+	}
+
+	key := &transform.Key{Attrs: make([]*transform.AttributeKey, len(cols))}
+	arts := make([]Artifact, len(cols))
+	for i := range cols {
+		key.Attrs[i] = cols[i].Key
+		arts[i] = Artifact{
+			Attr:        cols[i].Name,
+			Index:       cols[i].Index,
+			Categorical: cols[i].Categorical,
+			Groups:      cols[i].Groups,
+			Pieces:      cols[i].Pieces,
+			Key:         cols[i].Key,
+		}
+	}
+	if err := verifyColumns(cols, workers); err != nil {
+		return nil, nil, err
+	}
+	return key, arts, nil
+}

@@ -158,38 +158,11 @@ func Encode(d *dataset.Dataset, opts Options, rng *rand.Rand) (*dataset.Dataset,
 // BuildKey runs the key-construction stages of the pipeline (profile →
 // choose → draw → verify) without applying the key to the data. Use it
 // when the data will be encoded block-wise afterwards (ApplyStream).
+// BuildKeyArtifacts additionally returns the per-attribute stage
+// artifacts the conformance layer checks.
 func BuildKey(d *dataset.Dataset, opts Options, rng *rand.Rand) (*transform.Key, error) {
-	if d.NumAttrs() == 0 {
-		return nil, &StageError{Stage: StageProfile, Err: dataset.ErrNoAttributes}
-	}
-	opts = opts.normalize()
-	workers := parallel.ResolveWorkers(opts.Workers)
-
-	cols, err := profileColumns(d, workers)
-	if err != nil {
-		return nil, err
-	}
-
-	// Randomized section: choose and draw interleave per attribute, in
-	// attribute order, on the caller's stream — see the package comment
-	// for why this section is serial.
-	for i := range cols {
-		if err := cols[i].choose(opts, rng); err != nil {
-			return nil, &StageError{Stage: StageChoose, Attr: cols[i].Name, Err: err}
-		}
-		if err := cols[i].draw(opts, rng); err != nil {
-			return nil, &StageError{Stage: StageDraw, Attr: cols[i].Name, Err: err}
-		}
-	}
-
-	key := &transform.Key{Attrs: make([]*transform.AttributeKey, len(cols))}
-	for i := range cols {
-		key.Attrs[i] = cols[i].Key
-	}
-	if err := verifyColumns(cols, workers); err != nil {
-		return nil, err
-	}
-	return key, nil
+	key, _, err := BuildKeyArtifacts(d, opts, rng)
+	return key, err
 }
 
 // EncodeColumn draws a piecewise transformation key for attribute a of

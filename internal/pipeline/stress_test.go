@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/synth"
+	"privtree/internal/transform"
+)
+
+// TestEncodeByteIdentityAtHighWorkerCounts pins the pipeline's
+// determinism contract where it is most fragile: many more workers than
+// attributes, tiny columns, every strategy. Run under -race in CI's
+// stress job. The Workers:1 output is the reference; every other count
+// must match byte for byte.
+func TestEncodeByteIdentityAtHighWorkerCounts(t *testing.T) {
+	d, err := synth.CovertypeFull(rand.New(rand.NewSource(17)), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategyNone, StrategyBP, StrategyMaxMP} {
+		opts := Options{Strategy: strat, Workers: 1}
+		refEnc, refKey, err := Encode(d, opts, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBytes, err := transform.MarshalKey(refKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8, 32} {
+			opts.Workers = workers
+			enc, key, err := Encode(d, opts, rand.New(rand.NewSource(5)))
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", strat, workers, err)
+			}
+			kb, err := transform.MarshalKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(kb) != string(refBytes) {
+				t.Errorf("%v workers=%d: key differs from workers=1", strat, workers)
+			}
+			if !enc.Equal(refEnc) {
+				t.Errorf("%v workers=%d: encoded data differs from workers=1", strat, workers)
+			}
+		}
+	}
+}
+
+// TestApplyStressSmallColumns fans a 32-worker apply over data sets
+// smaller than the worker count, where idle workers and short columns
+// shake out sharing bugs.
+func TestApplyStressSmallColumns(t *testing.T) {
+	for _, n := range []int{1, 3, 10} {
+		d, err := synth.Covertype(rand.New(rand.NewSource(int64(n))), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := BuildKey(d, Options{Workers: 1}, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Apply(d, key, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 10; round++ {
+			enc, err := Apply(d, key, 32)
+			if err != nil {
+				t.Fatalf("n=%d round %d: %v", n, round, err)
+			}
+			if !enc.Equal(ref) {
+				t.Fatalf("n=%d round %d: 32-worker apply diverged from serial", n, round)
+			}
+		}
+	}
+}
+
+// TestBuildKeyArtifactsMatchesBuildKey pins that the artifact-emitting
+// entry point is the same computation as BuildKey, at any worker count.
+func TestBuildKeyArtifactsMatchesBuildKey(t *testing.T) {
+	d, err := synth.Covertype(rand.New(rand.NewSource(23)), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 32} {
+		opts := Options{Strategy: StrategyMaxMP, Workers: workers}
+		key, err := BuildKey(d, opts, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyA, arts, err := BuildKeyArtifacts(d, opts, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, _ := transform.MarshalKey(key)
+		ab, _ := transform.MarshalKey(keyA)
+		if string(kb) != string(ab) {
+			t.Errorf("workers=%d: BuildKeyArtifacts key differs from BuildKey", workers)
+		}
+		if len(arts) != d.NumAttrs() {
+			t.Errorf("workers=%d: %d artifacts for %d attributes", workers, len(arts), d.NumAttrs())
+		}
+		for a, art := range arts {
+			if art.Index != a || art.Key == nil {
+				t.Errorf("workers=%d: artifact %d malformed: %+v", workers, a, art)
+			}
+		}
+	}
+}

@@ -158,11 +158,24 @@ func MarshalKey(k *Key) ([]byte, error) {
 // UnmarshalKey deserializes a Key from JSON, enforcing the wire-format
 // version, and validates its structural invariants.
 func UnmarshalKey(data []byte) (*Key, error) {
-	var k Key
-	if err := json.Unmarshal(data, &k); err != nil {
+	k, err := UnmarshalKeyUnvalidated(data)
+	if err != nil {
 		return nil, err
 	}
 	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// UnmarshalKeyUnvalidated deserializes a Key enforcing only the wire
+// format, not the structural invariants. It exists for the conformance
+// verifier, which wants to load a possibly-broken key and report the
+// exact invariant it violates; every other caller should use
+// UnmarshalKey.
+func UnmarshalKeyUnvalidated(data []byte) (*Key, error) {
+	var k Key
+	if err := json.Unmarshal(data, &k); err != nil {
 		return nil, err
 	}
 	return &k, nil

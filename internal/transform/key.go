@@ -187,6 +187,18 @@ func (k *AttributeKey) domainGapAbove(gi int, outAbove bool) float64 {
 	return (k.Pieces[gi-1].DomHi + p.DomLo) / 2
 }
 
+// PieceIndex returns the index (in domain order) of the piece owning
+// domain value x and whether such a piece exists; callers that need to
+// attribute a per-value property to a specific piece (the conformance
+// checks) use it to name the offending piece.
+func (k *AttributeKey) PieceIndex(x float64) (int, bool) {
+	i, inside := k.pieceFor(x)
+	if !inside {
+		return -1, false
+	}
+	return i, true
+}
+
 // PermutationEncoded reports whether domain value x falls in a piece
 // encoded by a random bijection (a monochromatic piece). Such values are
 // immune to rank-based (sorting) attacks.

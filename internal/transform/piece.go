@@ -163,10 +163,20 @@ func (p *Piece) Apply(x float64) float64 {
 		// Nearest-value fallback for values absent from the table.
 		return p.OutVals[p.nearest(p.DomVals, i, x)]
 	case KindAntiMonotone:
-		return p.OutHi - (p.OutHi-p.OutLo)*p.Shape.Eval(p.normalize(x))
+		return p.clampOut(p.OutHi - (p.OutHi-p.OutLo)*p.Shape.Eval(p.normalize(x)))
 	default:
-		return p.OutLo + (p.OutHi-p.OutLo)*p.Shape.Eval(p.normalize(x))
+		return p.clampOut(p.OutLo + (p.OutHi-p.OutLo)*p.Shape.Eval(p.normalize(x)))
 	}
+}
+
+// clampOut pins a computed output to the piece's output interval.
+// Evaluating the affine form at a domain endpoint can escape
+// [OutLo, OutHi] by a few ulps (OutHi - (OutHi-OutLo) need not equal
+// OutLo in floating point), which would make the attribute-level
+// inverse route the value into the neighboring output gap and decode
+// it to the wrong domain point.
+func (p *Piece) clampOut(y float64) float64 {
+	return math.Min(math.Max(y, p.OutLo), p.OutHi)
 }
 
 // Invert maps a transformed value back to the domain. For permutation

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"fmt"
 	"math"
 
 	"privtree/internal/dataset"
@@ -51,37 +52,58 @@ func equalNodes(a, b *Node, tol float64) bool {
 // threshold within the gap between two consecutive active-domain values,
 // which cannot change how any tuple is classified.
 func EquivalentOn(a, b *Tree, d *dataset.Dataset) bool {
+	return DivergenceOn(a, b, d) == ""
+}
+
+// DivergenceOn compares two trees in the EquivalentOn sense and, when
+// they diverge, describes the first divergent node: its path from the
+// root (L/R for numeric children, B<i> for multiway branches) and what
+// differs there. It returns "" when the trees are equivalent on d. The
+// conformance layer uses the description to turn a failed Theorem 2
+// check into an actionable violation instead of a bare boolean.
+func DivergenceOn(a, b *Tree, d *dataset.Dataset) string {
 	idx := make([]int, d.NumTuples())
 	for i := range idx {
 		idx[i] = i
 	}
-	return equivalentNodes(a.Root, b.Root, d, idx)
+	return divergence(a.Root, b.Root, d, idx, "root")
 }
 
-func equivalentNodes(a, b *Node, d *dataset.Dataset, idx []int) bool {
+// divergence returns "" when the subtrees are equivalent on the tuples
+// idx, and a "path: difference" description otherwise.
+func divergence(a, b *Node, d *dataset.Dataset, idx []int, path string) string {
 	if a == nil || b == nil {
-		return a == b
+		if a == b {
+			return ""
+		}
+		return fmt.Sprintf("%s: one side is missing the node", path)
 	}
 	if a.Leaf != b.Leaf {
-		return false
+		return fmt.Sprintf("%s: leaf vs internal node", path)
 	}
 	if a.Leaf {
-		return a.Class == b.Class
+		if a.Class != b.Class {
+			return fmt.Sprintf("%s: leaf class %d vs %d", path, a.Class, b.Class)
+		}
+		return ""
 	}
-	if a.Attr != b.Attr || a.Multiway != b.Multiway {
-		return false
+	if a.Attr != b.Attr {
+		return fmt.Sprintf("%s: split attribute %d vs %d", path, a.Attr, b.Attr)
+	}
+	if a.Multiway != b.Multiway {
+		return fmt.Sprintf("%s: multiway vs numeric split", path)
 	}
 	col := d.Cols[a.Attr]
 	if a.Multiway {
 		// Branch sets must agree code for code, and each pair must be
 		// equivalent on the code's subset.
 		if len(a.Cats) != len(b.Cats) {
-			return false
+			return fmt.Sprintf("%s: %d vs %d branches", path, len(a.Cats), len(b.Cats))
 		}
 		pos := make(map[int]int, len(a.Cats))
 		for i, c := range a.Cats {
 			if b.Cats[i] != c {
-				return false
+				return fmt.Sprintf("%s: branch %d covers code %d vs %d", path, i, c, b.Cats[i])
 			}
 			pos[c] = i
 		}
@@ -89,23 +111,24 @@ func equivalentNodes(a, b *Node, d *dataset.Dataset, idx []int) bool {
 		for _, i := range idx {
 			p, ok := pos[int(col[i])]
 			if !ok {
-				return false // a code the split never saw
+				return fmt.Sprintf("%s: tuple code %d unseen by the split", path, int(col[i]))
 			}
 			parts[p] = append(parts[p], i)
 		}
 		for i := range a.Cats {
-			if !equivalentNodes(a.Branches[i], b.Branches[i], d, parts[i]) {
-				return false
+			if diff := divergence(a.Branches[i], b.Branches[i], d, parts[i], fmt.Sprintf("%s.B%d", path, i)); diff != "" {
+				return diff
 			}
 		}
-		return true
+		return ""
 	}
 	var li, ri []int
 	for _, i := range idx {
 		goLeftA := col[i] <= a.Threshold
 		goLeftB := col[i] <= b.Threshold
 		if goLeftA != goLeftB {
-			return false
+			return fmt.Sprintf("%s: thresholds %v vs %v route attribute-%d value %v apart",
+				path, a.Threshold, b.Threshold, a.Attr, col[i])
 		}
 		if goLeftA {
 			li = append(li, i)
@@ -113,7 +136,10 @@ func equivalentNodes(a, b *Node, d *dataset.Dataset, idx []int) bool {
 			ri = append(ri, i)
 		}
 	}
-	return equivalentNodes(a.Left, b.Left, d, li) && equivalentNodes(a.Right, b.Right, d, ri)
+	if diff := divergence(a.Left, b.Left, d, li, path+".L"); diff != "" {
+		return diff
+	}
+	return divergence(a.Right, b.Right, d, ri, path+".R")
 }
 
 // Accuracy returns the fraction of tuples of d the tree classifies

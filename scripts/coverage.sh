@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Coverage gate: runs the test suite with coverage, writes a merged
+# profile (the CI artifact), and enforces a soft floor on the packages
+# that carry the correctness guarantees — the conformance battery, the
+# encode pipeline, and the transform layer.
+#
+#   COVER_OUT    profile path (default coverage.out)
+#   COVER_FLOOR  per-package floor in percent (default 70)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${COVER_OUT:-coverage.out}"
+FLOOR="${COVER_FLOOR:-70}"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+go test -covermode=atomic -coverprofile="$OUT" ./... >"$LOG" 2>&1 || {
+  cat "$LOG"
+  exit 1
+}
+cat "$LOG"
+
+fail=0
+for pkg in privtree/internal/conformance privtree/internal/pipeline privtree/internal/transform; do
+  pct=$(awk -v p="$pkg" '$1 == "ok" && $2 == p {
+    for (i = 1; i <= NF; i++) if ($i ~ /^[0-9.]+%$/) { sub("%", "", $i); print $i }
+  }' "$LOG")
+  if [ -z "$pct" ]; then
+    echo "coverage: no result for $pkg" >&2
+    fail=1
+    continue
+  fi
+  if [ "$(awk -v a="$pct" -v b="$FLOOR" 'BEGIN { print (a + 0 >= b + 0) ? 1 : 0 }')" != 1 ]; then
+    echo "coverage: $pkg at $pct% is below the $FLOOR% floor" >&2
+    fail=1
+  else
+    echo "coverage: $pkg $pct% (floor $FLOOR%)"
+  fi
+done
+exit $fail
