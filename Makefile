@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel experiments examples fmt vet clean check fuzz-smoke cover verify
+.PHONY: all build test race bench bench-parallel bench-check experiments examples fmt vet clean check fuzz-smoke cover verify
 
 all: build test
 
@@ -30,9 +30,17 @@ bench:
 	$(GO) test -run xxx -bench=. -benchmem ./...
 
 # Runs the workers=1 vs workers=4 benchmarks and writes
-# BENCH_parallel.json (name, ns/op, workers, speedup vs serial).
+# BENCH_parallel.json (name, ns/op, workers, speedup vs serial, and
+# per-encode-stage breakdowns from the obs layer). Regenerate with
+# BENCH_COUNT=3 so the committed numbers are medians.
 bench-parallel:
 	./scripts/bench_parallel.sh
+
+# Benchmark-regression gate: rerun the parallel benchmarks (median of
+# BENCH_COUNT=3 repetitions) and fail if any median ns/op regresses
+# more than 20% over the committed BENCH_parallel.json baseline.
+bench-check:
+	./scripts/bench_check.sh
 
 # Short fuzzing budget per target — replays the committed corpora and
 # explores a little beyond them. CI runs this on every push; longer

@@ -4,10 +4,12 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"privtree/internal/experiments"
 	"privtree/internal/forest"
+	"privtree/internal/obs"
 	"privtree/internal/parallel"
 	"privtree/internal/perturb"
 	"privtree/internal/pipeline"
@@ -405,6 +407,36 @@ func BenchmarkParallelSplitSearch(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := tree.Build(d, cfg); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelEncodeStages measures the staged encode pipeline
+// with the observability layer collecting, and reports each stage's
+// span time as a custom "<stage>-ns/op" metric so
+// scripts/bench_parallel.sh can break the encode wall clock down by
+// stage in BENCH_parallel.json.
+func BenchmarkParallelEncodeStages(b *testing.B) {
+	d := benchData(b, 20000)
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			reg := obs.NewRegistry()
+			obs.Enable(reg)
+			defer obs.Disable()
+			opts := EncodeOptions{Strategy: StrategyMaxMP, Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Encode(d, opts, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for _, sp := range reg.Snapshot().Spans {
+				if strings.HasPrefix(sp.Path, "encode/") {
+					stage := strings.ReplaceAll(sp.Name(), "+", "_")
+					b.ReportMetric(float64(sp.Total.Nanoseconds())/float64(b.N), stage+"-ns/op")
 				}
 			}
 		})

@@ -17,14 +17,18 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"privtree/internal/experiments"
+	"privtree/internal/obs"
 )
 
 // run parses args and executes the selected experiment(s), writing
-// results to stdout. Wall-clock per experiment goes to stderr so stdout
-// stays byte-comparable across worker counts.
-func run(args []string, stdout, stderr io.Writer) error {
+// results to stdout. Wall-clock per experiment — collected through the
+// observability layer's spans — goes to stderr so stdout stays
+// byte-comparable across worker counts; -metrics/-trace dump the full
+// counter/span state the run accumulated.
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	cfg := experiments.Default()
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -37,14 +41,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.IntVar(&cfg.MinWidth, "minwidth", cfg.MinWidth, "monochromatic piece width threshold")
 	fs.StringVar(&cfg.Workload, "data", "covertype", "workload: covertype, covertype-full, census, or wdbc")
 	fs.IntVar(&cfg.Workers, "workers", cfg.Workers, "worker goroutines per experiment grid (0: PRIVTREE_WORKERS env, then GOMAXPROCS); results are identical at any setting")
+	var oc obs.CLI
+	oc.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	experiments.Timing = stderr
-	if *runName == "all" {
-		return experiments.RunAll(cfg, stdout)
+	if err := oc.Start(); err != nil {
+		return err
 	}
-	return experiments.Run(*runName, cfg, stdout)
+	// The timing summary is always on (it predates the obs layer), so
+	// collection runs even without -metrics/-trace.
+	reg := oc.EnsureRegistry()
+	defer func() {
+		if e := oc.Finish(stderr); err == nil {
+			err = e
+		}
+	}()
+	if *runName == "all" {
+		err = experiments.RunAll(cfg, stdout)
+	} else {
+		err = experiments.Run(*runName, cfg, stdout)
+	}
+	writeTimingSummary(stderr, reg.Snapshot())
+	return err
+}
+
+// writeTimingSummary renders one "name: elapsed (workers=N)" line per
+// completed experiment span — the wall-clock report formerly printed
+// ad hoc, now read back out of the observability layer.
+func writeTimingSummary(w io.Writer, snap *obs.Snapshot) {
+	workers := snap.Gauges["experiments.workers"]
+	for _, sp := range snap.Spans {
+		if sp.Depth() == 1 && strings.HasPrefix(sp.Path, experiments.SpanPrefix+"/") {
+			fmt.Fprintf(w, "%s: %v (workers=%d)\n", sp.Name(), sp.Total.Round(time.Millisecond), workers)
+		}
+	}
 }
 
 func main() {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -26,6 +28,68 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 	}
 	if a, b := render(), render(); a != b {
 		t.Error("same flags produced different output")
+	}
+}
+
+// TestTimingSummaryFormat pins the wall-clock report the command always
+// prints to stderr — one "name: elapsed (workers=N)" line per
+// experiment, now sourced from the observability layer's spans.
+func TestTimingSummaryFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-run", "fig8", "-n", "800", "-trials", "3", "-workers", "2"}, &out, &errOut); err != nil {
+		t.Fatalf("run fig8: %v (stderr: %s)", err, errOut.String())
+	}
+	line := regexp.MustCompile(`^fig8: [0-9][0-9.]*[µmn]?s \(workers=2\)$`)
+	var matched int
+	for _, l := range strings.Split(strings.TrimSpace(errOut.String()), "\n") {
+		if line.MatchString(l) {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Errorf("want exactly one summary line matching %q, got %d in:\n%s",
+			line.String(), matched, errOut.String())
+	}
+}
+
+// TestTraceFlagEmitsSpans checks -trace: stderr gains the span tree (in
+// JSON here, so the assertion is structural) while stdout stays
+// byte-identical to a flag-less run.
+func TestTraceFlagEmitsSpans(t *testing.T) {
+	base := []string{"-run", "fig8", "-n", "800", "-trials", "3"}
+	var plainOut strings.Builder
+	if err := run(base, &plainOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var tracedOut, tracedErr strings.Builder
+	if err := run(append(base, "-trace", "-obs-format", "json"), &tracedOut, &tracedErr); err != nil {
+		t.Fatal(err)
+	}
+	if plainOut.String() != tracedOut.String() {
+		t.Error("-trace changed stdout")
+	}
+	// The JSON document starts after the timing-summary line(s).
+	stderr := tracedErr.String()
+	idx := strings.Index(stderr, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in stderr:\n%s", stderr)
+	}
+	var snap struct {
+		Spans []struct {
+			Path string `json:"path"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(stderr[idx:]), &snap); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, stderr[idx:])
+	}
+	var sawExperiment bool
+	for _, sp := range snap.Spans {
+		if sp.Path == "experiments/fig8" {
+			sawExperiment = true
+		}
+	}
+	if !sawExperiment {
+		t.Errorf("trace missing experiments/fig8 span: %+v", snap.Spans)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 
 	"privtree"
 	"privtree/internal/dataset"
+	"privtree/internal/obs"
 	"privtree/internal/pipeline"
 )
 
@@ -107,7 +108,7 @@ func strategyFlag(s string) (opt privtree.EncodeOptions, err error) {
 	return opt, err
 }
 
-func cmdEncode(args []string) error {
+func cmdEncode(args []string) (err error) {
 	fs := flag.NewFlagSet("encode", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV (last column = class)")
 	out := fs.String("out", "", "output CSV for the transformed data")
@@ -117,7 +118,17 @@ func cmdEncode(args []string) error {
 	minWidth := fs.Int("minwidth", 5, "monochromatic piece width threshold")
 	seed := fs.Int64("seed", 1, "random seed")
 	chunk := fs.Int("chunk", 0, "tuples per streamed output block (0 = default)")
+	var oc obs.CLI
+	oc.Register(fs)
 	fs.Parse(args)
+	defer func() {
+		if e := oc.Finish(os.Stderr); err == nil {
+			err = e
+		}
+	}()
+	if e := oc.Start(); e != nil {
+		return e
+	}
 	if *in == "" || *out == "" || *keyPath == "" {
 		return usageError{"encode needs -in, -out and -key"}
 	}
@@ -182,12 +193,22 @@ func treeConfig(criterion string, minLeaf, maxDepth int) (privtree.TreeConfig, e
 	return cfg, nil
 }
 
-func cmdMine(args []string) error {
+func cmdMine(args []string) (err error) {
 	fs := flag.NewFlagSet("mine", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV")
 	out := fs.String("out", "", "optional JSON file for the mined tree (what the service ships back)")
 	criterion, minLeaf, maxDepth := treeFlags(fs)
+	var oc obs.CLI
+	oc.Register(fs)
 	fs.Parse(args)
+	defer func() {
+		if e := oc.Finish(os.Stderr); err == nil {
+			err = e
+		}
+	}()
+	if e := oc.Start(); e != nil {
+		return e
+	}
 	if *in == "" {
 		return usageError{"mine needs -in"}
 	}
@@ -220,14 +241,24 @@ func cmdMine(args []string) error {
 	return nil
 }
 
-func cmdDecode(args []string) error {
+func cmdDecode(args []string) (err error) {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	in := fs.String("in", "", "encoded CSV (as shipped to the service); used to re-mine when -tree is absent")
 	treePath := fs.String("tree", "", "tree JSON returned by the service (skips re-mining)")
 	orig := fs.String("orig", "", "original CSV (the custodian's copy)")
 	keyPath := fs.String("key", "", "secret key JSON")
 	criterion, minLeaf, maxDepth := treeFlags(fs)
+	var oc obs.CLI
+	oc.Register(fs)
 	fs.Parse(args)
+	defer func() {
+		if e := oc.Finish(os.Stderr); err == nil {
+			err = e
+		}
+	}()
+	if e := oc.Start(); e != nil {
+		return e
+	}
 	if (*in == "" && *treePath == "") || *orig == "" || *keyPath == "" {
 		return usageError{"decode needs -orig, -key, and one of -in or -tree"}
 	}
@@ -277,13 +308,23 @@ func cmdDecode(args []string) error {
 
 // cmdAppend checks whether a new batch can be encoded under an existing
 // key and, if so, writes the encoded batch for shipping to the service.
-func cmdAppend(args []string) error {
+func cmdAppend(args []string) (err error) {
 	fs := flag.NewFlagSet("append", flag.ExitOnError)
 	orig := fs.String("orig", "", "original CSV already covered by the key")
 	batchPath := fs.String("batch", "", "new batch CSV to encode under the same key")
 	keyPath := fs.String("key", "", "secret key JSON")
 	out := fs.String("out", "", "output CSV for the encoded batch")
+	var oc obs.CLI
+	oc.Register(fs)
 	fs.Parse(args)
+	defer func() {
+		if e := oc.Finish(os.Stderr); err == nil {
+			err = e
+		}
+	}()
+	if e := oc.Start(); e != nil {
+		return e
+	}
 	if *orig == "" || *batchPath == "" || *keyPath == "" || *out == "" {
 		return usageError{"append needs -orig, -batch, -key and -out"}
 	}
@@ -322,13 +363,23 @@ func cmdAppend(args []string) error {
 	return nil
 }
 
-func cmdRisk(args []string) error {
+func cmdRisk(args []string) (err error) {
 	fs := flag.NewFlagSet("risk", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV")
 	trials := fs.Int("trials", 31, "randomized trials per median")
 	rho := fs.Float64("rho", 0.02, "crack radius as a fraction of range width")
 	seed := fs.Int64("seed", 1, "random seed")
+	var oc obs.CLI
+	oc.Register(fs)
 	fs.Parse(args)
+	defer func() {
+		if e := oc.Finish(os.Stderr); err == nil {
+			err = e
+		}
+	}()
+	if e := oc.Start(); e != nil {
+		return e
+	}
 	if *in == "" {
 		return usageError{"risk needs -in"}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"privtree"
 	"privtree/internal/conformance"
+	"privtree/internal/obs"
 	"privtree/internal/pipeline"
 	"privtree/internal/transform"
 )
@@ -21,7 +22,7 @@ import (
 //   - self-test: -rand sweeps randomized synthetic workloads through
 //     both breakpoint procedures at two worker counts, reporting the
 //     first violated invariant with the (seed, trial) pair replaying it.
-func cmdVerify(args []string) error {
+func cmdVerify(args []string) (err error) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	in := fs.String("in", "", "original CSV the key was built for")
 	keyPath := fs.String("key", "", "secret key JSON to verify")
@@ -32,7 +33,17 @@ func cmdVerify(args []string) error {
 	seed := fs.Int64("seed", 1, "self-test: base seed (a reported trial replays under the same seed)")
 	maxTuples := fs.Int("maxtuples", 400, "self-test: max synthetic tuples per trial")
 	criterion, minLeaf, maxDepth := treeFlags(fs)
+	var oc obs.CLI
+	oc.Register(fs)
 	fs.Parse(args)
+	defer func() {
+		if e := oc.Finish(os.Stderr); err == nil {
+			err = e
+		}
+	}()
+	if e := oc.Start(); e != nil {
+		return e
+	}
 
 	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
 	if err != nil {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"privtree/internal/obs"
 )
 
 // CrackFunc is the hacker's guess g for one attribute: it maps a
@@ -71,6 +73,7 @@ func GenerateKPs(rng *rand.Rand, encVals []float64, truth Oracle, opts GenKPOpti
 	}
 	// Sample without replacement when possible so the fit has distinct
 	// abscissae.
+	obs.Add("attack.kps", int64(total))
 	picks := samplePositions(rng, len(encVals), total)
 	kps := make([]KnowledgePoint, 0, total)
 	for i, p := range picks {

@@ -3,6 +3,8 @@ package attack
 import (
 	"errors"
 	"sort"
+
+	"privtree/internal/obs"
 )
 
 // VennCell identifies one region of the crack Venn diagram: the set of
@@ -47,6 +49,7 @@ type Combination struct {
 // Combine fuses per-item crack verdicts. results[name][i] reports
 // whether attack name cracked item i; all slices must share one length.
 func Combine(names []string, results [][]bool) (*Combination, error) {
+	obs.Add("attack.combinations", 1)
 	if len(names) == 0 || len(names) != len(results) {
 		return nil, errors.New("attack: combine needs matching names and results")
 	}

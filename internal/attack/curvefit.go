@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"privtree/internal/obs"
 	"privtree/internal/stats"
 )
 
@@ -69,6 +70,7 @@ func CurveFit(m Method, kps []KnowledgePoint) (CrackFunc, error) {
 	if len(kps) == 0 {
 		return nil, errors.New("attack: curve fitting needs at least one knowledge point")
 	}
+	obs.Add("attack.fit."+m.String(), 1)
 	xs := make([]float64, len(kps))
 	ys := make([]float64, len(kps))
 	for i, kp := range kps {

@@ -3,6 +3,8 @@ package attack
 import (
 	"errors"
 	"sort"
+
+	"privtree/internal/obs"
 )
 
 // FrequencyMatch mounts the natural attack on permutation-encoded
@@ -20,6 +22,7 @@ type FrequencyMatch struct {
 // encoded column (one code per tuple); trueCounts holds the hacker's
 // prior: the number of tuples per original code.
 func NewFrequencyMatch(encCodes []float64, trueCounts []int) (*FrequencyMatch, error) {
+	obs.Add("attack.fit.frequency", 1)
 	if len(encCodes) == 0 || len(trueCounts) == 0 {
 		return nil, errors.New("attack: frequency match needs data and a prior")
 	}

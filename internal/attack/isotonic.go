@@ -1,6 +1,9 @@
 package attack
 
-import "privtree/internal/stats"
+import (
+	"privtree/internal/obs"
+	"privtree/internal/stats"
+)
 
 // IsotonicAttack is a curve-fitting attack that exploits what the hacker
 // knows about the framework itself: each attribute map is (piecewise)
@@ -20,6 +23,7 @@ type IsotonicAttack struct {
 // knowledge points (sorted by transformed value, as GenerateKPs
 // returns). At least one point is required.
 func NewIsotonicAttack(kps []KnowledgePoint) (*IsotonicAttack, error) {
+	obs.Add("attack.fit.isotonic", 1)
 	if len(kps) == 0 {
 		return nil, errNoKPs
 	}

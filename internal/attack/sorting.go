@@ -3,6 +3,8 @@ package attack
 import (
 	"errors"
 	"sort"
+
+	"privtree/internal/obs"
 )
 
 // SortingAttack implements Section 3.3's sorting attack: the hacker
@@ -18,6 +20,7 @@ type SortingAttack struct {
 // NewSortingAttack builds a sorting attack over the distinct transformed
 // values observed in D'.
 func NewSortingAttack(encVals []float64, guessMin, guessMax float64) (*SortingAttack, error) {
+	obs.Add("attack.fit.sorting", 1)
 	if len(encVals) == 0 {
 		return nil, errors.New("attack: sorting attack needs observed values")
 	}

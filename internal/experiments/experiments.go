@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"privtree/internal/dataset"
+	"privtree/internal/obs"
 	"privtree/internal/parallel"
 	"privtree/internal/pipeline"
 	"privtree/internal/risk"
@@ -115,6 +116,8 @@ func (c *Config) trialRNG(offset int64, trial int) *rand.Rand {
 // reduction folds slots in index order, so the output is bit-identical
 // at any worker count.
 func (c *Config) gridMedians(cells int, offset func(cell int) int64, trial func(cell int, rng *rand.Rand) (float64, error)) ([]float64, error) {
+	obs.Add("experiments.grid_cells", int64(cells))
+	obs.Add("experiments.grid_trials", int64(cells)*int64(c.Trials))
 	per := make([][]float64, cells)
 	for i := range per {
 		per[i] = make([]float64, c.Trials)

@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"time"
+
+	"privtree/internal/obs"
 )
 
 // Printer is a computed experiment result that can render itself.
@@ -40,24 +41,27 @@ func Names() []string {
 	return out
 }
 
-// Timing, when non-nil, receives one "name: elapsed" line per computed
-// experiment. It is kept separate from the result writer so the result
-// stream stays byte-comparable across worker counts and machines.
-var Timing io.Writer
+// SpanPrefix roots every experiment's span path, so a snapshot consumer
+// can pull per-experiment wall clock out of the observability layer
+// (cmd/experiments renders those spans as its stderr timing summary —
+// the result stream stays byte-comparable across worker counts and
+// machines).
+const SpanPrefix = "experiments"
 
-// Run computes the named experiment and prints it to w.
+// Run computes the named experiment and prints it to w. The computation
+// runs under an obs span named SpanPrefix/<name>; enable a Registry to
+// collect per-experiment timings, grid counters and stage breakdowns.
 func Run(name string, cfg *Config, w io.Writer) error {
 	fn, ok := registry[name]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	start := time.Now()
+	sp := obs.StartSpan(SpanPrefix + "/" + name)
+	obs.Gauge("experiments.workers", int64(cfg.workers()))
 	res, err := fn(cfg)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("experiments: %s: %w", name, err)
-	}
-	if Timing != nil {
-		fmt.Fprintf(Timing, "%s: %v (workers=%d)\n", name, time.Since(start).Round(time.Millisecond), cfg.workers())
 	}
 	res.Print(w)
 	return nil

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"privtree/internal/dataset"
+	"privtree/internal/obs"
 	"privtree/internal/parallel"
 	"privtree/internal/transform"
 	"privtree/internal/tree"
@@ -111,6 +113,9 @@ func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 		return nil, errors.New("forest: empty training data")
 	}
 	cfg = cfg.withDefaults(d.NumAttrs())
+	sp := obs.StartSpan("mine/forest")
+	defer sp.End()
+	obs.Add("forest.members", int64(cfg.Trees))
 	f := &Forest{numClasses: d.NumClasses()}
 	n := d.NumTuples()
 	draws := drawMembers(cfg, n, d.NumAttrs())
@@ -118,6 +123,11 @@ func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 	f.attrs = make([][]int, cfg.Trees)
 	f.inBag = make([][]bool, cfg.Trees)
 	err := parallel.ForEach(context.Background(), cfg.Trees, parallel.ResolveWorkers(cfg.Workers), func(t int) error {
+		var start time.Time
+		if obs.Enabled() {
+			start = time.Now()
+			defer func() { obs.Since("forest.member_ns", start) }()
+		}
 		dr := draws[t]
 		boot := d.Subset(dr.idx)
 		bagMask := make([]bool, n)

@@ -1,0 +1,64 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/obs"
+	"privtree/internal/synth"
+	"privtree/internal/tree"
+)
+
+// TestRecorderDoesNotChangeMining pins the observability contract on
+// the mining side: a forest trained with a collecting Recorder enabled
+// marshals byte-identically to one trained with observation off, at
+// workers=1 and workers=4.
+func TestRecorderDoesNotChangeMining(t *testing.T) {
+	defer obs.Disable()
+	d, err := synth.Covertype(rand.New(rand.NewSource(12)), 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Trees: 7, Seed: 21, Workers: workers}
+
+		obs.Disable()
+		base, err := Train(d, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d off: %v", workers, err)
+		}
+
+		reg := obs.NewRegistry()
+		obs.Enable(reg)
+		observed, err := Train(d, cfg)
+		obs.Disable()
+		if err != nil {
+			t.Fatalf("workers=%d on: %v", workers, err)
+		}
+
+		for i := range base.Trees {
+			a, err := tree.Marshal(base.Trees[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tree.Marshal(observed.Trees[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Fatalf("workers=%d: member %d differs with recorder enabled", workers, i)
+			}
+		}
+
+		// The instrumented run must actually have hit the tree and
+		// forest counters, or the test proves nothing.
+		snap := reg.Snapshot()
+		if snap.Counters["forest.members"] != int64(cfg.Trees) {
+			t.Fatalf("workers=%d: forest.members = %d, want %d",
+				workers, snap.Counters["forest.members"], cfg.Trees)
+		}
+		if snap.Counters["tree.builds"] != int64(cfg.Trees) || snap.Counters["tree.nodes"] == 0 {
+			t.Fatalf("workers=%d: tree counters missing: %v", workers, snap.Counters)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// CLI wires the observability layer into a command-line flag set: the
+// -metrics / -trace switches, the output format, and the pprof profile
+// paths. The zero value registers cleanly; with every flag off, Start
+// and Finish are no-ops and the process keeps the no-op recorder, so
+// flag-less runs stay byte-identical to builds that predate the layer.
+type CLI struct {
+	// Metrics emits counters, gauges and histograms after the run.
+	Metrics bool
+	// Trace emits the hierarchical span timing tree after the run.
+	Trace bool
+	// Format selects the emission format: "text" or "json".
+	Format string
+	// CPUProfile and MemProfile are pprof output paths (empty = off).
+	CPUProfile string
+	MemProfile string
+
+	reg  *Registry
+	prof *Profiler
+}
+
+// Register installs the observability flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Metrics, "metrics", false, "emit per-stage counters/gauges/histograms to stderr after the run")
+	fs.BoolVar(&c.Trace, "trace", false, "emit the hierarchical span timing tree to stderr after the run")
+	fs.StringVar(&c.Format, "obs-format", "text", "observability output format: text or json")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// Start begins collection and profiling as requested by the parsed
+// flags. Call it once, right after flag parsing.
+func (c *CLI) Start() error {
+	if c.Format != "text" && c.Format != "json" {
+		return fmt.Errorf("obs: unknown -obs-format %q (text, json)", c.Format)
+	}
+	if c.Metrics || c.Trace {
+		c.EnsureRegistry()
+	}
+	if c.CPUProfile != "" || c.MemProfile != "" {
+		p, err := StartProfiler(c.CPUProfile, c.MemProfile)
+		if err != nil {
+			return err
+		}
+		c.prof = p
+	}
+	return nil
+}
+
+// EnsureRegistry enables collection even when no flag asked for it —
+// for commands that always report wall clock through the obs layer —
+// and returns the registry.
+func (c *CLI) EnsureRegistry() *Registry {
+	if c.reg == nil {
+		c.reg = NewRegistry()
+		Enable(c.reg)
+	}
+	return c.reg
+}
+
+// Registry returns the collecting registry, or nil when collection is
+// off.
+func (c *CLI) Registry() *Registry { return c.reg }
+
+// Finish stops profiling, disables collection and renders whatever the
+// flags asked for to w. Safe to call when nothing was enabled.
+func (c *CLI) Finish(w io.Writer) error {
+	var firstErr error
+	if c.prof != nil {
+		firstErr = c.prof.Stop()
+		c.prof = nil
+	}
+	if c.reg == nil {
+		return firstErr
+	}
+	SampleRuntime(c.reg)
+	snap := c.reg.Snapshot()
+	Disable()
+	c.reg = nil
+	if !c.Metrics && !c.Trace {
+		return firstErr
+	}
+	if !c.Trace {
+		snap.Spans = nil
+	}
+	if !c.Metrics {
+		snap.Counters, snap.Gauges, snap.Hists = nil, nil, nil
+	}
+	if c.Format == "json" {
+		if err := snap.WriteJSON(w); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	snap.WriteText(w)
+	return firstErr
+}

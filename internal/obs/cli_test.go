@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCLI(t *testing.T, args ...string) *CLI {
+	t.Helper()
+	var c CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("Parse(%v): %v", args, err)
+	}
+	return &c
+}
+
+func TestCLIFlagsOffIsNoOp(t *testing.T) {
+	defer Disable()
+	c := parseCLI(t)
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if Enabled() {
+		t.Error("flag-less Start enabled collection")
+	}
+	var buf strings.Builder
+	if err := c.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("flag-less Finish wrote output: %q", buf.String())
+	}
+}
+
+func TestCLIRejectsUnknownFormat(t *testing.T) {
+	defer Disable()
+	c := parseCLI(t, "-metrics", "-obs-format", "yaml")
+	if err := c.Start(); err == nil || !strings.Contains(err.Error(), "yaml") {
+		t.Fatalf("Start with bad format: err = %v, want mention of yaml", err)
+	}
+}
+
+func TestCLIMetricsText(t *testing.T) {
+	defer Disable()
+	c := parseCLI(t, "-metrics")
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if !Enabled() {
+		t.Fatal("-metrics did not enable collection")
+	}
+	Add("demo.count", 3)
+	sp := StartSpan("demo")
+	sp.End()
+	var buf strings.Builder
+	if err := c.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo.count") || !strings.Contains(out, "3") {
+		t.Errorf("metrics output missing counter:\n%s", out)
+	}
+	// -metrics alone must not dump the span tree.
+	if strings.Contains(out, "spans:") {
+		t.Errorf("metrics-only output contains spans:\n%s", out)
+	}
+	// Runtime gauges are sampled at Finish.
+	if !strings.Contains(out, "runtime.goroutines") {
+		t.Errorf("metrics output missing runtime gauges:\n%s", out)
+	}
+	if Enabled() {
+		t.Error("Finish left collection enabled")
+	}
+}
+
+func TestCLITraceJSON(t *testing.T) {
+	defer Disable()
+	c := parseCLI(t, "-trace", "-obs-format", "json")
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	root := StartSpan("encode")
+	root.Child("profile").End()
+	root.End()
+	Add("hidden.counter", 1)
+	var buf strings.Builder
+	if err := c.Finish(&buf); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	var got struct {
+		UptimeNS int64            `json:"uptime_ns"`
+		Counters map[string]int64 `json:"counters"`
+		Spans    []struct {
+			Path    string `json:"path"`
+			Count   int64  `json:"count"`
+			TotalNS int64  `json:"total_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.UptimeNS <= 0 {
+		t.Errorf("uptime_ns = %d, want > 0", got.UptimeNS)
+	}
+	if len(got.Counters) != 0 {
+		t.Errorf("trace-only JSON carries counters: %v", got.Counters)
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("spans = %+v, want encode/profile and encode", got.Spans)
+	}
+	if got.Spans[0].Path != "encode/profile" || got.Spans[1].Path != "encode" {
+		t.Errorf("span order = %q, %q", got.Spans[0].Path, got.Spans[1].Path)
+	}
+}
+
+func TestCLIProfiles(t *testing.T) {
+	defer Disable()
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	c := parseCLI(t, "-cpuprofile", cpu, "-memprofile", mem)
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	s := r.Snapshot()
+	for _, g := range []string{"runtime.heap_objects_bytes", "runtime.total_bytes", "runtime.gc_cycles", "runtime.goroutines"} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Errorf("gauge %s missing from %v", g, s.Gauges)
+		}
+	}
+	if s.Gauges["runtime.goroutines"] < 1 {
+		t.Errorf("runtime.goroutines = %d, want >= 1", s.Gauges["runtime.goroutines"])
+	}
+}
+
+func TestWriteTextRendersAllSections(t *testing.T) {
+	r := NewRegistry()
+	r.Add("pipeline.attrs", 10)
+	r.Gauge("parallel.workers", 4)
+	r.Observe("parallel.unit_ns", float64(3*time.Millisecond))
+	root := r.StartSpan("encode")
+	child := root.Child("apply")
+	child.SetWorker(2)
+	child.End()
+	root.End()
+	var buf strings.Builder
+	r.Snapshot().WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"spans:", "counters:", "gauges:", "histograms:",
+		"encode", "apply", "pipeline.attrs", "parallel.workers", "parallel.unit_ns", "[w2 "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// Duration-named histograms render as durations, not raw floats.
+	if strings.Contains(out, "3e+06") {
+		t.Errorf("histogram _ns value rendered as raw float:\n%s", out)
+	}
+}

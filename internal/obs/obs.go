@@ -1,0 +1,134 @@
+// Package obs is the repository's zero-dependency observability layer:
+// counters, gauges and histograms over atomic shards with
+// snapshot-on-read semantics, hierarchical span tracing with per-stage
+// timings and worker attribution, and optional pprof / runtime-metrics
+// profiling hooks.
+//
+// Everything hangs off the Recorder interface. The default recorder is
+// a no-op whose methods do nothing and allocate nothing, so the hot
+// paths that carry instrumentation (the encode pipeline stages, the
+// worker pool, split search, trial grids, attack loops) are unchanged
+// unless a caller explicitly enables a Registry — the byte-identity
+// guarantees of the encode→mine→decode stack never depend on whether
+// observation is on, because instrumentation only reads clocks and
+// bumps counters; it never touches a random stream or a reduction
+// order.
+//
+// Concurrency-sensitive callers should gate the clock reads themselves:
+//
+//	if obs.Enabled() {
+//		start := time.Now()
+//		defer obs.Since("tree.split_search_ns", start)
+//	}
+//
+// or use StartSpan, which returns a nil *Span (all methods nil-safe)
+// when observation is off and therefore never reads the clock.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Recorder receives the instrumentation events of the repository's hot
+// paths. *Registry is the collecting implementation; Nop discards
+// everything.
+type Recorder interface {
+	// Add increments the named counter by delta.
+	Add(name string, delta int64)
+	// Gauge sets the named gauge to v (last write wins).
+	Gauge(name string, v int64)
+	// Observe records one value into the named histogram.
+	Observe(name string, v float64)
+	// StartSpan opens a root span. The returned span may be nil (the
+	// no-op recorder); all *Span methods are nil-safe.
+	StartSpan(name string) *Span
+}
+
+// nop is the default Recorder: every method is an empty body, so
+// instrumented code costs one predictable branch when observation is
+// off.
+type nop struct{}
+
+func (nop) Add(string, int64)       {}
+func (nop) Gauge(string, int64)     {}
+func (nop) Observe(string, float64) {}
+func (nop) StartSpan(string) *Span  { return nil }
+
+// Nop is the discarding Recorder.
+var Nop Recorder = nop{}
+
+// recHolder gives atomic.Value the single concrete type it requires
+// while the held Recorder varies.
+type recHolder struct{ r Recorder }
+
+var (
+	enabled atomic.Bool
+	current atomic.Value // holds a recHolder; never empty after init
+)
+
+func init() { current.Store(recHolder{nop{}}) }
+
+// Enable installs r as the process-wide recorder. A nil r disables
+// observation (equivalent to Disable).
+func Enable(r Recorder) {
+	if r == nil {
+		Disable()
+		return
+	}
+	current.Store(recHolder{r})
+	_, isNop := r.(nop)
+	enabled.Store(!isNop)
+}
+
+// Disable restores the no-op recorder.
+func Disable() {
+	current.Store(recHolder{nop{}})
+	enabled.Store(false)
+}
+
+// Enabled reports whether a collecting recorder is installed. Hot paths
+// use it to skip clock reads and per-unit bookkeeping entirely.
+func Enabled() bool { return enabled.Load() }
+
+// Current returns the installed recorder (Nop when disabled).
+func Current() Recorder { return current.Load().(recHolder).r }
+
+// Add increments a counter on the current recorder.
+func Add(name string, delta int64) {
+	if enabled.Load() {
+		Current().Add(name, delta)
+	}
+}
+
+// Gauge sets a gauge on the current recorder.
+func Gauge(name string, v int64) {
+	if enabled.Load() {
+		Current().Gauge(name, v)
+	}
+}
+
+// Observe records a histogram value on the current recorder.
+func Observe(name string, v float64) {
+	if enabled.Load() {
+		Current().Observe(name, v)
+	}
+}
+
+// Since observes the nanoseconds elapsed from start into the named
+// histogram. Callers pair it with an Enabled-gated time.Now so the
+// clock is never read when observation is off.
+func Since(name string, start time.Time) {
+	if enabled.Load() {
+		Current().Observe(name, float64(time.Since(start).Nanoseconds()))
+	}
+}
+
+// StartSpan opens a root span on the current recorder, or returns nil
+// without reading the clock when observation is off.
+func StartSpan(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return Current().StartSpan(name)
+}

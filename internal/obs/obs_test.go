@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines and
+// checks the shard fold is exact — the table sweeps goroutine counts
+// and deltas (run under -race in CI).
+func TestCounterConcurrent(t *testing.T) {
+	cases := []struct {
+		name       string
+		goroutines int
+		perG       int
+		delta      int64
+	}{
+		{"serial", 1, 1000, 1},
+		{"pair", 2, 500, 3},
+		{"contended", 16, 2000, 1},
+		{"wide-delta", 8, 100, 1 << 40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c Counter
+			var wg sync.WaitGroup
+			for g := 0; g < tc.goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < tc.perG; i++ {
+						c.Add(tc.delta)
+					}
+				}()
+			}
+			wg.Wait()
+			want := int64(tc.goroutines) * int64(tc.perG) * tc.delta
+			if got := c.Value(); got != want {
+				t.Errorf("Value() = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestRegistryCounters exercises counter creation through the Recorder
+// interface, including concurrent first-touch of the same name.
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add("a", 1)
+				r.Add("b", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["a"] != 800 || s.Counters["b"] != 1600 {
+		t.Errorf("counters = %v, want a=800 b=1600", s.Counters)
+	}
+}
+
+func TestGaugeLastWriteWins(t *testing.T) {
+	r := NewRegistry()
+	for i := int64(0); i <= 42; i++ {
+		r.Gauge("g", i)
+	}
+	if got := r.Snapshot().Gauges["g"]; got != 42 {
+		t.Errorf("gauge = %d, want 42", got)
+	}
+}
+
+// TestHistogramStats checks exact count/sum/min/max and that the
+// bucket-estimated quantiles respect their invariants.
+func TestHistogramStats(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+	}{
+		{"single", []float64{5}},
+		{"uniform", []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+		{"skewed", []float64{1, 1, 1, 1, 1, 1, 1, 1e6}},
+		{"subnormal-and-zero", []float64{0, 1e-30, 2}},
+		{"durations", []float64{1e3, 1e6, 5e6, 1e9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram()
+			var sum float64
+			min, max := math.Inf(1), math.Inf(-1)
+			for _, v := range tc.vals {
+				h.Observe(v)
+				sum += v
+				min = math.Min(min, v)
+				max = math.Max(max, v)
+			}
+			st := h.snapshot()
+			if st.Count != int64(len(tc.vals)) {
+				t.Errorf("count = %d, want %d", st.Count, len(tc.vals))
+			}
+			if math.Abs(st.Sum-sum) > 1e-9*math.Abs(sum) {
+				t.Errorf("sum = %g, want %g", st.Sum, sum)
+			}
+			if st.Min != min || st.Max != max {
+				t.Errorf("min/max = %g/%g, want %g/%g", st.Min, st.Max, min, max)
+			}
+			if st.P50 > st.P90+1e-12 || st.P90 > st.P99+1e-12 {
+				t.Errorf("quantiles not monotone: p50=%g p90=%g p99=%g", st.P50, st.P90, st.P99)
+			}
+			if st.P99 > st.Max {
+				t.Errorf("p99 %g exceeds max %g", st.P99, st.Max)
+			}
+		})
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(g*500 + i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := h.snapshot()
+	if st.Count != 4000 {
+		t.Errorf("count = %d, want 4000", st.Count)
+	}
+	if st.Min != 1 || st.Max != 4000 {
+		t.Errorf("min/max = %g/%g, want 1/4000", st.Min, st.Max)
+	}
+	if want := float64(4000*4001) / 2; st.Sum != want {
+		t.Errorf("sum = %g, want %g", st.Sum, want)
+	}
+}
+
+// TestBucketOf pins the log2 bucketing at its edges.
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{math.NaN(), 0},
+		{1e-300, 0},                    // below the bucket range clamps low
+		{math.Inf(1), histBuckets - 1}, // above clamps high
+		{1, 1 - histMinExp},            // 1 is in [2^0, 2^1) → exp 1
+		{1.5, 1 - histMinExp},          // same bucket as 1
+		{2, 2 - histMinExp},            // next power of two
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%g) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// A value inside the covered range must land in a bucket whose
+	// bounds contain it.
+	for _, v := range []float64{3, 17, 1e3, 1e6, 1e9} {
+		b := bucketOf(v)
+		if v >= bucketUpper(b) || (b > 0 && v < bucketUpper(b-1)) {
+			t.Errorf("bucketOf(%g) = %d with upper %g: value outside bucket", v, b, bucketUpper(b))
+		}
+	}
+}
+
+// TestSnapshotStability: with no writes in between, two snapshots agree
+// on every metric and span.
+func TestSnapshotStability(t *testing.T) {
+	r := NewRegistry()
+	r.Add("c", 7)
+	r.Gauge("g", -3)
+	r.Observe("h", 42)
+	sp := r.StartSpan("root")
+	sp.Child("leaf").End()
+	sp.End()
+	a, b := r.Snapshot(), r.Snapshot()
+	if len(a.Counters) != len(b.Counters) || a.Counters["c"] != b.Counters["c"] {
+		t.Error("counter snapshots differ")
+	}
+	if a.Gauges["g"] != b.Gauges["g"] {
+		t.Error("gauge snapshots differ")
+	}
+	if a.Hists["h"] != b.Hists["h"] {
+		t.Error("histogram snapshots differ")
+	}
+	if len(a.Spans) != len(b.Spans) {
+		t.Fatalf("span count differs: %d vs %d", len(a.Spans), len(b.Spans))
+	}
+	for i := range a.Spans {
+		if a.Spans[i].Path != b.Spans[i].Path || a.Spans[i].Count != b.Spans[i].Count ||
+			a.Spans[i].Total != b.Spans[i].Total {
+			t.Errorf("span %d differs: %+v vs %+v", i, a.Spans[i], b.Spans[i])
+		}
+	}
+	// Snapshots are views, not handles: mutating the registry afterwards
+	// must not change an already-taken snapshot.
+	r.Add("c", 1)
+	if a.Counters["c"] != 7 {
+		t.Error("snapshot mutated by later write")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("encode")
+	child := root.Child("profile")
+	grand := child.Child("sort")
+	grand.End()
+	child.End()
+	// Same path again: folds into one stat.
+	root.Child("profile").End()
+	root.End()
+
+	s := r.Snapshot()
+	byPath := map[string]SpanStat{}
+	for _, sp := range s.Spans {
+		byPath[sp.Path] = sp
+	}
+	if got := byPath["encode/profile"].Count; got != 2 {
+		t.Errorf("encode/profile count = %d, want 2", got)
+	}
+	if got := byPath["encode/profile/sort"].Count; got != 1 {
+		t.Errorf("nested span count = %d, want 1", got)
+	}
+	if d := byPath["encode/profile/sort"].Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+	if n := byPath["encode/profile/sort"].Name(); n != "sort" {
+		t.Errorf("Name = %q, want sort", n)
+	}
+	// First-completion order: the deepest span ended first.
+	if s.Spans[0].Path != "encode/profile/sort" {
+		t.Errorf("span order starts with %q, want encode/profile/sort", s.Spans[0].Path)
+	}
+	for _, sp := range s.Spans {
+		if sp.Min > sp.Max || sp.Total < sp.Max || sp.Avg() > sp.Max {
+			t.Errorf("%s: inconsistent durations %+v", sp.Path, sp)
+		}
+	}
+}
+
+func TestSpanWorkerAttribution(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := r.StartSpan("pool/worker")
+			sp.SetWorker(w)
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if len(s.Spans) != 1 {
+		t.Fatalf("want one aggregated path, got %d", len(s.Spans))
+	}
+	sp := s.Spans[0]
+	if sp.Count != 4 || len(sp.Workers) != 4 {
+		t.Fatalf("count=%d workers=%v, want 4 spans over 4 workers", sp.Count, sp.Workers)
+	}
+	if ids := sp.WorkerIDs(); len(ids) != 4 || ids[0] != 0 || ids[3] != 3 {
+		t.Errorf("WorkerIDs = %v, want [0 1 2 3]", ids)
+	}
+}
+
+// TestNilSpanSafe: the no-op recorder hands out nil spans; every method
+// must be callable on them.
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	sp.SetWorker(3)
+	sp.Child("x").Child("y").End()
+	sp.End()
+}
+
+// TestEnableDisable checks the global gate: helpers collect only while
+// a registry is installed, and Enable(nil)/Enable(Nop) disable.
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled after Disable")
+	}
+	Add("x", 1) // must not panic, must not record anywhere
+	if sp := StartSpan("x"); sp != nil {
+		t.Error("StartSpan while disabled should return nil")
+	}
+
+	r := NewRegistry()
+	Enable(r)
+	if !Enabled() {
+		t.Fatal("not Enabled after Enable")
+	}
+	Add("x", 2)
+	Gauge("g", 9)
+	Observe("h", 1.5)
+	Since("h_ns", time.Now())
+	sp := StartSpan("root")
+	if sp == nil {
+		t.Fatal("StartSpan returned nil while enabled")
+	}
+	sp.End()
+
+	Enable(nil)
+	if Enabled() {
+		t.Error("Enabled after Enable(nil)")
+	}
+	Enable(Nop)
+	if Enabled() {
+		t.Error("Enabled after Enable(Nop)")
+	}
+
+	s := r.Snapshot()
+	if s.Counters["x"] != 2 {
+		t.Errorf("counter x = %d, want 2 (disabled-phase write leaked?)", s.Counters["x"])
+	}
+	if s.Gauges["g"] != 9 || s.Hists["h"].Count != 1 || s.Hists["h_ns"].Count != 1 {
+		t.Errorf("helper writes missing: %+v", s)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Path != "root" {
+		t.Errorf("spans = %+v, want one root", s.Spans)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+)
+
+// Profiler owns the optional pprof hooks of a run: a CPU profile
+// streaming to a file and, on Stop, a heap profile. Both are off unless
+// a path is supplied, so profiling never taxes ordinary runs.
+type Profiler struct {
+	cpuFile  *os.File
+	heapPath string
+}
+
+// StartProfiler starts the requested profiles. Empty paths disable the
+// corresponding profile; a Profiler with both empty is a no-op whose
+// Stop does nothing.
+func StartProfiler(cpuPath, heapPath string) (*Profiler, error) {
+	p := &Profiler{heapPath: heapPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop finalizes the profiles: it stops the CPU profile and writes the
+// heap profile (after a GC, so the numbers reflect live memory).
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			firstErr = err
+		}
+		p.cpuFile = nil
+	}
+	if p.heapPath != "" {
+		f, err := os.Create(p.heapPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("obs: heap profile: %w", err)
+			}
+			return firstErr
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("obs: heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// runtimeSamples maps runtime/metrics sample names to the gauge names
+// they surface under.
+var runtimeSamples = []struct{ sample, gauge string }{
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_objects_bytes"},
+	{"/memory/classes/total:bytes", "runtime.total_bytes"},
+	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles"},
+	{"/sched/goroutines:goroutines", "runtime.goroutines"},
+}
+
+// SampleRuntime reads a fixed set of runtime/metrics samples into
+// gauges on r: live heap bytes, total runtime-managed bytes, completed
+// GC cycles and the goroutine count. Call it right before snapshotting
+// so the gauges describe the run's end state.
+func SampleRuntime(r Recorder) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.sample
+	}
+	metrics.Read(samples)
+	for i, rs := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			r.Gauge(rs.gauge, int64(samples[i].Value.Uint64()))
+		case metrics.KindFloat64:
+			r.Gauge(rs.gauge, int64(samples[i].Value.Float64()))
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Registry is the collecting Recorder: it aggregates counters, gauges,
+// histograms and span statistics in memory and serves immutable
+// snapshots on read. Writes are lock-free on the metric fast paths
+// (atomic shards) and briefly locked for span aggregation, which runs
+// at stage granularity, not per value.
+type Registry struct {
+	counters sync.Map // name -> *Counter
+	gauges   sync.Map // name -> *atomic.Int64
+	hists    sync.Map // name -> *Histogram
+
+	spanMu    sync.Mutex
+	spanStats map[string]*spanStat
+	spanOrder []string // first-End order, for stable reporting
+
+	start time.Time
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{spanStats: map[string]*spanStat{}, start: time.Now()}
+}
+
+// counterShards stripes each counter across cache lines so concurrent
+// writers (the worker pool, parallel split search) do not serialize on
+// one cache line. Must be a power of two.
+const counterShards = 16
+
+type counterShard struct {
+	v atomic.Int64
+	_ [56]byte // pad to a 64-byte cache line
+}
+
+// Counter is a monotonically written counter striped over atomic
+// shards. Value folds the shards on read.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// shardIndex picks a shard for the calling goroutine. Goroutine stacks
+// live in distinct allocations, so the address of a stack variable is a
+// cheap, allocation-free discriminator: concurrent writers from
+// different goroutines usually land on different shards.
+func shardIndex() int {
+	var probe byte
+	return int((uintptr(unsafe.Pointer(&probe)) >> 10) & (counterShards - 1))
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.shards[shardIndex()].v.Add(delta) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Add implements Recorder.
+func (r *Registry) Add(name string, delta int64) {
+	c, ok := r.counters.Load(name)
+	if !ok {
+		c, _ = r.counters.LoadOrStore(name, new(Counter))
+	}
+	c.(*Counter).Add(delta)
+}
+
+// Gauge implements Recorder.
+func (r *Registry) Gauge(name string, v int64) {
+	g, ok := r.gauges.Load(name)
+	if !ok {
+		g, _ = r.gauges.LoadOrStore(name, new(atomic.Int64))
+	}
+	g.(*atomic.Int64).Store(v)
+}
+
+// Observe implements Recorder.
+func (r *Registry) Observe(name string, v float64) {
+	h, ok := r.hists.Load(name)
+	if !ok {
+		h, _ = r.hists.LoadOrStore(name, NewHistogram())
+	}
+	h.(*Histogram).Observe(v)
+}
+
+// histBuckets covers 2^-24 .. 2^39 in powers of two — sub-nanosecond to
+// ~9 minutes when observing nanoseconds, with generic values clamped to
+// the edge buckets.
+const histBuckets = 64
+
+// histMinExp is the binary exponent mapped to bucket 0.
+const histMinExp = -24
+
+// Histogram is a lock-free log2-bucketed histogram with exact count,
+// sum, min and max. Quantiles are bucket-resolution estimates.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketOf maps a value to its log2 bucket.
+func bucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return histBuckets - 1
+	}
+	_, exp := math.Frexp(v) // v in [2^(exp-1), 2^exp)
+	b := exp - histMinExp
+	if b < 0 {
+		return 0
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the exclusive upper bound of bucket b.
+func bucketUpper(b int) float64 { return math.Ldexp(1, b+histMinExp) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// HistStat is the snapshot of one histogram.
+type HistStat struct {
+	Count         int64
+	Sum, Min, Max float64
+	P50, P90, P99 float64 // bucket-upper-bound estimates
+}
+
+// snapshot folds the histogram into a HistStat. Concurrent observers
+// may land between the bucket reads; each read is itself atomic, so the
+// stat is a consistent point-in-time approximation.
+func (h *Histogram) snapshot() HistStat {
+	st := HistStat{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+		Min:   math.Float64frombits(h.minBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+	}
+	if st.Count == 0 {
+		st.Min, st.Max = 0, 0
+		return st
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	quantile := func(q float64) float64 {
+		target := int64(math.Ceil(q * float64(total)))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for i := range counts {
+			cum += counts[i]
+			if cum >= target {
+				u := bucketUpper(i)
+				if u > st.Max {
+					u = st.Max
+				}
+				return u
+			}
+		}
+		return st.Max
+	}
+	st.P50, st.P90, st.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	return st
+}
+
+// Snapshot is an immutable point-in-time view of a Registry. Metric
+// maps are keyed by name; Spans preserve first-completion order.
+type Snapshot struct {
+	// Uptime is the time elapsed since the registry was created.
+	Uptime time.Duration
+	// Counters, Gauges and Hists map metric names to their state.
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistStat
+	// Spans aggregates completed spans by path.
+	Spans []SpanStat
+}
+
+// Snapshot folds the registry into an immutable view. It takes the
+// span lock briefly; metric reads are atomic loads.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Uptime:   time.Since(r.start),
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistStat{},
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		s.Hists[k.(string)] = v.(*Histogram).snapshot()
+		return true
+	})
+	r.spanMu.Lock()
+	s.Spans = make([]SpanStat, 0, len(r.spanOrder))
+	for _, path := range r.spanOrder {
+		s.Spans = append(s.Spans, r.spanStats[path].stat(path))
+	}
+	r.spanMu.Unlock()
+	return s
+}
+
+// CounterNames returns the snapshot's counter names in sorted order.
+func (s *Snapshot) CounterNames() []string { return sortedKeys(s.Counters) }
+
+// GaugeNames returns the snapshot's gauge names in sorted order.
+func (s *Snapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// HistNames returns the snapshot's histogram names in sorted order.
+func (s *Snapshot) HistNames() []string {
+	names := make([]string, 0, len(s.Hists))
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeys(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

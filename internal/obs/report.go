@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteText renders the snapshot as a human-readable summary: the span
+// hierarchy first (indented by depth, with per-worker attribution when
+// present), then counters, gauges and histogram statistics, each block
+// sorted by name so the output is stable for a given snapshot.
+func (s *Snapshot) WriteText(w io.Writer) {
+	if len(s.Spans) > 0 {
+		fmt.Fprintln(w, "spans:")
+		for _, sp := range s.Spans {
+			indent := strings.Repeat("  ", sp.Depth())
+			fmt.Fprintf(w, "  %s%-*s %6d× total %-10v avg %v",
+				indent, 28-2*sp.Depth(), sp.Name(), sp.Count,
+				round(sp.Total), round(sp.Avg()))
+			if len(sp.Workers) > 0 {
+				parts := make([]string, 0, len(sp.Workers))
+				for _, id := range sp.WorkerIDs() {
+					parts = append(parts, fmt.Sprintf("w%d %v", id, round(sp.Workers[id])))
+				}
+				fmt.Fprintf(w, "  [%s]", strings.Join(parts, " "))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, n := range s.CounterNames() {
+			fmt.Fprintf(w, "  %-34s %d\n", n, s.Counters[n])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, n := range s.GaugeNames() {
+			fmt.Fprintf(w, "  %-34s %d\n", n, s.Gauges[n])
+		}
+	}
+	if len(s.Hists) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, n := range s.HistNames() {
+			h := s.Hists[n]
+			fmt.Fprintf(w, "  %-34s n=%d sum=%s min=%s p50=%s p99=%s max=%s\n",
+				n, h.Count, histVal(n, h.Sum), histVal(n, h.Min),
+				histVal(n, h.P50), histVal(n, h.P99), histVal(n, h.Max))
+		}
+	}
+}
+
+// histVal renders a histogram value: names ending in "_ns" are duration
+// histograms and print as durations, everything else as a plain number.
+func histVal(name string, v float64) string {
+	if strings.HasSuffix(name, "_ns") {
+		return round(time.Duration(v)).String()
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// round trims a duration for display without flattening short ones.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}
+
+// jsonSnapshot is the wire form of a Snapshot: durations in
+// nanoseconds, span worker maps keyed by stringified worker index.
+type jsonSnapshot struct {
+	UptimeNS int64               `json:"uptime_ns"`
+	Counters map[string]int64    `json:"counters,omitempty"`
+	Gauges   map[string]int64    `json:"gauges,omitempty"`
+	Hists    map[string]HistStat `json:"histograms,omitempty"`
+	Spans    []jsonSpan          `json:"spans,omitempty"`
+}
+
+type jsonSpan struct {
+	Path     string           `json:"path"`
+	Count    int64            `json:"count"`
+	TotalNS  int64            `json:"total_ns"`
+	MinNS    int64            `json:"min_ns"`
+	MaxNS    int64            `json:"max_ns"`
+	WorkerNS map[string]int64 `json:"worker_ns,omitempty"`
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	js := jsonSnapshot{
+		UptimeNS: s.Uptime.Nanoseconds(),
+		Counters: s.Counters,
+		Gauges:   s.Gauges,
+		Hists:    s.Hists,
+	}
+	for _, sp := range s.Spans {
+		j := jsonSpan{
+			Path:    sp.Path,
+			Count:   sp.Count,
+			TotalNS: sp.Total.Nanoseconds(),
+			MinNS:   sp.Min.Nanoseconds(),
+			MaxNS:   sp.Max.Nanoseconds(),
+		}
+		if len(sp.Workers) > 0 {
+			j.WorkerNS = make(map[string]int64, len(sp.Workers))
+			for id, d := range sp.Workers {
+				j.WorkerNS[fmt.Sprintf("%d", id)] = d.Nanoseconds()
+			}
+		}
+		js.Spans = append(js.Spans, j)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}

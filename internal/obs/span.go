@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one timed region of a hierarchy. Spans aggregate by path
+// ("encode/profile", "experiments/fig9"), so repeated executions of the
+// same stage fold into one SpanStat instead of growing an event log —
+// the registry's memory stays bounded however many trials run.
+//
+// All methods are nil-safe: the no-op recorder hands out nil spans, so
+// instrumented code needs no branches of its own.
+type Span struct {
+	r      *Registry
+	path   string
+	start  time.Time
+	worker int // -1 when unattributed
+}
+
+// StartSpan implements Recorder.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{r: r, path: name, start: time.Now(), worker: -1}
+}
+
+// Child opens a sub-span whose path nests under the receiver's.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now(), worker: -1}
+}
+
+// SetWorker attributes the span to a worker index (the fan-out slot of
+// internal/parallel). Aggregated per-worker busy time shows up in the
+// span's SpanStat.
+func (s *Span) SetWorker(w int) {
+	if s != nil {
+		s.worker = w
+	}
+}
+
+// End closes the span, folding its duration into the registry's
+// per-path statistics.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.r.endSpan(s.path, time.Since(s.start), s.worker)
+}
+
+// spanStat accumulates the completed spans of one path.
+type spanStat struct {
+	count           int64
+	total, min, max time.Duration
+	workers         map[int]time.Duration
+}
+
+func (r *Registry) endSpan(path string, d time.Duration, worker int) {
+	r.spanMu.Lock()
+	st := r.spanStats[path]
+	if st == nil {
+		st = &spanStat{min: d, max: d}
+		r.spanStats[path] = st
+		r.spanOrder = append(r.spanOrder, path)
+	}
+	st.count++
+	st.total += d
+	if d < st.min {
+		st.min = d
+	}
+	if d > st.max {
+		st.max = d
+	}
+	if worker >= 0 {
+		if st.workers == nil {
+			st.workers = map[int]time.Duration{}
+		}
+		st.workers[worker] += d
+	}
+	r.spanMu.Unlock()
+}
+
+// SpanStat is the aggregated snapshot of one span path.
+type SpanStat struct {
+	// Path is the slash-separated span hierarchy position.
+	Path string
+	// Count is the number of completed spans at this path.
+	Count int64
+	// Total, Min and Max aggregate the completed durations.
+	Total, Min, Max time.Duration
+	// Workers holds per-worker busy time for spans attributed via
+	// SetWorker; nil when the path never carried attribution.
+	Workers map[int]time.Duration
+}
+
+// Avg returns the mean duration of the completed spans.
+func (s SpanStat) Avg() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Depth returns the nesting depth of the span path (0 for roots).
+func (s SpanStat) Depth() int { return strings.Count(s.Path, "/") }
+
+// Name returns the final path element.
+func (s SpanStat) Name() string {
+	if i := strings.LastIndex(s.Path, "/"); i >= 0 {
+		return s.Path[i+1:]
+	}
+	return s.Path
+}
+
+// WorkerIDs returns the attributed worker indices in ascending order.
+func (s SpanStat) WorkerIDs() []int {
+	ids := make([]int, 0, len(s.Workers))
+	for w := range s.Workers {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (st *spanStat) stat(path string) SpanStat {
+	out := SpanStat{Path: path, Count: st.count, Total: st.total, Min: st.min, Max: st.max}
+	if st.workers != nil {
+		out.Workers = make(map[int]time.Duration, len(st.workers))
+		for w, d := range st.workers {
+			out.Workers[w] = d
+		}
+	}
+	return out
+}

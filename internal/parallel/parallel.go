@@ -28,6 +28,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"privtree/internal/obs"
 )
 
 // EnvWorkers is the environment variable that overrides the default
@@ -69,6 +72,16 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	// Observation is scheduling-only: counters, queue-depth samples and
+	// per-worker busy spans. It never touches fn's inputs or the order
+	// results are reduced in, so enabling a recorder cannot change any
+	// computed bytes.
+	observing := obs.Enabled()
+	if observing {
+		obs.Add("parallel.batches", 1)
+		obs.Add("parallel.units", int64(n))
+		obs.Gauge("parallel.workers", int64(workers))
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -88,8 +101,14 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	errs := make([]error, n)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var sp *obs.Span
+			if observing {
+				sp = obs.StartSpan("parallel/worker")
+				sp.SetWorker(w)
+				defer sp.End()
+			}
 			for {
 				if stop.Load() || ctx.Err() != nil {
 					return
@@ -98,13 +117,24 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				var start time.Time
+				if observing {
+					// Queue depth at claim time: units not yet claimed by
+					// any worker.
+					obs.Gauge("parallel.queue_depth", int64(n-i-1))
+					start = time.Now()
+				}
+				err := fn(i)
+				if observing {
+					obs.Since("parallel.unit_ns", start)
+				}
+				if err != nil {
 					errs[i] = err
 					stop.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"privtree/internal/dataset"
+	"privtree/internal/obs"
 	"privtree/internal/parallel"
 	"privtree/internal/runs"
 	"privtree/internal/transform"
@@ -46,7 +47,16 @@ func BuildKeyArtifacts(d *dataset.Dataset, opts Options, rng *rand.Rand) (*trans
 	opts = opts.normalize()
 	workers := parallel.ResolveWorkers(opts.Workers)
 
+	// Spans time the stages; they read clocks and nothing else, so a
+	// recorder cannot perturb the rng stream or the stage outputs (the
+	// no-op path skips even the clock reads).
+	root := obs.StartSpan("encode")
+	defer root.End()
+	obs.Add("pipeline.attrs", int64(d.NumAttrs()))
+
+	sp := root.Child("profile")
 	cols, err := profileColumns(d, workers)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -54,19 +64,25 @@ func BuildKeyArtifacts(d *dataset.Dataset, opts Options, rng *rand.Rand) (*trans
 	// Randomized section: choose and draw interleave per attribute, in
 	// attribute order, on the caller's stream — see the package comment
 	// for why this section is serial.
+	sp = root.Child("choose+draw")
 	for i := range cols {
 		if err := cols[i].choose(opts, rng); err != nil {
+			sp.End()
 			return nil, nil, &StageError{Stage: StageChoose, Attr: cols[i].Name, Err: err}
 		}
 		if err := cols[i].draw(opts, rng); err != nil {
+			sp.End()
 			return nil, nil, &StageError{Stage: StageDraw, Attr: cols[i].Name, Err: err}
 		}
 	}
+	sp.End()
 
 	key := &transform.Key{Attrs: make([]*transform.AttributeKey, len(cols))}
 	arts := make([]Artifact, len(cols))
+	pieces := int64(0)
 	for i := range cols {
 		key.Attrs[i] = cols[i].Key
+		pieces += int64(len(cols[i].Pieces))
 		arts[i] = Artifact{
 			Attr:        cols[i].Name,
 			Index:       cols[i].Index,
@@ -76,7 +92,11 @@ func BuildKeyArtifacts(d *dataset.Dataset, opts Options, rng *rand.Rand) (*trans
 			Key:         cols[i].Key,
 		}
 	}
-	if err := verifyColumns(cols, workers); err != nil {
+	obs.Add("pipeline.pieces", pieces)
+	sp = root.Child("verify")
+	err = verifyColumns(cols, workers)
+	sp.End()
+	if err != nil {
 		return nil, nil, err
 	}
 	return key, arts, nil

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"privtree/internal/obs"
+	"privtree/internal/transform"
+)
+
+// TestRecorderDoesNotChangeEncodeBytes pins the observability contract:
+// enabling a collecting Recorder must not move a single output bit,
+// because instrumentation only reads clocks and bumps counters — it
+// never touches a random stream or a reduction order. The check runs at
+// workers=1 and workers=8 so the span/worker attribution inside the
+// fan-out is covered too.
+func TestRecorderDoesNotChangeEncodeBytes(t *testing.T) {
+	defer obs.Disable()
+	d := legacyWorkloads(t, 300)["covertype-full"]
+	for _, strat := range []Strategy{StrategyNone, StrategyBP, StrategyMaxMP} {
+		for _, workers := range []int{1, 8} {
+			opts := Options{Strategy: strat, Breakpoints: 6, MinPieceWidth: 3, Workers: workers}
+
+			obs.Disable()
+			baseEnc, baseKey, err := Encode(d, opts, rand.New(rand.NewSource(11)))
+			if err != nil {
+				t.Fatalf("%v workers=%d off: %v", strat, workers, err)
+			}
+			baseBlob, err := transform.MarshalKey(baseKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			reg := obs.NewRegistry()
+			obs.Enable(reg)
+			enc, key, err := Encode(d, opts, rand.New(rand.NewSource(11)))
+			obs.Disable()
+			if err != nil {
+				t.Fatalf("%v workers=%d on: %v", strat, workers, err)
+			}
+			blob, err := transform.MarshalKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(baseBlob, blob) {
+				t.Fatalf("%v workers=%d: key differs with recorder enabled", strat, workers)
+			}
+			for a := range baseEnc.Cols {
+				for i := range baseEnc.Cols[a] {
+					if math.Float64bits(baseEnc.Cols[a][i]) != math.Float64bits(enc.Cols[a][i]) {
+						t.Fatalf("%v workers=%d: attr %d tuple %d differs bitwise with recorder enabled",
+							strat, workers, a, i)
+					}
+				}
+			}
+
+			// Guard against vacuity: the instrumented run must actually
+			// have recorded the encode pipeline.
+			snap := reg.Snapshot()
+			if snap.Counters["pipeline.attrs"] == 0 {
+				t.Fatalf("%v workers=%d: recorder saw no pipeline.attrs — instrumentation missing?", strat, workers)
+			}
+			var sawRoot bool
+			for _, sp := range snap.Spans {
+				if sp.Path == "encode" {
+					sawRoot = true
+				}
+			}
+			if !sawRoot {
+				t.Fatalf("%v workers=%d: no encode root span in %+v", strat, workers, snap.Spans)
+			}
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"math/rand"
 
 	"privtree/internal/dataset"
+	"privtree/internal/obs"
 	"privtree/internal/parallel"
 	"privtree/internal/transform"
 )
@@ -170,6 +171,10 @@ func BuildKey(d *dataset.Dataset, opts Options, rng *rand.Rand) (*transform.Key,
 // the risk experiments, which never materialize the whole transformed
 // data set). Options are normalized here, once.
 func EncodeColumn(d *dataset.Dataset, a int, opts Options, rng *rand.Rand) (*transform.AttributeKey, error) {
+	// Counter only, no span: the risk grids call this per (cell, trial,
+	// attribute), so span aggregation at this granularity would be all
+	// lock traffic and no signal.
+	obs.Add("pipeline.encode_column", 1)
 	opts = opts.normalize()
 	col := newColumn(d, a)
 	if !col.Categorical {
@@ -197,6 +202,9 @@ func Apply(d *dataset.Dataset, key *transform.Key, workers int) (*dataset.Datase
 			Err:   fmt.Errorf("key has %d attributes, dataset has %d: %w", len(key.Attrs), d.NumAttrs(), transform.ErrKeyMismatch),
 		}
 	}
+	sp := obs.StartSpan("encode/apply")
+	defer sp.End()
+	obs.Add("pipeline.apply.values", int64(d.NumTuples())*int64(d.NumAttrs()))
 	out := d.Clone()
 	err := parallel.ForEach(noCtx, d.NumAttrs(), workers, func(a int) error {
 		ak := key.Attrs[a]

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"privtree/internal/dataset"
+	"privtree/internal/obs"
 	"privtree/internal/parallel"
 	"privtree/internal/transform"
 )
@@ -57,6 +58,8 @@ func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chun
 		}
 	}
 	workers = parallel.ResolveWorkers(workers)
+	sp := obs.StartSpan("encode/apply_stream")
+	defer sp.End()
 	for {
 		blk, err := src.Next(chunk)
 		if errors.Is(err, io.EOF) {
@@ -65,6 +68,9 @@ func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chun
 		if err != nil {
 			return &StageError{Stage: StageApply, Err: err}
 		}
+		obs.Add("pipeline.stream.blocks", 1)
+		obs.Add("pipeline.stream.rows", int64(blk.NumRows()))
+		obs.Observe("pipeline.stream.block_rows", float64(blk.NumRows()))
 		err = parallel.ForEach(noCtx, len(blk.Cols), workers, func(a int) error {
 			ak := key.Attrs[a]
 			col := blk.Cols[a]

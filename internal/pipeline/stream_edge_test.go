@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/obs"
+)
+
+// streamKeyAndSchema encodes a tiny two-attribute dataset and returns
+// its key plus the matching empty dataset for edge-case streaming.
+func streamFixture(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.New([]string{"a", "b"}, []string{"x", "y"})
+	for i := 0; i < 20; i++ {
+		if err := d.Append([]float64{float64(i), float64(i % 7)}, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	empty := dataset.New([]string{"a", "b"}, []string{"x", "y"})
+	return d, empty
+}
+
+// TestApplyStreamEmptyDataset: a source with zero tuples streams to a
+// header-only CSV — Flush still writes the header, and no block is ever
+// transformed.
+func TestApplyStreamEmptyDataset(t *testing.T) {
+	defer obs.Disable()
+	d, empty := streamFixture(t)
+	_, key, err := Encode(d, Options{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outSchema, err := OutputSchema(key, empty.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	var csv bytes.Buffer
+	sink := dataset.NewCSVSink(&csv, outSchema)
+	err = ApplyStream(key, dataset.NewDatasetSource(empty), sink, 0, 1)
+	obs.Disable()
+	if err != nil {
+		t.Fatalf("ApplyStream on empty dataset: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "a") || !strings.Contains(lines[0], "b") {
+		t.Fatalf("empty stream should emit exactly the header, got:\n%s", csv.String())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["pipeline.stream.blocks"] != 0 || snap.Counters["pipeline.stream.rows"] != 0 {
+		t.Errorf("empty stream recorded blocks/rows: %v", snap.Counters)
+	}
+
+	// The Collector path agrees: zero tuples, schema intact.
+	col := dataset.NewCollector(outSchema)
+	if err := ApplyStream(key, dataset.NewDatasetSource(empty), col, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTuples() != 0 || got.NumAttrs() != 2 {
+		t.Errorf("collected %d tuples over %d attrs, want 0 over 2", got.NumTuples(), got.NumAttrs())
+	}
+}
+
+// TestApplyStreamSingleRowChunks: chunk=1 degrades to one block per
+// tuple and still matches the materialized transform.
+func TestApplyStreamSingleRowChunks(t *testing.T) {
+	defer obs.Disable()
+	d, _ := streamFixture(t)
+	want, key, err := Encode(d, Options{}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outSchema, err := OutputSchema(key, d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	col := dataset.NewCollector(outSchema)
+	err = ApplyStream(key, dataset.NewDatasetSource(d), col, 1, 1)
+	obs.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Error("chunk=1 stream differs from materialized encode")
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counters["pipeline.stream.blocks"]; n != int64(d.NumTuples()) {
+		t.Errorf("blocks = %d, want %d (one per tuple)", n, d.NumTuples())
+	}
+	if h := snap.Hists["pipeline.stream.block_rows"]; h.Min != 1 || h.Max != 1 {
+		t.Errorf("block_rows min/max = %g/%g, want 1/1", h.Min, h.Max)
+	}
+}
+
+// TestApplyStreamChunkLargerThanDataset: an oversized chunk yields one
+// block holding everything.
+func TestApplyStreamChunkLargerThanDataset(t *testing.T) {
+	defer obs.Disable()
+	d, _ := streamFixture(t)
+	want, key, err := Encode(d, Options{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outSchema, err := OutputSchema(key, d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	obs.Enable(reg)
+	col := dataset.NewCollector(outSchema)
+	err = ApplyStream(key, dataset.NewDatasetSource(d), col, 100*d.NumTuples(), 1)
+	obs.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Error("oversized-chunk stream differs from materialized encode")
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counters["pipeline.stream.blocks"]; n != 1 {
+		t.Errorf("blocks = %d, want 1", n)
+	}
+	if n := snap.Counters["pipeline.stream.rows"]; n != int64(d.NumTuples()) {
+		t.Errorf("rows = %d, want %d", n, d.NumTuples())
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"time"
 
 	"privtree/internal/attack"
+	"privtree/internal/obs"
 	"privtree/internal/parallel"
 	"privtree/internal/stats"
 	"privtree/internal/tree"
@@ -20,6 +22,7 @@ import (
 // value: verdict i is true when |g(ν'_i) - f^{-1}(ν'_i)| <= rho
 // (Definition 1). encVals must hold the distinct values of A' in D'.
 func DomainVerdicts(g attack.CrackFunc, encVals []float64, truth attack.Oracle, rho float64) []bool {
+	obs.Add("risk.guesses", int64(len(encVals)))
 	out := make([]bool, len(encVals))
 	for i, e := range encVals {
 		out[i] = math.Abs(g.Guess(e)-truth(e)) <= rho
@@ -145,6 +148,7 @@ func MedianOfTrials(n int, fn func(trial int) float64) (float64, error) {
 	if n <= 0 {
 		return 0, errors.New("risk: need at least one trial")
 	}
+	obs.Add("risk.trials", int64(n))
 	p := getTrialBuf(n)
 	defer trialBufs.Put(p)
 	xs := *p
@@ -165,11 +169,17 @@ func MedianOfTrialsParallel(n, workers int, fn func(trial int) (float64, error))
 	if n <= 0 {
 		return 0, errors.New("risk: need at least one trial")
 	}
+	obs.Add("risk.trials", int64(n))
 	p := getTrialBuf(n)
 	defer trialBufs.Put(p)
 	xs := *p
 	err := parallel.ForEach(context.Background(), n, parallel.ResolveWorkers(workers), func(i int) error {
+		var start time.Time
+		if obs.Enabled() {
+			start = time.Now()
+		}
 		r, err := fn(i)
+		obs.Since("risk.trial_ns", start)
 		if err != nil {
 			return err
 		}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"privtree/internal/dataset"
+	"privtree/internal/obs"
 	"privtree/internal/parallel"
 	"privtree/internal/runs"
 )
@@ -27,6 +29,7 @@ func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
 	if cfg.Orientation == OrientationCanonical {
 		d, flipped = canonicalOrientation(d)
 	}
+	sp := obs.StartSpan("mine/build")
 	b := newBuilder(d, cfg)
 	idx := make([]int, d.NumTuples())
 	for i := range idx {
@@ -35,6 +38,12 @@ func Build(d *dataset.Dataset, cfg Config) (*Tree, error) {
 	root := b.grow(b.orders, idx, 0)
 	if flipped != nil {
 		unflip(root, flipped)
+	}
+	sp.End()
+	if obs.Enabled() {
+		obs.Add("tree.builds", 1)
+		obs.Add("tree.nodes", b.numNodes)
+		obs.Add("tree.leaves", b.numLeaves)
 	}
 	return &Tree{
 		Root:       root,
@@ -115,6 +124,10 @@ type builder struct {
 	// left and right are class-count scratch for the serial split scan;
 	// concurrent scans allocate their own.
 	left, right []int
+	// numNodes and numLeaves count the grown tree for the observability
+	// layer. grow runs on a single goroutine (only split search inside a
+	// node fans out), so plain increments suffice.
+	numNodes, numLeaves int64
 }
 
 // newBuilder presorts the attribute orders once; split search then runs
@@ -160,14 +173,17 @@ func (b *builder) grow(lists [][]int, idx []int, dep int) *Node {
 	for _, i := range idx {
 		counts[b.d.Labels[i]]++
 	}
+	b.numNodes++
 	node := &Node{Counts: counts, Class: argmax(counts)}
 	if b.stop(counts, len(idx), dep) {
 		node.Leaf = true
+		b.numLeaves++
 		return node
 	}
 	best, ok := b.bestSplit(lists, idx, counts)
 	if !ok {
 		node.Leaf = true
+		b.numLeaves++
 		return node
 	}
 	node.Attr = best.attr
@@ -321,6 +337,11 @@ func (b *builder) bestSplit(lists [][]int, idx []int, counts []int) (split, bool
 	total := len(idx)
 	parentImp := b.cfg.Criterion.Impurity(counts, total)
 	m := b.d.NumAttrs()
+	if obs.Enabled() {
+		start := time.Now()
+		defer obs.Since("tree.split_search_ns", start)
+		obs.Add("tree.split_scans", int64(m))
+	}
 	if b.workers > 1 && total >= ParallelMinRows && m > 1 {
 		cands := make([]split, m)
 		founds := make([]bool, m)

@@ -1,0 +1,95 @@
+#!/bin/sh
+# bench_check.sh — benchmark-regression gate: rerun the parallel
+# benchmarks BENCH_COUNT times, take the median ns/op per (benchmark,
+# worker count), and fail if any median regresses more than
+# BENCH_THRESHOLD percent over the committed BENCH_parallel.json
+# baseline.
+#
+# Usage: scripts/bench_check.sh
+#   BENCH_BASELINE   baseline JSON (default BENCH_parallel.json)
+#   BENCH_THRESHOLD  allowed regression in percent (default 20)
+#   BENCH_COUNT      repetitions to take the median over (default 3)
+#   BENCH_TIME       -benchtime per repetition (default 2x)
+#
+# Medians over repeated short runs keep one scheduler hiccup from
+# failing the gate; the threshold absorbs ordinary machine-to-machine
+# noise. Regenerate the baseline with scripts/bench_parallel.sh when a
+# deliberate performance change lands.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE="${BENCH_BASELINE:-BENCH_parallel.json}"
+THRESHOLD="${BENCH_THRESHOLD:-20}"
+COUNT="${BENCH_COUNT:-3}"
+BENCHTIME="${BENCH_TIME:-2x}"
+
+if [ ! -f "$BASELINE" ]; then
+	echo "bench_check: baseline $BASELINE not found" >&2
+	exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run xxx -bench 'BenchmarkParallel(Trials|Forest|SplitSearch|EncodeStages)' \
+	-benchtime "$BENCHTIME" -count "$COUNT" . >"$RAW"
+
+awk '
+	# First input: the baseline JSON (one benchmark per line, the format
+	# scripts/bench_parallel.sh writes).
+	FNR == NR {
+		if (match($0, /"name": "[^"]+"/)) {
+			name = substr($0, RSTART + 9, RLENGTH - 10)
+			if (match($0, /"workers_1": [0-9]+/))
+				base[name, 1] = substr($0, RSTART + 13, RLENGTH - 13)
+			if (match($0, /"workers_4": [0-9]+/))
+				base[name, 4] = substr($0, RSTART + 13, RLENGTH - 13)
+		}
+		next
+	}
+	# Second input: the fresh `go test -bench` output.
+	/^Benchmark/ {
+		split($1, parts, "/")
+		name = parts[1]
+		sub(/^Benchmark/, "", name)
+		w = parts[2]
+		sub(/^workers=/, "", w)
+		sub(/-[0-9]+$/, "", w)
+		for (f = 3; f < NF; f += 2)
+			if ($(f + 1) == "ns/op") {
+				k = name SUBSEP w
+				samples[k] = samples[k] " " $f
+				if (!(k in seenk)) { korder[++nk] = k; seenk[k] = 1 }
+			}
+	}
+	END {
+		status = 0
+		for (i = 1; i <= nk; i++) {
+			k = korder[i]
+			split(k, kp, SUBSEP)
+			name = kp[1]; w = kp[2]
+			cnt = split(samples[k], xs, " ")
+			# Insertion-sort the handful of samples, take the median.
+			for (a = 2; a <= cnt; a++) {
+				v = xs[a] + 0
+				for (b = a - 1; b >= 1 && xs[b] + 0 > v; b--) xs[b + 1] = xs[b]
+				xs[b + 1] = v
+			}
+			med = (cnt % 2) ? xs[(cnt + 1) / 2] : (xs[cnt / 2] + xs[cnt / 2 + 1]) / 2
+			if (!((name, w) in base)) {
+				printf "bench_check: %s workers=%s: no baseline (new benchmark?), skipping\n", name, w
+				continue
+			}
+			limit = base[name, w] * (1 + threshold / 100)
+			verdict = (med > limit) ? "REGRESSION" : "ok"
+			if (med > limit) status = 1
+			printf "bench_check: %-22s workers=%s median %12.0f ns/op  baseline %12d  limit %12.0f  %s\n", \
+				name, w, med, base[name, w], limit, verdict
+		}
+		if (nk == 0) {
+			print "bench_check: no benchmark results parsed" > "/dev/stderr"
+			status = 1
+		}
+		exit status
+	}' threshold="$THRESHOLD" "$BASELINE" "$RAW"
+
+echo "bench_check: all medians within ${THRESHOLD}% of $BASELINE"
