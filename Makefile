@@ -37,8 +37,11 @@ bench-parallel:
 	./scripts/bench_parallel.sh
 
 # Benchmark-regression gate: rerun the parallel benchmarks (median of
-# BENCH_COUNT=3 repetitions) and fail if any median ns/op regresses
-# more than 20% over the committed BENCH_parallel.json baseline.
+# BENCH_COUNT=3 repetitions) and fail if any median ns/op rises — or
+# any median rows/sec falls — more than 20% against the committed
+# BENCH_parallel.json baseline. Refuses to compare runs recorded at
+# different GOMAXPROCS; pin GOMAXPROCS to the baseline's value when
+# checking on a different machine.
 bench-check:
 	./scripts/bench_check.sh
 

@@ -355,11 +355,24 @@ func BenchmarkAblationStrategy(b *testing.B) {
 // workers=4; the output is bit-identical, only the wall clock changes.
 // scripts/bench_parallel.sh turns the ns/op into BENCH_parallel.json.
 
+// reportRowsPerSec emits the benchmark's throughput as a custom
+// "rows/s" metric: rowsPerOp rows processed per iteration over the
+// measured wall clock. scripts/bench_parallel.sh records it as
+// rows_per_sec in BENCH_parallel.json and scripts/bench_check.sh
+// gates on it alongside ns/op.
+func reportRowsPerSec(b *testing.B, rowsPerOp int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(rowsPerOp)*float64(b.N)/s, "rows/s")
+	}
+}
+
 // BenchmarkParallelTrials measures the fan-out of randomized attack
 // trials (the inner loop of every risk median in the paper's
-// evaluation).
+// evaluation). Throughput counts attribute rows examined: trials ×
+// column length per op.
 func BenchmarkParallelTrials(b *testing.B) {
-	d := benchData(b, 8000)
+	const rows, trials = 8000, 31
+	d := benchData(b, rows)
 	enc, key, err := Encode(d, EncodeOptions{}, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -371,36 +384,42 @@ func BenchmarkParallelTrials(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(benchName("workers", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := risk.MedianOfTrialsParallel(31, workers, func(t int) (float64, error) {
+				_, err := risk.MedianOfTrialsParallel(trials, workers, func(t int) (float64, error) {
 					return ctx.DomainTrial(parallel.NewRand(7, int64(t)), Polyline, Expert)
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
+			reportRowsPerSec(b, rows*trials)
 		})
 	}
 }
 
 // BenchmarkParallelForest measures concurrent ensemble training.
+// Throughput counts training rows consumed: trees × tuples per op.
 func BenchmarkParallelForest(b *testing.B) {
-	d := benchData(b, 6000)
+	const rows, trees = 6000, 8
+	d := benchData(b, rows)
 	for _, workers := range []int{1, 4} {
 		b.Run(benchName("workers", workers), func(b *testing.B) {
-			cfg := forest.Config{Trees: 8, Seed: 3, Workers: workers}
+			cfg := forest.Config{Trees: trees, Seed: 3, Workers: workers}
 			for i := 0; i < b.N; i++ {
 				if _, err := forest.Train(d, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
+			reportRowsPerSec(b, rows*trees)
 		})
 	}
 }
 
 // BenchmarkParallelSplitSearch measures the concurrent per-node
-// attribute scan on nodes above tree.ParallelMinRows.
+// attribute scan on nodes above tree.ParallelMinRows. Throughput
+// counts tuples mined per op.
 func BenchmarkParallelSplitSearch(b *testing.B) {
-	d := benchData(b, 40000)
+	const rows = 40000
+	d := benchData(b, rows)
 	for _, workers := range []int{1, 4} {
 		b.Run(benchName("workers", workers), func(b *testing.B) {
 			cfg := tree.Config{MinLeaf: 5, Workers: workers}
@@ -409,6 +428,7 @@ func BenchmarkParallelSplitSearch(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportRowsPerSec(b, rows)
 		})
 	}
 }
@@ -419,7 +439,8 @@ func BenchmarkParallelSplitSearch(b *testing.B) {
 // scripts/bench_parallel.sh can break the encode wall clock down by
 // stage in BENCH_parallel.json.
 func BenchmarkParallelEncodeStages(b *testing.B) {
-	d := benchData(b, 20000)
+	const rows = 20000
+	d := benchData(b, rows)
 	for _, workers := range []int{1, 4} {
 		b.Run(benchName("workers", workers), func(b *testing.B) {
 			reg := obs.NewRegistry()
@@ -433,6 +454,7 @@ func BenchmarkParallelEncodeStages(b *testing.B) {
 				}
 			}
 			b.StopTimer()
+			reportRowsPerSec(b, rows)
 			for _, sp := range reg.Snapshot().Spans {
 				if strings.HasPrefix(sp.Path, "encode/") {
 					stage := strings.ReplaceAll(sp.Name(), "+", "_")

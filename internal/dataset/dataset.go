@@ -163,15 +163,11 @@ func (d *Dataset) Projection(a int) []ProjectedTuple {
 // Ties are broken by label so that equal values appear in a canonical
 // order (Definition 6's "equal values are in some canonical order"),
 // making class strings well-defined and transformation-invariant.
+//
+// The returned slice is freshly allocated; hot callers that profile
+// repeatedly should use SortedProjectionInto with a reused ProjScratch.
 func (d *Dataset) SortedProjection(a int) []ProjectedTuple {
-	out := d.Projection(a)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Value != out[j].Value {
-			return out[i].Value < out[j].Value
-		}
-		return out[i].Label < out[j].Label
-	})
-	return out
+	return d.SortedProjectionInto(a, &ProjScratch{})
 }
 
 // ClassCounts returns the number of tuples per class.

@@ -66,6 +66,20 @@ func ResolveWorkers(n int) int {
 // consumes must be derived from the index (see Seed/NewRand), and it
 // must write results only into index-addressed slots it owns.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachWorker(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's pool index
+// (in [0, workers)) passed to fn, so units can reuse worker-local
+// scratch buffers without synchronization: slot w is only ever touched
+// by worker w. The serial path (workers <= 1) always passes worker 0.
+//
+// Scratch discipline (the determinism contract's third rule): a unit
+// may read nothing from its worker slot that a previous unit left
+// behind — scratch must be fully overwritten before use — and a unit's
+// output must not alias the scratch, so results are identical no
+// matter which worker ran which unit.
+func ForEachWorker(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -87,7 +101,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -124,7 +138,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 					obs.Gauge("parallel.queue_depth", int64(n-i-1))
 					start = time.Now()
 				}
-				err := fn(i)
+				err := fn(w, i)
 				if observing {
 					obs.Since("parallel.unit_ns", start)
 				}

@@ -51,21 +51,44 @@ func newColumn(d *dataset.Dataset, a int) Column {
 }
 
 // profile runs the profile stage for one numeric column: sort the
-// A-projection and group equal values. Consumes no randomness.
-func (c *Column) profile(d *dataset.Dataset) {
-	c.Groups = runs.GroupValues(d.SortedProjection(c.Index))
+// A-projection into the scratch and group equal values (the fused
+// runs.GroupColumn path — no intermediate projection copy). Consumes
+// no randomness; Groups owns its memory, the scratch is reusable
+// immediately.
+func (c *Column) profile(d *dataset.Dataset, s *dataset.ProjScratch) {
+	c.Groups = runs.GroupColumn(d, c.Index, s)
 }
 
-// profileColumns fans the profile stage out over the worker pool.
+// profileColumns fans the profile stage out over the worker pool with
+// one pooled projection scratch per worker: worker w exclusively owns
+// scratches[w], so the buffers are reused across that worker's columns
+// without synchronization, and the scratches return to the package
+// pool for the next encode. Scratch reuse cannot perturb the output —
+// each profile call fully overwrites the projection buffer and Groups
+// aliases none of it — so the stage stays byte-identical at any worker
+// count.
 func profileColumns(d *dataset.Dataset, workers int) ([]Column, error) {
 	cols := make([]Column, d.NumAttrs())
-	err := parallel.ForEach(noCtx, d.NumAttrs(), workers, func(a int) error {
+	if workers > d.NumAttrs() {
+		workers = d.NumAttrs()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scratches := make([]*dataset.ProjScratch, workers)
+	for w := range scratches {
+		scratches[w] = dataset.GetProjScratch()
+	}
+	err := parallel.ForEachWorker(noCtx, d.NumAttrs(), workers, func(w, a int) error {
 		cols[a] = newColumn(d, a)
 		if !cols[a].Categorical {
-			cols[a].profile(d)
+			cols[a].profile(d, scratches[w])
 		}
 		return nil
 	})
+	for _, s := range scratches {
+		dataset.PutProjScratch(s)
+	}
 	return cols, err
 }
 

@@ -178,7 +178,12 @@ func EncodeColumn(d *dataset.Dataset, a int, opts Options, rng *rand.Rand) (*tra
 	opts = opts.normalize()
 	col := newColumn(d, a)
 	if !col.Categorical {
-		col.profile(d)
+		// Pooled scratch: the risk grids call EncodeColumn in tight
+		// per-(cell, trial) loops, so the projection buffers must not be
+		// reallocated per call.
+		s := dataset.GetProjScratch()
+		col.profile(d, s)
+		dataset.PutProjScratch(s)
 	}
 	if err := col.choose(opts, rng); err != nil {
 		return nil, &StageError{Stage: StageChoose, Attr: col.Name, Err: err}
@@ -207,11 +212,8 @@ func Apply(d *dataset.Dataset, key *transform.Key, workers int) (*dataset.Datase
 	obs.Add("pipeline.apply.values", int64(d.NumTuples())*int64(d.NumAttrs()))
 	out := d.Clone()
 	err := parallel.ForEach(noCtx, d.NumAttrs(), workers, func(a int) error {
-		ak := key.Attrs[a]
 		col := out.Cols[a]
-		for i, v := range col {
-			col[i] = ak.Apply(v)
-		}
+		key.Attrs[a].ApplyColumn(col, col)
 		return nil
 	})
 	if err != nil {

@@ -60,8 +60,21 @@ func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chun
 	workers = parallel.ResolveWorkers(workers)
 	sp := obs.StartSpan("encode/apply_stream")
 	defer sp.End()
+	// The per-block transform closure is hoisted out of the loop and
+	// reads the current block through blk, so a long stream does not
+	// allocate a fresh closure (plus the pool's per-batch bookkeeping)
+	// for every chunk; with a single worker the pool is skipped
+	// entirely. Values are identical either way: ApplyColumn is pure
+	// and per-attribute.
+	var blk *dataset.Block
+	applyAttr := func(a int) error {
+		col := blk.Cols[a]
+		key.Attrs[a].ApplyColumn(col, col)
+		return nil
+	}
 	for {
-		blk, err := src.Next(chunk)
+		var err error
+		blk, err = src.Next(chunk)
 		if errors.Is(err, io.EOF) {
 			break
 		}
@@ -71,15 +84,11 @@ func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chun
 		obs.Add("pipeline.stream.blocks", 1)
 		obs.Add("pipeline.stream.rows", int64(blk.NumRows()))
 		obs.Observe("pipeline.stream.block_rows", float64(blk.NumRows()))
-		err = parallel.ForEach(noCtx, len(blk.Cols), workers, func(a int) error {
-			ak := key.Attrs[a]
-			col := blk.Cols[a]
-			for i, v := range col {
-				col[i] = ak.Apply(v)
+		if workers <= 1 {
+			for a := range blk.Cols {
+				_ = applyAttr(a) // always nil; signature shared with the fan-out
 			}
-			return nil
-		})
-		if err != nil {
+		} else if err := parallel.ForEach(noCtx, len(blk.Cols), workers, applyAttr); err != nil {
 			return err
 		}
 		if err := sink.Write(blk); err != nil {

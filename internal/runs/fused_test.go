@@ -1,0 +1,107 @@
+package runs
+
+import (
+	"math/rand"
+	"testing"
+
+	"privtree/internal/dataset"
+)
+
+// fusedDataset builds a one-attribute dataset with n tuples drawn from
+// a value domain of the given cardinality over k labels — ties and
+// monochromatic stretches are the cases the grouping logic has to get
+// right.
+func fusedDataset(t *testing.T, rng *rand.Rand, n, domain, k int) *dataset.Dataset {
+	t.Helper()
+	classes := make([]string, k)
+	for i := range classes {
+		classes[i] = string(rune('A' + i))
+	}
+	d := dataset.New([]string{"a"}, classes)
+	for i := 0; i < n; i++ {
+		v := float64(rng.Intn(domain))
+		if rng.Intn(3) == 0 {
+			v += 0.5
+		}
+		if err := d.Append([]float64{v}, rng.Intn(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestGroupColumnMatchesGroupValues is the property test for the fused
+// sort+group path: on randomized datasets — including all-equal
+// columns, single-tuple columns, and sizes on both sides of the radix
+// threshold — GroupColumn must be element-identical to
+// GroupValues(SortedProjection(a)).
+func TestGroupColumnMatchesGroupValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var s dataset.ProjScratch
+	cases := []struct{ n, domain, k int }{
+		{0, 1, 1},    // empty column
+		{1, 1, 1},    // single tuple
+		{500, 1, 1},  // all values and labels equal
+		{500, 1, 3},  // all values equal, labels vary
+		{7, 3, 2},    // tiny, comparison-sort path
+		{255, 40, 3}, // just below the radix threshold
+		{256, 40, 3}, // exactly at the threshold
+		{2000, 25, 4},
+		{2000, 1500, 2},
+		{5000, 10, 5},
+	}
+	for _, tc := range cases {
+		d := fusedDataset(t, rng, tc.n, tc.domain, tc.k)
+		want := GroupValues(d.SortedProjection(0))
+		got := GroupColumn(d, 0, &s)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d domain=%d k=%d: %d groups, want %d", tc.n, tc.domain, tc.k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d domain=%d k=%d: group[%d] = %+v, want %+v", tc.n, tc.domain, tc.k, i, got[i], want[i])
+			}
+		}
+		if tc.n == 0 && got != nil {
+			t.Fatalf("empty column should yield nil groups, got %v", got)
+		}
+	}
+}
+
+// TestGroupStatsMatchesDatasetStats pins that reading BasicStats off
+// the sorted groups is equivalent to the ActiveDomain-based
+// Dataset.Stats — the equivalence that lets ProfileAttr sort each
+// column exactly once.
+func TestGroupStatsMatchesDatasetStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var s dataset.ProjScratch
+	for _, tc := range []struct{ n, domain, k int }{
+		{0, 1, 1}, {1, 5, 2}, {400, 1, 2}, {400, 60, 3}, {3000, 2000, 2},
+	} {
+		d := fusedDataset(t, rng, tc.n, tc.domain, tc.k)
+		got := GroupStats(GroupColumn(d, 0, &s))
+		want := d.Stats(0)
+		if got != want {
+			t.Fatalf("n=%d domain=%d: GroupStats = %+v, Dataset.Stats = %+v", tc.n, tc.domain, got, want)
+		}
+	}
+}
+
+// TestGroupColumnAllocs is the profile-stage allocation gate: with a
+// warmed scratch the fused path allocates only the exact-size groups
+// slice. A reintroduced per-call projection copy or append-grown
+// grouping fails here.
+func TestGroupColumnAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{100, 4096} {
+		d := fusedDataset(t, rng, n, 40, 3)
+		var s dataset.ProjScratch
+		GroupColumn(d, 0, &s) // warm the scratch
+		allocs := testing.AllocsPerRun(20, func() {
+			GroupColumn(d, 0, &s)
+		})
+		if allocs > 1 {
+			t.Errorf("n=%d: GroupColumn allocates %.1f per call with warm scratch, want <= 1 (the groups slice)", n, allocs)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package runs
 
 import (
+	"math"
 	"strings"
 
 	"privtree/internal/dataset"
@@ -45,6 +46,75 @@ func GroupValues(proj []dataset.ProjectedTuple) []ValueGroup {
 		out = append(out, ValueGroup{Value: p.Value, Count: 1, Mono: true, Label: p.Label})
 	}
 	return out
+}
+
+// GroupColumn is the fused profile fast path: it computes
+// GroupValues(d.SortedProjection(a)) without either per-call
+// allocation — the projection is sorted inside s's reused buffers and
+// the groups go into an exactly-sized slice (a counting pre-pass over
+// the sorted projection replaces append growth). The returned groups
+// are freshly allocated and alias nothing; the scratch is free for the
+// next column as soon as GroupColumn returns.
+func GroupColumn(d *dataset.Dataset, a int, s *dataset.ProjScratch) []ValueGroup {
+	return groupSorted(d.SortedProjectionInto(a, s))
+}
+
+// groupSorted is GroupValues over a value-sorted projection with an
+// exact-size output allocation. Element-identical to GroupValues on
+// the same input.
+func groupSorted(proj []dataset.ProjectedTuple) []ValueGroup {
+	if len(proj) == 0 {
+		return nil
+	}
+	distinct := 1
+	for i := 1; i < len(proj); i++ {
+		if proj[i].Value != proj[i-1].Value {
+			distinct++
+		}
+	}
+	out := make([]ValueGroup, 0, distinct)
+	for _, p := range proj {
+		if n := len(out); n > 0 && out[n-1].Value == p.Value {
+			g := &out[n-1]
+			g.Count++
+			if p.Label != g.Label {
+				g.Mono = false
+			}
+			continue
+		}
+		out = append(out, ValueGroup{Value: p.Value, Count: 1, Mono: true, Label: p.Label})
+	}
+	return out
+}
+
+// GroupStats computes dataset.BasicStats from an attribute's value
+// groups — the same statistics Dataset.Stats derives from a fresh
+// ActiveDomain sort, but read off the already-sorted groups so the
+// profile stage sorts each column exactly once.
+func GroupStats(groups []ValueGroup) dataset.BasicStats {
+	if len(groups) == 0 {
+		return dataset.BasicStats{}
+	}
+	s := dataset.BasicStats{
+		Min:           groups[0].Value,
+		Max:           groups[len(groups)-1].Value,
+		Distinct:      len(groups),
+		IntegerValued: true,
+	}
+	s.RangeWidth = s.Max - s.Min
+	for _, g := range groups {
+		if g.Value != math.Trunc(g.Value) {
+			s.IntegerValued = false
+			break
+		}
+	}
+	if s.IntegerValued {
+		s.Discontinuities = int(s.RangeWidth) + 1 - s.Distinct
+		if s.Discontinuities < 0 {
+			s.Discontinuities = 0
+		}
+	}
+	return s
 }
 
 // ClassString returns σ_A: the sequence of class labels of the

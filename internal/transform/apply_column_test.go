@@ -1,0 +1,96 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// applyColumnKey builds a three-piece key exercising every piece kind
+// plus inter-piece gaps: a monotone piece, a permutation piece, and an
+// (anti-)monotone piece, with output intervals ordered per the global
+// invariant.
+func applyColumnKey(t *testing.T, anti bool) *AttributeKey {
+	t.Helper()
+	outs := [][2]float64{{100, 110}, {120, 130}, {140, 150}}
+	if anti {
+		outs = [][2]float64{{140, 150}, {120, 130}, {100, 110}}
+	}
+	p1, err := NewMonotonePiece(0, 10, outs[0][0], outs[0][1], PowerShape{Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPermutationPiece([]float64{12, 13, 15}, []float64{outs[1][0] + 5, outs[1][0] + 1, outs[1][0] + 8}, outs[1][0], outs[1][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p3 *Piece
+	if anti {
+		p3, err = NewAntiMonotonePiece(20, 30, outs[2][0], outs[2][1], LogShape{C: 5})
+	} else {
+		p3, err = NewMonotonePiece(20, 30, outs[2][0], outs[2][1], LogShape{C: 5})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &AttributeKey{Attr: "a", Anti: anti, Pieces: []*Piece{p1, p2, p3}}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestApplyColumnMatchesApply pins that the memoized batch sweep is
+// bit-identical to per-value Apply across every routing case: values
+// inside each piece, on piece boundaries, in inter-piece gaps, outside
+// the domain range, and NaN (which Apply clamps past the last piece).
+func TestApplyColumnMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, anti := range []bool{false, true} {
+		k := applyColumnKey(t, anti)
+		xs := []float64{
+			-5, 0, 5, 10, // before/inside/boundary of piece 0
+			11, 11.5, 19.9999, // gaps
+			12, 13, 15, 14, // permutation table hits and a miss
+			20, 25, 30, 31, 1e9, // piece 2 and beyond
+			math.NaN(),
+		}
+		for i := 0; i < 500; i++ {
+			xs = append(xs, -10+50*rng.Float64())
+		}
+		got := make([]float64, len(xs))
+		k.ApplyColumn(got, xs)
+		for i, x := range xs {
+			want := k.Apply(x)
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Fatalf("anti=%v: ApplyColumn(%v) = %v, Apply = %v", anti, x, got[i], want)
+			}
+		}
+		// In-place sweep: dst aliasing src must produce the same values.
+		inPlace := append([]float64(nil), xs...)
+		k.ApplyColumn(inPlace, inPlace)
+		for i := range got {
+			if math.Float64bits(inPlace[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("anti=%v: in-place ApplyColumn diverges at %d", anti, i)
+			}
+		}
+	}
+}
+
+// TestApplyColumnSortedRuns drives the memoization hit path hard: a
+// value-sorted column keeps hitting the previous piece, which must not
+// change any routing decision.
+func TestApplyColumnSortedRuns(t *testing.T) {
+	k := applyColumnKey(t, false)
+	var xs []float64
+	for x := -2.0; x <= 32; x += 0.01 {
+		xs = append(xs, x)
+	}
+	got := make([]float64, len(xs))
+	k.ApplyColumn(got, xs)
+	for i, x := range xs {
+		if want := k.Apply(x); got[i] != want {
+			t.Fatalf("ApplyColumn(%v) = %v, Apply = %v", x, got[i], want)
+		}
+	}
+}

@@ -79,6 +79,14 @@ func (k *AttributeKey) pieceFor(x float64) (int, bool) {
 // the range clamp to the boundary pieces.
 func (k *AttributeKey) Apply(x float64) float64 {
 	i, inside := k.pieceFor(x)
+	return k.applyAt(x, i, inside)
+}
+
+// applyAt computes Apply given a piece-routing result (the index and
+// containment flag pieceFor returns for x). Apply and ApplyColumn
+// share it so the memoized column sweep is value-identical to the
+// per-value path by construction.
+func (k *AttributeKey) applyAt(x float64, i int, inside bool) float64 {
 	if inside {
 		return k.Pieces[i].Apply(x)
 	}
@@ -96,6 +104,45 @@ func (k *AttributeKey) Apply(x float64) float64 {
 			return yhi - t*(yhi-ylo)
 		}
 		return ylo + t*(yhi-ylo)
+	}
+}
+
+// ApplyColumn transforms a whole column in one sweep: dst[i] =
+// Apply(src[i]), with dst == src allowed for in-place use. It is the
+// batch fast path of the pipeline's apply stage — the binary search is
+// inlined (no sort.Search closure per value) and the owning piece of
+// the previous value is tried first, so runs of values landing in the
+// same piece skip the search entirely. The produced values are
+// byte-identical to per-value Apply: a contained value's piece is
+// unique (domain intervals are disjoint), so the memoized route and
+// the searched route name the same piece.
+func (k *AttributeKey) ApplyColumn(dst, src []float64) {
+	pieces := k.Pieces
+	last := -1
+	for idx, x := range src {
+		if last >= 0 {
+			if p := pieces[last]; x >= p.DomLo && x <= p.DomHi {
+				dst[idx] = p.Apply(x)
+				continue
+			}
+		}
+		// Manual sort.Search: smallest i with Pieces[i].DomHi >= x.
+		// The comparison must be the same >= (not a negated <) so NaN
+		// routes exactly as pieceFor routes it.
+		lo, hi := 0, len(pieces)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if pieces[mid].DomHi >= x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		inside := lo < len(pieces) && x >= pieces[lo].DomLo && x <= pieces[lo].DomHi
+		if inside {
+			last = lo
+		}
+		dst[idx] = k.applyAt(x, lo, inside)
 	}
 }
 
@@ -259,10 +306,7 @@ func (k *Key) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
 	}
 	out := d.Clone()
 	for a, ak := range k.Attrs {
-		col := out.Cols[a]
-		for i, v := range col {
-			col[i] = ak.Apply(v)
-		}
+		ak.ApplyColumn(out.Cols[a], out.Cols[a])
 		if ak.Categorical {
 			// Replace the category names with opaque labels: the names
 			// themselves would leak which permuted code means what.
