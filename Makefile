@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel bench-check experiments examples fmt vet clean check fuzz-smoke cover verify
+.PHONY: all build test race bench bench-parallel bench-check experiments examples fmt vet clean check fuzz-smoke cover verify obs-smoke
 
 all: build test
 
@@ -11,8 +11,14 @@ all: build test
 # race-enabled tests, and a short parallel-benchmark smoke run (the
 # smoke writes its JSON to a scratch file so the committed
 # BENCH_parallel.json keeps its full-length numbers).
-check: build vet race
+check: build vet race obs-smoke
 	BENCH_OUT="$$(mktemp)" ./scripts/bench_parallel.sh 1x
+
+# Live-telemetry smoke: encode with -obs-listen on an ephemeral port,
+# scrape /healthz, /metrics and /snapshot mid-run, and lint the
+# Prometheus page (see scripts/obs_smoke.sh and scripts/promlint.sh).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # Plain test run; `make race` runs the same suite under the race
 # detector and should be green too — the parallel layer is exercised by

@@ -21,6 +21,7 @@ import (
 
 	"privtree/internal/experiments"
 	"privtree/internal/obs"
+	"privtree/internal/obs/export"
 )
 
 // run parses args and executes the selected experiment(s), writing
@@ -57,6 +58,13 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = e
 		}
 	}()
+	// With -obs-listen, the grid's counters, spans and live progress
+	// gauges are scrapeable while the experiments run.
+	stopObs, err := export.StartCLI(&oc)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if *runName == "all" {
 		err = experiments.RunAll(cfg, stdout)
 	} else {

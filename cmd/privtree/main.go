@@ -41,6 +41,7 @@ import (
 	"privtree"
 	"privtree/internal/dataset"
 	"privtree/internal/obs"
+	"privtree/internal/obs/export"
 	"privtree/internal/pipeline"
 )
 
@@ -93,6 +94,18 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "run 'privtree <command> -h' for command flags")
 }
 
+// obsStart finalizes the observability flags of a parsed subcommand:
+// it starts collection/logging/profiling and, with -obs-listen, the
+// live obs HTTP server. Defer the returned stop before the deferred
+// oc.Finish so the server (and its -obs-linger window) shuts down
+// while the registry is still collecting.
+func obsStart(oc *obs.CLI) (stop func(), err error) {
+	if err := oc.Start(); err != nil {
+		return nil, err
+	}
+	return export.StartCLI(oc)
+}
+
 // strategyFlag parses the breakpoint strategy names.
 func strategyFlag(s string) (opt privtree.EncodeOptions, err error) {
 	switch s {
@@ -126,9 +139,11 @@ func cmdEncode(args []string) (err error) {
 			err = e
 		}
 	}()
-	if e := oc.Start(); e != nil {
+	stopObs, e := obsStart(&oc)
+	if e != nil {
 		return e
 	}
+	defer stopObs()
 	if *in == "" || *out == "" || *keyPath == "" {
 		return usageError{"encode needs -in, -out and -key"}
 	}
@@ -206,9 +221,11 @@ func cmdMine(args []string) (err error) {
 			err = e
 		}
 	}()
-	if e := oc.Start(); e != nil {
+	stopObs, e := obsStart(&oc)
+	if e != nil {
 		return e
 	}
+	defer stopObs()
 	if *in == "" {
 		return usageError{"mine needs -in"}
 	}
@@ -256,9 +273,11 @@ func cmdDecode(args []string) (err error) {
 			err = e
 		}
 	}()
-	if e := oc.Start(); e != nil {
+	stopObs, e := obsStart(&oc)
+	if e != nil {
 		return e
 	}
+	defer stopObs()
 	if (*in == "" && *treePath == "") || *orig == "" || *keyPath == "" {
 		return usageError{"decode needs -orig, -key, and one of -in or -tree"}
 	}
@@ -322,9 +341,11 @@ func cmdAppend(args []string) (err error) {
 			err = e
 		}
 	}()
-	if e := oc.Start(); e != nil {
+	stopObs, e := obsStart(&oc)
+	if e != nil {
 		return e
 	}
+	defer stopObs()
 	if *orig == "" || *batchPath == "" || *keyPath == "" || *out == "" {
 		return usageError{"append needs -orig, -batch, -key and -out"}
 	}
@@ -377,9 +398,11 @@ func cmdRisk(args []string) (err error) {
 			err = e
 		}
 	}()
-	if e := oc.Start(); e != nil {
+	stopObs, e := obsStart(&oc)
+	if e != nil {
 		return e
 	}
+	defer stopObs()
 	if *in == "" {
 		return usageError{"risk needs -in"}
 	}

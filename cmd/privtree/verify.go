@@ -41,9 +41,11 @@ func cmdVerify(args []string) (err error) {
 			err = e
 		}
 	}()
-	if e := oc.Start(); e != nil {
+	stopObs, e := obsStart(&oc)
+	if e != nil {
 		return e
 	}
+	defer stopObs()
 
 	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
 	if err != nil {

@@ -115,6 +115,12 @@ func NewDatasetSource(d *Dataset) *DatasetSource {
 // Schema implements Source.
 func (s *DatasetSource) Schema() *Schema { return s.schema }
 
+// Total reports the number of tuples the source will yield — the size
+// hint streaming consumers (progress/ETA reporting) discover through
+// the optional interface{ Total() int }. Sources of unknown length,
+// like CSVSource, simply don't implement it.
+func (s *DatasetSource) Total() int { return s.d.NumTuples() }
+
 // Next implements Source.
 func (s *DatasetSource) Next(max int) (*Block, error) {
 	if max <= 0 {

@@ -118,6 +118,12 @@ func (c *Config) trialRNG(offset int64, trial int) *rand.Rand {
 func (c *Config) gridMedians(cells int, offset func(cell int) int64, trial func(cell int, rng *rand.Rand) (float64, error)) ([]float64, error) {
 	obs.Add("experiments.grid_cells", int64(cells))
 	obs.Add("experiments.grid_trials", int64(cells)*int64(c.Trials))
+	// Live grid progress: completed (cell, trial) units per second and
+	// the ETA of the grid, published as gauges and to the -progress
+	// ticker. Observation-only — it never touches a trial's stream or
+	// the reduction order, so output bytes are unchanged.
+	pg := obs.StartProgress("experiments/grid", int64(cells)*int64(c.Trials))
+	defer pg.Close()
 	per := make([][]float64, cells)
 	for i := range per {
 		per[i] = make([]float64, c.Trials)
@@ -129,6 +135,7 @@ func (c *Config) gridMedians(cells int, offset func(cell int) int64, trial func(
 			return err
 		}
 		per[cell][t] = r
+		pg.Step(1)
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the binary a Snapshot came from, so exported
+// metrics and trace files are self-describing: a scraped /metrics page
+// or a saved trace JSON names the module, its version and the runtime
+// it ran under without any out-of-band context.
+type BuildInfo struct {
+	// Module is the main module path ("privtree").
+	Module string `json:"module"`
+	// Version is the main module version ("(devel)" for tree builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the scheduler width at snapshot time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// CurrentBuildInfo returns the running binary's identity. The
+// debug.ReadBuildInfo part is cached; GOMAXPROCS is re-read on every
+// call because it can change at runtime.
+func CurrentBuildInfo() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Module: "unknown", Version: "unknown", GoVersion: runtime.Version()}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			buildInfo.Module = bi.Main.Path
+			buildInfo.Version = bi.Main.Version
+			if buildInfo.Version == "" {
+				buildInfo.Version = "(devel)"
+			}
+		}
+	})
+	b := buildInfo
+	b.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	return b
+}

@@ -4,20 +4,49 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"time"
 )
 
+// DefaultEventCap bounds span event capture when the CLI turns it on
+// for trace export: 64k completed spans is far beyond any single
+// encode (stage spans number in the hundreds) while capping worst-case
+// registry memory at a few megabytes on pathological span churn.
+const DefaultEventCap = 1 << 16
+
 // CLI wires the observability layer into a command-line flag set: the
-// -metrics / -trace switches, the output format, and the pprof profile
-// paths. The zero value registers cleanly; with every flag off, Start
-// and Finish are no-ops and the process keeps the no-op recorder, so
-// flag-less runs stay byte-identical to builds that predate the layer.
+// -metrics / -trace switches, the output format, the obs HTTP server
+// address, structured logging, the streaming-progress ticker, and the
+// pprof profile paths. The zero value registers cleanly; with every
+// flag off, Start and Finish are no-ops and the process keeps the
+// no-op recorder and the discarding logger, so flag-less runs stay
+// byte-identical to builds that predate the layer.
 type CLI struct {
 	// Metrics emits counters, gauges and histograms after the run.
 	Metrics bool
 	// Trace emits the hierarchical span timing tree after the run.
 	Trace bool
-	// Format selects the emission format: "text" or "json".
+	// Format selects the emission format: "text", "json", or any
+	// renderer installed via RegisterFormat ("prom", "trace" once the
+	// export package is linked in).
 	Format string
+	// Listen is the obs HTTP server address (empty = no server). The
+	// CLI only records the flag; the export package's StartCLI starts
+	// the server, keeping net/http out of this package.
+	Listen string
+	// Linger keeps the obs server up this long after the run finishes,
+	// so a scraper can read the final state of a short-lived command.
+	Linger time.Duration
+	// Progress turns on the periodic streaming-progress ticker
+	// (rows/s, chunk index, ETA) on the structured logger.
+	Progress bool
+	// Log selects structured logging to stderr: "off", "text" or
+	// "json". "off" upgrades itself to "text" when -obs-listen or
+	// -progress is set — a server whose address nobody prints, or a
+	// ticker without a handler, would be useless.
+	Log string
 	// CPUProfile and MemProfile are pprof output paths (empty = off).
 	CPUProfile string
 	MemProfile string
@@ -30,19 +59,43 @@ type CLI struct {
 func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Metrics, "metrics", false, "emit per-stage counters/gauges/histograms to stderr after the run")
 	fs.BoolVar(&c.Trace, "trace", false, "emit the hierarchical span timing tree to stderr after the run")
-	fs.StringVar(&c.Format, "obs-format", "text", "observability output format: text or json")
+	fs.StringVar(&c.Format, "obs-format", "text", "observability output format: text, json, prom or trace")
+	fs.StringVar(&c.Listen, "obs-listen", "", "serve /metrics, /healthz, /snapshot and /debug/pprof on this address during the run (e.g. :9100 or 127.0.0.1:0)")
+	fs.DurationVar(&c.Linger, "obs-linger", 0, "keep the obs HTTP server up this long after the run so scrapers can read the final state")
+	fs.BoolVar(&c.Progress, "progress", false, "log periodic streaming progress (rows/s, chunk index, ETA) to stderr")
+	fs.StringVar(&c.Log, "log", "off", "structured logging to stderr: off, text or json (off upgrades to text under -obs-listen/-progress)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 }
 
-// Start begins collection and profiling as requested by the parsed
-// flags. Call it once, right after flag parsing.
+// Start begins collection, logging and profiling as requested by the
+// parsed flags. Call it once, right after flag parsing.
 func (c *CLI) Start() error {
-	if c.Format != "text" && c.Format != "json" {
-		return fmt.Errorf("obs: unknown -obs-format %q (text, json)", c.Format)
+	if c.Format != "text" && c.Format != "json" && FormatRenderer(c.Format) == nil {
+		return fmt.Errorf("obs: unknown -obs-format %q (%s)", c.Format, strings.Join(FormatNames(), ", "))
 	}
-	if c.Metrics || c.Trace {
+	logFormat := c.Log
+	if logFormat == "off" && (c.Listen != "" || c.Progress) {
+		logFormat = "text"
+	}
+	if logFormat != "off" {
+		h, err := NewLogHandler(os.Stderr, logFormat, slog.LevelInfo)
+		if err != nil {
+			return fmt.Errorf("obs: unknown -log %q (off, text, json)", c.Log)
+		}
+		SetLogger(slog.New(h))
+	}
+	if c.Metrics || c.Trace || c.Listen != "" {
 		c.EnsureRegistry()
+	}
+	// Event capture feeds the trace-event export: on for an explicit
+	// trace dump and whenever the server could be asked for
+	// /snapshot?format=trace.
+	if c.Trace || c.Listen != "" || c.Format == "trace" {
+		c.EnsureRegistry().CaptureEvents(DefaultEventCap)
+	}
+	if c.Progress {
+		SetProgressSink(logProgress, 0)
 	}
 	if c.CPUProfile != "" || c.MemProfile != "" {
 		p, err := StartProfiler(c.CPUProfile, c.MemProfile)
@@ -52,6 +105,27 @@ func (c *CLI) Start() error {
 		c.prof = p
 	}
 	return nil
+}
+
+// logProgress is the -progress ticker: one structured log line per
+// update.
+func logProgress(u ProgressUpdate) {
+	args := []any{
+		slog.String("name", u.Name),
+		slog.Int64("rows", u.Rows),
+		slog.Int64("chunk", u.Chunk),
+		slog.Int64("rows_per_sec", int64(u.RowsPerSec)),
+		slog.Duration("elapsed", round(u.Elapsed)),
+	}
+	if u.Total > 0 {
+		args = append(args,
+			slog.Int64("total", u.Total),
+			slog.String("pct", fmt.Sprintf("%.1f", 100*float64(u.Rows)/float64(u.Total))))
+	}
+	if u.ETA > 0 {
+		args = append(args, slog.Duration("eta", round(u.ETA)))
+	}
+	Logger().Info("progress", args...)
 }
 
 // EnsureRegistry enables collection even when no flag asked for it —
@@ -69,13 +143,20 @@ func (c *CLI) EnsureRegistry() *Registry {
 // off.
 func (c *CLI) Registry() *Registry { return c.reg }
 
-// Finish stops profiling, disables collection and renders whatever the
-// flags asked for to w. Safe to call when nothing was enabled.
+// Finish stops profiling, disables collection, uninstalls the
+// progress sink and logger, and renders whatever the flags asked for
+// to w. Safe to call when nothing was enabled.
 func (c *CLI) Finish(w io.Writer) error {
 	var firstErr error
 	if c.prof != nil {
 		firstErr = c.prof.Stop()
 		c.prof = nil
+	}
+	if c.Progress {
+		SetProgressSink(nil, 0)
+	}
+	if c.Log != "off" || c.Listen != "" || c.Progress {
+		SetLogger(nil)
 	}
 	if c.reg == nil {
 		return firstErr
@@ -89,16 +170,22 @@ func (c *CLI) Finish(w io.Writer) error {
 	}
 	if !c.Trace {
 		snap.Spans = nil
+		snap.Events = nil
 	}
 	if !c.Metrics {
 		snap.Counters, snap.Gauges, snap.Hists = nil, nil, nil
 	}
-	if c.Format == "json" {
-		if err := snap.WriteJSON(w); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		return firstErr
+	var err error
+	switch c.Format {
+	case "json":
+		err = snap.WriteJSON(w)
+	case "text":
+		snap.WriteText(w)
+	default:
+		err = FormatRenderer(c.Format)(w, snap)
 	}
-	snap.WriteText(w)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return firstErr
 }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"io"
+	"log/slog"
+	"testing"
+)
+
+// parseObsCLI registers and parses the obs flags like a real command.
+func parseObsCLI(t *testing.T, args ...string) *CLI {
+	t.Helper()
+	var c CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &c
+}
+
+// TestCLITraceEnablesEventCapture: -trace turns on span event capture
+// so the trace renderers have a timeline to export.
+func TestCLITraceEnablesEventCapture(t *testing.T) {
+	defer Disable()
+	c := parseObsCLI(t, "-trace")
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	StartSpan("stage").End()
+	if evs := c.Registry().Snapshot().Events; len(evs) != 1 {
+		t.Errorf("got %d captured events under -trace, want 1", len(evs))
+	}
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIListenWiring: -obs-listen alone must enable collection, event
+// capture and (upgraded from off) the text logger, and Finish must
+// restore the discarding logger. The CLI only records the address —
+// starting the HTTP server is the export package's job — so Start/
+// Finish here must not open any socket.
+func TestCLIListenWiring(t *testing.T) {
+	defer Disable()
+	defer SetLogger(nil)
+	c := parseObsCLI(t, "-obs-listen", "127.0.0.1:0")
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Registry() == nil {
+		t.Fatal("no registry under -obs-listen")
+	}
+	StartSpan("stage").End()
+	if evs := c.Registry().Snapshot().Events; len(evs) != 1 {
+		t.Errorf("got %d captured events under -obs-listen, want 1", len(evs))
+	}
+	if !Logger().Enabled(context.Background(), slog.LevelInfo) {
+		t.Error("-obs-listen did not upgrade -log off to text")
+	}
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if Logger().Enabled(context.Background(), slog.LevelError) {
+		t.Error("Finish left a logger installed")
+	}
+}
+
+// TestCLIProgressInstallsSink: -progress installs the ticker sink for
+// the run and Finish removes it.
+func TestCLIProgressInstallsSink(t *testing.T) {
+	defer Disable()
+	defer SetLogger(nil)
+	defer SetProgressSink(nil, 0)
+	c := parseObsCLI(t, "-progress")
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if progCfg.Load() == nil {
+		t.Fatal("-progress did not install a progress sink")
+	}
+	if !Logger().Enabled(context.Background(), slog.LevelInfo) {
+		t.Error("-progress did not upgrade -log off to text")
+	}
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if progCfg.Load() != nil {
+		t.Error("Finish left the progress sink installed")
+	}
+}
+
+// TestCLIRejectsUnknownLog: a bad -log value errors at Start.
+func TestCLIRejectsUnknownLog(t *testing.T) {
+	c := parseObsCLI(t, "-log", "logfmt")
+	if err := c.Start(); err == nil {
+		t.Fatal("unknown -log value accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package export turns obs snapshots into interoperable telemetry:
+// Prometheus text exposition for scrapers and Chrome trace-event JSON
+// for trace viewers (Perfetto, chrome://tracing), plus an embeddable
+// HTTP server (serve.go) that exposes both from a live Registry.
+//
+// Importing the package registers "prom" and "trace" as -obs-format
+// renderers with the obs CLI, so the dependency arrow stays
+// export → obs and the core layer never links net/http or the
+// renderers it doesn't use.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"privtree/internal/obs"
+)
+
+func init() {
+	obs.RegisterFormat("prom", Prometheus)
+	obs.RegisterFormat("trace", TraceEvents)
+}
+
+// namespace prefixes every exported Prometheus metric.
+const namespace = "privtree"
+
+// Prometheus writes s in Prometheus text exposition format (version
+// 0.0.4): counters as `<name>_total`, gauges verbatim, histograms as
+// cumulative `_bucket{le=...}` series with `_sum` and `_count`, span
+// totals as labeled counters, and a `privtree_build_info` gauge that
+// makes the page self-describing. Nanosecond histograms and span
+// durations are rescaled to seconds per Prometheus convention. Output
+// is deterministic for a given snapshot: every block is sorted by
+// metric name.
+func Prometheus(w io.Writer, s *obs.Snapshot) error {
+	b := bufio.NewWriter(w)
+
+	fmt.Fprintf(b, "# HELP %s_build_info Build metadata of the exporting binary.\n", namespace)
+	fmt.Fprintf(b, "# TYPE %s_build_info gauge\n", namespace)
+	fmt.Fprintf(b, "%s_build_info{module=%q,version=%q,go_version=%q,gomaxprocs=\"%d\"} 1\n",
+		namespace, s.Build.Module, s.Build.Version, s.Build.GoVersion, s.Build.GOMAXPROCS)
+	fmt.Fprintf(b, "# TYPE %s_uptime_seconds gauge\n", namespace)
+	fmt.Fprintf(b, "%s_uptime_seconds %s\n", namespace, promFloat(s.Uptime.Seconds()))
+
+	for _, name := range sortedKeys(s.Counters) {
+		m := counterName(name)
+		fmt.Fprintf(b, "# TYPE %s counter\n", m)
+		fmt.Fprintf(b, "%s %d\n", m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := metricName(name)
+		fmt.Fprintf(b, "# TYPE %s gauge\n", m)
+		fmt.Fprintf(b, "%s %d\n", m, s.Gauges[name])
+	}
+
+	histNames := make([]string, 0, len(s.Hists))
+	for n := range s.Hists {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Hists[name]
+		m, scale := metricName(name), 1.0
+		if strings.HasSuffix(name, "_ns") {
+			// Prometheus base units are seconds; rescale the repo's
+			// nanosecond histograms rather than exporting a unit the
+			// ecosystem's rate()/quantile tooling would misread.
+			m, scale = metricName(strings.TrimSuffix(name, "_ns")+"_seconds"), 1e-9
+		}
+		fmt.Fprintf(b, "# TYPE %s histogram\n", m)
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", m, promFloat(bk.Upper*scale), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(b, "%s_sum %s\n", m, promFloat(h.Sum*scale))
+		fmt.Fprintf(b, "%s_count %d\n", m, h.Count)
+	}
+
+	if len(s.Spans) > 0 {
+		spans := append([]obs.SpanStat(nil), s.Spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Path < spans[j].Path })
+		fmt.Fprintf(b, "# HELP %s_span_seconds_total Total time spent in each span path.\n", namespace)
+		fmt.Fprintf(b, "# TYPE %s_span_seconds_total counter\n", namespace)
+		for _, sp := range spans {
+			fmt.Fprintf(b, "%s_span_seconds_total{path=%q} %s\n",
+				namespace, sp.Path, promFloat(sp.Total.Seconds()))
+		}
+		fmt.Fprintf(b, "# TYPE %s_span_count_total counter\n", namespace)
+		for _, sp := range spans {
+			fmt.Fprintf(b, "%s_span_count_total{path=%q} %d\n", namespace, sp.Path, sp.Count)
+		}
+		var anyWorkers bool
+		for _, sp := range spans {
+			if len(sp.Workers) > 0 {
+				anyWorkers = true
+				break
+			}
+		}
+		if anyWorkers {
+			fmt.Fprintf(b, "# TYPE %s_span_worker_seconds_total counter\n", namespace)
+			for _, sp := range spans {
+				for _, id := range sp.WorkerIDs() {
+					fmt.Fprintf(b, "%s_span_worker_seconds_total{path=%q,worker=\"%d\"} %s\n",
+						namespace, sp.Path, id, promFloat(sp.Workers[id].Seconds()))
+				}
+			}
+		}
+	}
+	return b.Flush()
+}
+
+// counterName maps a registry counter to its Prometheus name with the
+// conventional _total suffix.
+func counterName(name string) string {
+	m := metricName(name)
+	if !strings.HasSuffix(m, "_total") {
+		m += "_total"
+	}
+	return m
+}
+
+// metricName sanitizes a registry metric name ("pipeline.stream.rows")
+// into a namespaced Prometheus identifier
+// ("privtree_pipeline_stream_rows").
+func metricName(name string) string {
+	var b strings.Builder
+	b.WriteString(namespace)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value: shortest round-trip form, with the
+// exposition format's spellings of the non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// traceEvent is one entry of the Chrome trace-event format (the JSON
+// object form Perfetto and chrome://tracing load directly).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// Trace-viewer lane assignment: unattributed spans (the serial stages)
+// render on the main lane, worker-attributed spans on one lane per
+// pool slot.
+const (
+	tracePID    = 1
+	mainLaneTID = 1
+)
+
+// TraceEvents writes the snapshot's span records as Chrome trace-event
+// JSON: each captured SpanEvent becomes a complete ("X") slice laid
+// out on its worker's lane (per-worker lanes come from the existing
+// SetWorker attribution; serial stages share the main lane), so a full
+// encode opens in Perfetto or chrome://tracing with the stage
+// hierarchy visible as nested slices. When the registry captured no
+// events (CaptureEvents off), the aggregated per-path totals render as
+// consecutive slices on a synthetic "aggregate" lane — honest about
+// being sums, not a timeline. Build info travels in otherData.
+func TraceEvents(w io.Writer, s *obs.Snapshot) error {
+	tf := traceFile{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"module":     s.Build.Module,
+			"version":    s.Build.Version,
+			"go_version": s.Build.GoVersion,
+			"gomaxprocs": strconv.Itoa(s.Build.GOMAXPROCS),
+			"uptime_ms":  promFloat(float64(s.Uptime.Milliseconds())),
+		},
+	}
+	meta := func(tid int, name string) {
+		tf.TraceEvents = append(tf.TraceEvents,
+			traceEvent{Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+				Args: map[string]any{"name": name}},
+			traceEvent{Name: "thread_sort_index", Ph: "M", PID: tracePID, TID: tid,
+				Args: map[string]any{"sort_index": tid}})
+	}
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", PID: tracePID, TID: mainLaneTID,
+		Args: map[string]any{"name": s.Build.Module},
+	})
+
+	if len(s.Events) > 0 {
+		meta(mainLaneTID, "main")
+		seen := map[int]bool{}
+		for _, ev := range s.Events {
+			tid := mainLaneTID
+			if ev.Worker >= 0 {
+				tid = mainLaneTID + 1 + ev.Worker
+				if !seen[ev.Worker] {
+					seen[ev.Worker] = true
+					meta(tid, fmt.Sprintf("worker %d", ev.Worker))
+				}
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: ev.Path,
+				Cat:  pathCategory(ev.Path),
+				Ph:   "X",
+				TS:   float64(ev.Start.Nanoseconds()) / 1e3,
+				Dur:  float64(ev.Dur.Nanoseconds()) / 1e3,
+				PID:  tracePID,
+				TID:  tid,
+			})
+		}
+		if s.EventsDropped > 0 {
+			tf.OtherData["events_dropped"] = strconv.FormatInt(s.EventsDropped, 10)
+		}
+	} else {
+		meta(mainLaneTID, "aggregate (no event capture)")
+		var cursor float64
+		for _, sp := range s.Spans {
+			dur := float64(sp.Total.Nanoseconds()) / 1e3
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: sp.Path,
+				Cat:  pathCategory(sp.Path),
+				Ph:   "X",
+				TS:   cursor,
+				Dur:  dur,
+				PID:  tracePID,
+				TID:  mainLaneTID,
+				Args: map[string]any{"count": sp.Count, "avg_us": float64(sp.Avg().Nanoseconds()) / 1e3},
+			})
+			cursor += dur
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// pathCategory is the top-level span path segment — the trace viewer's
+// filterable category.
+func pathCategory(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

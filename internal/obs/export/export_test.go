@@ -1,0 +1,284 @@
+package export
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"privtree/internal/obs"
+)
+
+// testSnapshot is a fully hand-built snapshot with one of everything the
+// Prometheus renderer handles: build info, counters (one already ending
+// in _total), a gauge, a histogram with buckets, and spans with and
+// without worker attribution.
+func testSnapshot() *obs.Snapshot {
+	return &obs.Snapshot{
+		Uptime: 1500 * time.Millisecond,
+		Build:  obs.BuildInfo{Module: "privtree", Version: "v1.2.3", GoVersion: "go1.24.0", GOMAXPROCS: 4},
+		Counters: map[string]int64{
+			"pipeline.pieces": 42,
+			"b.requests":      7,
+		},
+		Gauges: map[string]int64{"parallel.workers": 8},
+		Hists: map[string]obs.HistStat{
+			"pipeline.stream.block_rows": {
+				Count: 3, Sum: 1500, Min: 250, Max: 1000,
+				Buckets: []obs.HistBucket{{Upper: 256, Count: 1}, {Upper: 512, Count: 1}, {Upper: 1024, Count: 1}},
+			},
+		},
+		Spans: []obs.SpanStat{
+			{Path: "encode", Count: 1, Total: 2 * time.Second},
+			{Path: "encode/profile", Count: 2, Total: time.Second,
+				Workers: map[int]time.Duration{0: 600 * time.Millisecond, 2: 400 * time.Millisecond}},
+		},
+	}
+}
+
+// TestPrometheusGolden pins the exposition bytes for the hand-built
+// snapshot: TYPE lines, _total suffixing, cumulative le buckets with
+// the +Inf terminator, _sum/_count, label quoting, per-worker span
+// series, and the sorted ordering of every block.
+func TestPrometheusGolden(t *testing.T) {
+	const golden = `# HELP privtree_build_info Build metadata of the exporting binary.
+# TYPE privtree_build_info gauge
+privtree_build_info{module="privtree",version="v1.2.3",go_version="go1.24.0",gomaxprocs="4"} 1
+# TYPE privtree_uptime_seconds gauge
+privtree_uptime_seconds 1.5
+# TYPE privtree_b_requests_total counter
+privtree_b_requests_total 7
+# TYPE privtree_pipeline_pieces_total counter
+privtree_pipeline_pieces_total 42
+# TYPE privtree_parallel_workers gauge
+privtree_parallel_workers 8
+# TYPE privtree_pipeline_stream_block_rows histogram
+privtree_pipeline_stream_block_rows_bucket{le="256"} 1
+privtree_pipeline_stream_block_rows_bucket{le="512"} 2
+privtree_pipeline_stream_block_rows_bucket{le="1024"} 3
+privtree_pipeline_stream_block_rows_bucket{le="+Inf"} 3
+privtree_pipeline_stream_block_rows_sum 1500
+privtree_pipeline_stream_block_rows_count 3
+# HELP privtree_span_seconds_total Total time spent in each span path.
+# TYPE privtree_span_seconds_total counter
+privtree_span_seconds_total{path="encode"} 2
+privtree_span_seconds_total{path="encode/profile"} 1
+# TYPE privtree_span_count_total counter
+privtree_span_count_total{path="encode"} 1
+privtree_span_count_total{path="encode/profile"} 2
+# TYPE privtree_span_worker_seconds_total counter
+privtree_span_worker_seconds_total{path="encode/profile",worker="0"} 0.6
+privtree_span_worker_seconds_total{path="encode/profile",worker="2"} 0.4
+`
+	var b strings.Builder
+	if err := Prometheus(&b, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != golden {
+		t.Errorf("Prometheus output drifted from golden.\ngot:\n%s\nwant:\n%s", b.String(), golden)
+	}
+}
+
+// TestPrometheusNanosecondRescale checks that _ns histograms export as
+// _seconds with values divided by 1e9, per Prometheus base-unit
+// convention.
+func TestPrometheusNanosecondRescale(t *testing.T) {
+	snap := &obs.Snapshot{
+		Hists: map[string]obs.HistStat{
+			"stage_ns": {
+				Count: 1, Sum: 2e9, Min: 2e9, Max: 2e9,
+				Buckets: []obs.HistBucket{{Upper: 2e9, Count: 1}},
+			},
+		},
+	}
+	var b strings.Builder
+	if err := Prometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE privtree_stage_seconds histogram\n",
+		`privtree_stage_seconds_bucket{le="2"} 1` + "\n",
+		`privtree_stage_seconds_bucket{le="+Inf"} 1` + "\n",
+		"privtree_stage_seconds_sum 2\n",
+		"privtree_stage_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rescaled histogram output missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "stage_ns") {
+		t.Errorf("nanosecond name leaked into exposition:\n%s", out)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"pipeline.stream.rows", "privtree_pipeline_stream_rows"},
+		{"a-b/c", "privtree_a_b_c"},
+		{"UPPER_ok9", "privtree_UPPER_ok9"},
+		{"", "privtree_"},
+	} {
+		if got := metricName(tc.in); got != tc.want {
+			t.Errorf("metricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCounterName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"parallel.batches", "privtree_parallel_batches_total"},
+		{"b.requests_total", "privtree_b_requests_total"}, // no double suffix
+	} {
+		if got := counterName(tc.in); got != tc.want {
+			t.Errorf("counterName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0.25, "0.25"},
+		{0, "0"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+	} {
+		if got := promFloat(tc.in); got != tc.want {
+			t.Errorf("promFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// decodeTrace parses trace-event JSON back into the renderer's own
+// structs (they mirror the format exactly).
+func decodeTrace(t *testing.T, out string) traceFile {
+	t.Helper()
+	var tf traceFile
+	if err := json.Unmarshal([]byte(out), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, out)
+	}
+	return tf
+}
+
+// TestTraceEventsTimeline checks the event-capture path: per-worker
+// lanes with metadata, microsecond timestamps, categories, and the
+// dropped-event count in otherData.
+func TestTraceEventsTimeline(t *testing.T) {
+	snap := &obs.Snapshot{
+		Build: obs.BuildInfo{Module: "privtree", Version: "v1.2.3", GoVersion: "go1.24.0", GOMAXPROCS: 4},
+		Events: []obs.SpanEvent{
+			{Path: "encode", Worker: -1, Start: 0, Dur: 5 * time.Millisecond},
+			{Path: "encode/profile", Worker: 1, Start: time.Millisecond, Dur: 2 * time.Millisecond},
+			{Path: "encode/profile", Worker: 0, Start: time.Millisecond, Dur: 2 * time.Millisecond},
+		},
+		EventsDropped: 3,
+	}
+	var b strings.Builder
+	if err := TraceEvents(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	tf := decodeTrace(t, b.String())
+
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	if tf.OtherData["events_dropped"] != "3" {
+		t.Errorf("otherData events_dropped = %q, want 3", tf.OtherData["events_dropped"])
+	}
+	if tf.OtherData["module"] != "privtree" || tf.OtherData["gomaxprocs"] != "4" {
+		t.Errorf("otherData missing build identity: %v", tf.OtherData)
+	}
+
+	lanes := map[int]string{} // tid -> thread name
+	var slices []traceEvent
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				lanes[ev.TID] = ev.Args["name"].(string)
+			}
+		case "X":
+			slices = append(slices, ev)
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// Serial events land on the main lane; worker w on lane 2+w.
+	wantLanes := map[int]string{1: "main", 2: "worker 0", 3: "worker 1"}
+	for tid, name := range wantLanes {
+		if lanes[tid] != name {
+			t.Errorf("lane %d = %q, want %q (all: %v)", tid, lanes[tid], name, lanes)
+		}
+	}
+	if len(slices) != 3 {
+		t.Fatalf("got %d X slices, want 3", len(slices))
+	}
+	root := slices[0]
+	if root.Name != "encode" || root.TID != 1 || root.TS != 0 || root.Dur != 5000 {
+		t.Errorf("root slice = %+v, want encode on tid 1, ts 0, dur 5000us", root)
+	}
+	w1 := slices[1]
+	if w1.TID != 3 || w1.TS != 1000 || w1.Dur != 2000 || w1.Cat != "encode" {
+		t.Errorf("worker-1 slice = %+v, want tid 3, ts 1000, dur 2000, cat encode", w1)
+	}
+	if slices[2].TID != 2 {
+		t.Errorf("worker-0 slice on tid %d, want 2", slices[2].TID)
+	}
+}
+
+// TestTraceEventsAggregateFallback checks the no-capture path: span
+// totals stack cumulatively on a lane that says it is an aggregate.
+func TestTraceEventsAggregateFallback(t *testing.T) {
+	snap := &obs.Snapshot{
+		Spans: []obs.SpanStat{
+			{Path: "a", Count: 2, Total: time.Millisecond},
+			{Path: "b", Count: 1, Total: 3 * time.Millisecond},
+		},
+	}
+	var b strings.Builder
+	if err := TraceEvents(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	tf := decodeTrace(t, b.String())
+	var laneName string
+	var slices []traceEvent
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			laneName = ev.Args["name"].(string)
+		}
+		if ev.Ph == "X" {
+			slices = append(slices, ev)
+		}
+	}
+	if !strings.Contains(laneName, "aggregate") {
+		t.Errorf("fallback lane name %q does not admit to being an aggregate", laneName)
+	}
+	if len(slices) != 2 {
+		t.Fatalf("got %d slices, want 2", len(slices))
+	}
+	if slices[0].TS != 0 || slices[0].Dur != 1000 {
+		t.Errorf("slice 0 = %+v, want ts 0 dur 1000", slices[0])
+	}
+	if slices[1].TS != 1000 || slices[1].Dur != 3000 {
+		t.Errorf("slice 1 = %+v, want ts 1000 dur 3000 (cumulative layout)", slices[1])
+	}
+	if slices[0].Args["count"].(float64) != 2 {
+		t.Errorf("aggregate slice lost its count: %v", slices[0].Args)
+	}
+}
+
+// TestRegisteredFormats confirms the package's init made prom and trace
+// reachable as -obs-format / ?format= renderers.
+func TestRegisteredFormats(t *testing.T) {
+	for _, name := range []string{"prom", "trace"} {
+		if obs.FormatRenderer(name) == nil {
+			t.Errorf("format %q not registered", name)
+		}
+	}
+}

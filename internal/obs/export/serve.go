@@ -1,0 +1,155 @@
+package export
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"privtree/internal/obs"
+)
+
+// Server is the embeddable obs HTTP endpoint: a live telemetry plane
+// over one Registry. It serves
+//
+//	/metrics                          Prometheus text exposition
+//	/healthz                          liveness probe
+//	/snapshot?format=text|json|prom|trace
+//	/debug/pprof/*                    the standard pprof handlers
+//
+// from fresh snapshots, so scraping mid-run sees the current counters
+// and spans, not an end-of-run dump. The same handler is what a
+// long-running privtreed service would mount.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// NewHandler returns the obs mux over reg. It is usable standalone
+// (e.g. mounted into a larger service's mux) as well as through Serve.
+func NewHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !methodOK(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Prometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !methodOK(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !methodOK(w, r) {
+			return
+		}
+		snap := reg.Snapshot()
+		format := r.URL.Query().Get("format")
+		switch format {
+		case "", "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = Prometheus(w, snap)
+		case "trace":
+			w.Header().Set("Content-Type", "application/json")
+			_ = TraceEvents(w, snap)
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (text, json, prom, trace)", format),
+				http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// methodOK rejects anything but GET/HEAD on the read-only endpoints.
+func methodOK(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// Serve listens on addr (":9100", "127.0.0.1:0", ...) and serves the
+// obs handler in the background until Shutdown.
+func Serve(addr string, reg *obs.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewHandler(reg)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal Shutdown signal; anything else
+		// is diagnosed by the caller's scrape failing, not here.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolving a ":0" request).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully stops the server: in-flight scrapes finish, new
+// connections are refused, and the serve goroutine has exited when it
+// returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// shutdownGrace bounds how long a CLI teardown waits for in-flight
+// scrapes before forcing the server closed.
+const shutdownGrace = 5 * time.Second
+
+// StartCLI starts the obs HTTP server a parsed obs.CLI asked for with
+// -obs-listen and returns its teardown, which honors -obs-linger
+// (keeping the final state scrapeable) before a graceful shutdown.
+// With the flag off both the start and the returned stop are no-ops,
+// preserving the CLI's flag-less byte-identity discipline. Call it
+// after CLI.Start, and defer stop before the deferred CLI.Finish so
+// the server shuts down while the registry is still collecting.
+func StartCLI(c *obs.CLI) (stop func(), err error) {
+	if c.Listen == "" {
+		return func() {}, nil
+	}
+	srv, err := Serve(c.Listen, c.EnsureRegistry())
+	if err != nil {
+		return nil, err
+	}
+	obs.Logger().Info("obs: serving", "addr", srv.Addr())
+	return func() {
+		if c.Linger > 0 {
+			time.Sleep(c.Linger)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			obs.Logger().Warn("obs: server shutdown", "err", err.Error())
+			return
+		}
+		obs.Logger().Info("obs: server stopped", "addr", srv.Addr())
+	}, nil
+}

@@ -1,0 +1,346 @@
+package export
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"privtree/internal/obs"
+	"privtree/internal/pipeline"
+	"privtree/internal/synth"
+	"privtree/internal/transform"
+)
+
+// liveRegistry builds a registry populated through the real recording
+// paths: counters, a gauge, a histogram, plain and worker-attributed
+// spans, and captured events.
+func liveRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.CaptureEvents(16)
+	reg.Add("test.rows", 5)
+	reg.Gauge("test.workers", 2)
+	reg.Observe("test.block_rows", 100)
+	reg.StartSpan("encode").End()
+	sp := reg.StartSpan("encode/profile")
+	sp.SetWorker(1)
+	sp.End()
+	return reg
+}
+
+// TestHandlerEndpoints drives every route of the obs mux through
+// httptest: status codes, content types, and body shape per format.
+func TestHandlerEndpoints(t *testing.T) {
+	h := NewHandler(liveRegistry())
+	tests := []struct {
+		name, method, target string
+		wantStatus           int
+		wantCT               string   // Content-Type prefix, "" to skip
+		wantBody             []string // substrings that must appear
+	}{
+		{"metrics", http.MethodGet, "/metrics", http.StatusOK,
+			"text/plain; version=0.0.4",
+			[]string{"privtree_build_info{", "privtree_test_rows_total 5", "privtree_test_workers 2",
+				"privtree_test_block_rows_count 1", `privtree_span_count_total{path="encode"} 1`}},
+		{"metrics head", http.MethodHead, "/metrics", http.StatusOK, "text/plain; version=0.0.4", nil},
+		{"healthz", http.MethodGet, "/healthz", http.StatusOK, "text/plain", []string{"ok\n"}},
+		{"snapshot default text", http.MethodGet, "/snapshot", http.StatusOK,
+			"text/plain", []string{"spans:", "counters:", "test.rows"}},
+		{"snapshot text", http.MethodGet, "/snapshot?format=text", http.StatusOK,
+			"text/plain", []string{"histograms:"}},
+		{"snapshot json", http.MethodGet, "/snapshot?format=json", http.StatusOK,
+			"application/json", []string{`"build"`, `"counters"`, `"test.rows": 5`}},
+		{"snapshot prom", http.MethodGet, "/snapshot?format=prom", http.StatusOK,
+			"text/plain; version=0.0.4", []string{"privtree_test_rows_total 5"}},
+		{"snapshot trace", http.MethodGet, "/snapshot?format=trace", http.StatusOK,
+			"application/json", []string{`"traceEvents"`, `"encode/profile"`}},
+		{"snapshot bad format", http.MethodGet, "/snapshot?format=bogus", http.StatusBadRequest,
+			"", []string{`unknown format "bogus"`}},
+		{"metrics post", http.MethodPost, "/metrics", http.StatusMethodNotAllowed, "", nil},
+		{"snapshot put", http.MethodPut, "/snapshot", http.StatusMethodNotAllowed, "", nil},
+		{"healthz post", http.MethodPost, "/healthz", http.StatusMethodNotAllowed, "", nil},
+		{"pprof index", http.MethodGet, "/debug/pprof/", http.StatusOK, "", nil},
+		{"unknown path", http.MethodGet, "/nope", http.StatusNotFound, "", nil},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.target, nil))
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("%s %s: status %d, want %d (body: %s)",
+					tc.method, tc.target, rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if tc.wantCT != "" {
+				if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, tc.wantCT) {
+					t.Errorf("%s: Content-Type %q, want prefix %q", tc.target, ct, tc.wantCT)
+				}
+			}
+			for _, want := range tc.wantBody {
+				if !strings.Contains(rec.Body.String(), want) {
+					t.Errorf("%s: body missing %q:\n%s", tc.target, want, rec.Body.String())
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotJSONRoundTrips checks /snapshot?format=json is parseable
+// and self-describing.
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	h := NewHandler(liveRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/snapshot?format=json", nil))
+	var doc struct {
+		Build    obs.BuildInfo    `json:"build"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot json does not parse: %v", err)
+	}
+	if doc.Build.GoVersion == "" || doc.Build.GOMAXPROCS < 1 {
+		t.Errorf("snapshot json build info incomplete: %+v", doc.Build)
+	}
+	if doc.Counters["test.rows"] != 5 {
+		t.Errorf("counters = %v, want test.rows 5", doc.Counters)
+	}
+}
+
+// TestServeShutdown exercises the real listener lifecycle: bind on an
+// ephemeral port, scrape it, shut down gracefully, confirm it stopped.
+func TestServeShutdown(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", liveRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Error("server still serving after Shutdown")
+	}
+}
+
+// TestStartCLIOff pins the no-op contract: without -obs-listen there is
+// no server, no error, and a callable stop.
+func TestStartCLIOff(t *testing.T) {
+	stop, err := StartCLI(&obs.CLI{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop == nil {
+		t.Fatal("stop is nil")
+	}
+	stop() // must not panic
+}
+
+// TestStartCLIServes goes through the CLI wiring end to end: the server
+// address is announced on the structured logger (that line is what
+// scripts/obs_smoke.sh parses), the endpoints answer, and stop tears
+// the server down with a matching log line.
+func TestStartCLIServes(t *testing.T) {
+	defer obs.Disable()
+	defer obs.SetLogger(nil)
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	h, err := obs.NewLogHandler(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return logBuf.Write(p)
+	}), "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.SetLogger(slog.New(h))
+
+	c := &obs.CLI{Listen: "127.0.0.1:0"}
+	stop, err := StartCLI(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	line := logBuf.String()
+	mu.Unlock()
+	// The smoke script greps 'obs: serving' and cuts addr=… — keep the
+	// shape stable.
+	if !strings.Contains(line, `"obs: serving" addr=127.0.0.1:`) {
+		t.Fatalf("serving announcement %q lacks parseable addr", line)
+	}
+	addr := line[strings.Index(line, "addr=")+len("addr="):]
+	addr = strings.TrimSpace(strings.SplitN(addr, " ", 2)[0])
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape CLI server: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "privtree_build_info") {
+		t.Errorf("CLI server /metrics missing build_info:\n%s", body)
+	}
+	stop()
+	mu.Lock()
+	stopped := strings.Contains(logBuf.String(), "obs: server stopped")
+	mu.Unlock()
+	if !stopped {
+		t.Errorf("no shutdown announcement in log:\n%s", logBuf.String())
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("CLI server still serving after stop")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestScrapeDuringEncode hammers /metrics from several goroutines while
+// encodes run against the same live registry — the mid-run scraping the
+// server exists for. Run under -race this is the data-race check for
+// the snapshot path against every recording fast path.
+func TestScrapeDuringEncode(t *testing.T) {
+	defer obs.Disable()
+	reg := obs.NewRegistry()
+	reg.CaptureEvents(obs.DefaultEventCap)
+	obs.Enable(reg)
+
+	ts := httptest.NewServer(NewHandler(reg))
+	defer ts.Close()
+
+	d, err := synth.Covertype(rand.New(rand.NewSource(1)), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if !bytes.Contains(body, []byte("privtree_build_info")) {
+					t.Errorf("mid-run scrape missing build_info")
+					return
+				}
+			}
+		}()
+	}
+	opts := pipeline.Options{Strategy: pipeline.StrategyBP, Breakpoints: 6, MinPieceWidth: 3, Workers: 4}
+	for trial := 0; trial < 3; trial++ {
+		if _, _, err := pipeline.Encode(d, opts, rand.New(rand.NewSource(int64(trial)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if snap.Counters["pipeline.attrs"] == 0 {
+		t.Error("registry saw no encode work — scrape test was vacuous")
+	}
+	if len(snap.Events) == 0 {
+		t.Error("no span events captured during encode")
+	}
+}
+
+// TestServerPathDoesNotChangeEncodeBytes extends the recorder
+// byte-identity contract to the full telemetry plane: an encode run
+// with the registry, event capture, progress gauges and a live scraping
+// server must produce bit-identical output to a run with everything
+// off.
+func TestServerPathDoesNotChangeEncodeBytes(t *testing.T) {
+	d, err := synth.Covertype(rand.New(rand.NewSource(2)), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pipeline.Options{Strategy: pipeline.StrategyMaxMP, Breakpoints: 6, MinPieceWidth: 3, Workers: 4}
+
+	obs.Disable()
+	baseEnc, baseKey, err := pipeline.Encode(d, opts, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBlob, err := transform.MarshalKey(baseKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer obs.Disable()
+	defer obs.SetProgressSink(nil, 0)
+	reg := obs.NewRegistry()
+	reg.CaptureEvents(obs.DefaultEventCap)
+	obs.Enable(reg)
+	obs.SetProgressSink(func(obs.ProgressUpdate) {}, time.Millisecond)
+	ts := httptest.NewServer(NewHandler(reg))
+	defer ts.Close()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/snapshot?format=prom")
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	enc, key, err := pipeline.Encode(d, opts, rand.New(rand.NewSource(7)))
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := transform.MarshalKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(baseBlob, blob) {
+		t.Fatal("key differs with telemetry plane live")
+	}
+	for a := range baseEnc.Cols {
+		for i := range baseEnc.Cols[a] {
+			if math.Float64bits(baseEnc.Cols[a][i]) != math.Float64bits(enc.Cols[a][i]) {
+				t.Fatalf("attr %d tuple %d differs bitwise with telemetry plane live", a, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The process logger. Structured diagnostics — server lifecycle,
+// progress ticks, stage notes — go through Logger() instead of ad-hoc
+// stderr prints, so the CLIs stay silent unless a flag installed a
+// handler: the default logger discards everything without formatting
+// it, which keeps flag-less runs byte-identical on both stdout and
+// stderr.
+var procLogger atomic.Pointer[slog.Logger]
+
+func init() { procLogger.Store(slog.New(discardHandler{})) }
+
+// Logger returns the process-wide structured logger (a discarding
+// logger unless SetLogger installed one).
+func Logger() *slog.Logger { return procLogger.Load() }
+
+// SetLogger installs l as the process logger. A nil l restores the
+// discarding default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(discardHandler{})
+	}
+	procLogger.Store(l)
+}
+
+// discardHandler is a slog.Handler that reports every level disabled,
+// so disabled log sites never format their arguments.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NewLogHandler returns a slog.Handler writing to w: "text" builds the
+// compact elapsed-time logfmt handler below, "json" the stdlib JSON
+// handler. Unknown formats are an error.
+func NewLogHandler(w io.Writer, format string, level slog.Leveler) (slog.Handler, error) {
+	switch format {
+	case "json":
+		return slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}), nil
+	case "text":
+		return &textHandler{mu: &sync.Mutex{}, w: w, level: level, start: time.Now()}, nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text, json)", format)
+	}
+}
+
+// textHandler renders one compact line per record:
+//
+//	+1.234s INFO progress name=encode/apply_stream rows=40000 rows_per_sec=812345
+//
+// The timestamp is elapsed process time, not wall clock — these lines
+// sit next to span reports whose unit is also elapsed time, and they
+// never need cross-host correlation.
+type textHandler struct {
+	mu     *sync.Mutex // shared across WithAttrs/WithGroup clones
+	w      io.Writer
+	level  slog.Leveler
+	start  time.Time
+	prefix string // attrs bound via WithAttrs, pre-rendered
+	groups []string
+}
+
+func (h *textHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level.Level()
+}
+
+func (h *textHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	c := *h
+	var b strings.Builder
+	for _, a := range attrs {
+		appendAttr(&b, a, h.groups)
+	}
+	c.prefix += b.String()
+	return &c
+}
+
+func (h *textHandler) WithGroup(name string) slog.Handler {
+	c := *h
+	c.groups = append(append([]string(nil), h.groups...), name)
+	return &c
+}
+
+func (h *textHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%.3fs %s %s", time.Since(h.start).Seconds(), r.Level, logQuote(r.Message))
+	b.WriteString(h.prefix)
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, a, h.groups)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// appendAttr renders one attribute as " key=value", flattening groups
+// into dotted keys.
+func appendAttr(b *strings.Builder, a slog.Attr, groups []string) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		sub := groups
+		if a.Key != "" {
+			sub = append(append([]string(nil), groups...), a.Key)
+		}
+		for _, ga := range v.Group() {
+			appendAttr(b, ga, sub)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	b.WriteByte(' ')
+	for _, g := range groups {
+		b.WriteString(g)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	b.WriteString(logQuote(v.String()))
+}
+
+// logQuote quotes a value only when it would break field splitting.
+func logQuote(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// LogAttrs returns the span's identity as logger arguments — its path,
+// elapsed time, and worker attribution when present — so a log line
+// emitted inside a span correlates with the span report and the trace
+// export. Nil-safe: a nil span yields no attributes.
+func (s *Span) LogAttrs() []any {
+	if s == nil {
+		return nil
+	}
+	args := []any{slog.String("span", s.path), slog.Duration("elapsed", time.Since(s.start))}
+	if s.worker >= 0 {
+		args = append(args, slog.Int("worker", s.worker))
+	}
+	return args
+}
+
+// Registered -obs-format renderers beyond the built-in text/json —
+// the export package installs "prom" and "trace" here, keeping the
+// rendering dependency pointed at obs instead of the reverse.
+var (
+	formatMu     sync.RWMutex
+	extraFormats = map[string]func(io.Writer, *Snapshot) error{}
+)
+
+// RegisterFormat installs render as the writer behind -obs-format name
+// (and /snapshot?format=name). Built-in names cannot be overridden.
+func RegisterFormat(name string, render func(io.Writer, *Snapshot) error) {
+	formatMu.Lock()
+	defer formatMu.Unlock()
+	extraFormats[name] = render
+}
+
+// FormatRenderer returns the renderer registered under name, or nil.
+func FormatRenderer(name string) func(io.Writer, *Snapshot) error {
+	formatMu.RLock()
+	defer formatMu.RUnlock()
+	return extraFormats[name]
+}
+
+// FormatNames lists every accepted -obs-format value.
+func FormatNames() []string {
+	formatMu.RLock()
+	defer formatMu.RUnlock()
+	names := []string{"text", "json"}
+	for n := range extraFormats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTextLogger(t *testing.T, level slog.Leveler) (*slog.Logger, *bytes.Buffer) {
+	t.Helper()
+	var b bytes.Buffer
+	h, err := NewLogHandler(&b, "text", level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slog.New(h), &b
+}
+
+// TestTextHandlerLine pins the one-line format: elapsed timestamp,
+// level, message, then key=value fields with quoting only where
+// splitting would break.
+func TestTextHandlerLine(t *testing.T) {
+	l, b := newTextLogger(t, slog.LevelInfo)
+	l.Info("progress", "rows", 42, "stage", "apply stream", "path", "encode/apply_stream")
+	line := b.String()
+	want := regexp.MustCompile(`^\+\d+\.\d{3}s INFO progress rows=42 stage="apply stream" path=encode/apply_stream\n$`)
+	if !want.MatchString(line) {
+		t.Errorf("log line %q does not match %v", line, want)
+	}
+}
+
+// TestTextHandlerQuotedMessage pins the quoting of messages containing
+// spaces — scripts/obs_smoke.sh parses the `"obs: serving" addr=…`
+// announcement, so this shape is load-bearing.
+func TestTextHandlerQuotedMessage(t *testing.T) {
+	l, b := newTextLogger(t, slog.LevelInfo)
+	l.Info("obs: serving", "addr", "127.0.0.1:9100")
+	if !strings.Contains(b.String(), `"obs: serving" addr=127.0.0.1:9100`) {
+		t.Errorf("line %q lost the quoted-message shape", b.String())
+	}
+}
+
+// TestTextHandlerWithAttrsAndGroups covers the handler cloning paths:
+// bound attrs render before record attrs, groups flatten to dotted
+// keys, and the parent handler is unaffected by its clones.
+func TestTextHandlerWithAttrsAndGroups(t *testing.T) {
+	l, b := newTextLogger(t, slog.LevelInfo)
+	bound := l.With("run", 7).WithGroup("grid")
+	bound.Info("cell", "trial", 3, slog.Group("timing", slog.Duration("elapsed", time.Second)))
+	line := b.String()
+	for _, want := range []string{" run=7", " grid.trial=3", " grid.timing.elapsed=1s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	b.Reset()
+	l.Info("plain", "k", "v")
+	if got := b.String(); strings.Contains(got, "run=7") || strings.Contains(got, "grid.") {
+		t.Errorf("parent handler leaked clone state: %q", got)
+	}
+}
+
+// TestTextHandlerLevel checks level gating on both Enabled and Handle.
+func TestTextHandlerLevel(t *testing.T) {
+	l, b := newTextLogger(t, slog.LevelInfo)
+	l.Debug("hidden", "k", "v")
+	if b.Len() != 0 {
+		t.Errorf("debug record leaked through info level: %q", b.String())
+	}
+	l.Warn("shown")
+	if !strings.Contains(b.String(), "WARN shown") {
+		t.Errorf("warn record missing: %q", b.String())
+	}
+}
+
+func TestLogQuote(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{"a/b:9100", "a/b:9100"},
+		{"", `""`},
+		{"a b", `"a b"`},
+		{"k=v", `"k=v"`},
+		{"tab\there", `"tab\there"`},
+		{"line\nbreak", `"line\nbreak"`},
+		{`has"quote`, `"has\"quote"`},
+	} {
+		if got := logQuote(tc.in); got != tc.want {
+			t.Errorf("logQuote(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNewLogHandlerJSON checks the json format emits parseable records.
+func TestNewLogHandlerJSON(t *testing.T) {
+	var b bytes.Buffer
+	h, err := NewLogHandler(&b, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slog.New(h).Info("hello", "rows", 3)
+	var doc map[string]any
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("json log line does not parse: %v (%q)", err, b.String())
+	}
+	if doc["msg"] != "hello" || doc["rows"] != float64(3) {
+		t.Errorf("json record = %v", doc)
+	}
+}
+
+func TestNewLogHandlerUnknownFormat(t *testing.T) {
+	if _, err := NewLogHandler(io.Discard, "logfmt", slog.LevelInfo); err == nil {
+		t.Fatal("unknown log format accepted")
+	}
+}
+
+// TestSetLoggerDefaultDiscards pins the byte-identity side of logging:
+// without SetLogger every level is disabled, so instrumented call sites
+// never even format their arguments.
+func TestSetLoggerDefaultDiscards(t *testing.T) {
+	SetLogger(nil)
+	if Logger().Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("default logger has enabled levels")
+	}
+	Logger().Info("goes nowhere", "k", "v") // must not panic
+
+	var b bytes.Buffer
+	h, err := NewLogHandler(&b, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetLogger(slog.New(h))
+	Logger().Info("captured")
+	SetLogger(nil)
+	Logger().Info("dropped again")
+	if !strings.Contains(b.String(), "captured") || strings.Contains(b.String(), "dropped") {
+		t.Errorf("SetLogger install/uninstall broken: %q", b.String())
+	}
+}
+
+// TestSpanLogAttrs checks log/span correlation attributes.
+func TestSpanLogAttrs(t *testing.T) {
+	var nilSpan *Span
+	if got := nilSpan.LogAttrs(); got != nil {
+		t.Errorf("nil span LogAttrs = %v, want nil", got)
+	}
+	reg := NewRegistry()
+	sp := reg.StartSpan("encode/profile")
+	sp.SetWorker(3)
+	l, b := newTextLogger(t, slog.LevelInfo)
+	l.Info("inside", sp.LogAttrs()...)
+	sp.End()
+	line := b.String()
+	if !strings.Contains(line, "span=encode/profile") || !strings.Contains(line, "worker=3") ||
+		!strings.Contains(line, "elapsed=") {
+		t.Errorf("span-correlated line %q missing identity fields", line)
+	}
+}
+
+// TestRegisterFormat covers the renderer registry the export package
+// hooks into.
+func TestRegisterFormat(t *testing.T) {
+	if FormatRenderer("definitely-not-registered") != nil {
+		t.Fatal("unknown renderer resolved")
+	}
+	called := false
+	RegisterFormat("testfmt", func(io.Writer, *Snapshot) error {
+		called = true
+		return nil
+	})
+	r := FormatRenderer("testfmt")
+	if r == nil {
+		t.Fatal("registered renderer not resolvable")
+	}
+	if err := r(io.Discard, &Snapshot{}); err != nil || !called {
+		t.Fatalf("renderer dispatch broken: err=%v called=%v", err, called)
+	}
+	names := strings.Join(FormatNames(), ",")
+	for _, want := range []string{"text", "json", "testfmt"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("FormatNames %q missing %q", names, want)
+		}
+	}
+}

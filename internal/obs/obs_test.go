@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -192,7 +193,8 @@ func TestSnapshotStability(t *testing.T) {
 	if a.Gauges["g"] != b.Gauges["g"] {
 		t.Error("gauge snapshots differ")
 	}
-	if a.Hists["h"] != b.Hists["h"] {
+	if ha, hb := a.Hists["h"], b.Hists["h"]; ha.Count != hb.Count || ha.Sum != hb.Sum ||
+		ha.Min != hb.Min || ha.Max != hb.Max || !reflect.DeepEqual(ha.Buckets, hb.Buckets) {
 		t.Error("histogram snapshots differ")
 	}
 	if len(a.Spans) != len(b.Spans) {

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProgressUpdate is one observation of a streaming stage's progress.
+type ProgressUpdate struct {
+	// Name is the stage ("encode/apply_stream", "experiments/grid").
+	Name string
+	// Rows processed so far; Total is the expected count (< 0 unknown).
+	Rows, Total int64
+	// Chunk is the number of Step calls so far — the block index for a
+	// streamed apply, the completed-unit count for a trial grid.
+	Chunk int64
+	// RowsPerSec is the mean throughput since the stage started.
+	RowsPerSec float64
+	// Elapsed is the time since the stage started; ETA extrapolates the
+	// remainder at the mean throughput (0 when Total is unknown).
+	Elapsed, ETA time.Duration
+}
+
+// ProgressSink consumes periodic updates — the -progress stderr ticker.
+type ProgressSink func(ProgressUpdate)
+
+type progressConfig struct {
+	sink     ProgressSink
+	interval time.Duration
+}
+
+var progCfg atomic.Pointer[progressConfig]
+
+// SetProgressSink installs sink to receive an update every interval
+// (<= 0 picks 500ms) while a Progress is live, plus one final update
+// at Close. A nil sink uninstalls the ticker; gauge publication is
+// unaffected — it follows the recorder, not the sink.
+func SetProgressSink(sink ProgressSink, interval time.Duration) {
+	if sink == nil {
+		progCfg.Store(nil)
+		return
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	progCfg.Store(&progressConfig{sink: sink, interval: interval})
+}
+
+// Progress publishes the live state of a streaming stage: every Step
+// refreshes the stage's gauges (rows, chunk, rows_per_sec, eta_ns —
+// scrapeable from /metrics mid-run), and an installed ProgressSink
+// additionally receives ticker updates. All methods are nil-safe;
+// StartProgress hands out nil when nothing would observe the stage, so
+// un-observed runs never start a ticker goroutine or read the clock.
+type Progress struct {
+	name   string
+	metric string // gauge prefix: "progress." + name with "/" folded to "."
+	total  int64
+	rows   atomic.Int64
+	chunks atomic.Int64
+	start  time.Time
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	sink   ProgressSink
+}
+
+// StartProgress opens progress tracking for a stage expecting total
+// rows (total < 0 when the stream length is unknown — ETA stays 0).
+// Returns nil when neither a collecting recorder nor a progress sink
+// is installed.
+func StartProgress(name string, total int64) *Progress {
+	cfg := progCfg.Load()
+	if !Enabled() && cfg == nil {
+		return nil
+	}
+	p := &Progress{
+		name:   name,
+		metric: "progress." + strings.ReplaceAll(name, "/", "."),
+		total:  total,
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+	}
+	if total >= 0 {
+		Gauge(p.metric+".total", total)
+	}
+	p.publish()
+	if cfg != nil {
+		p.sink = cfg.sink
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			t := time.NewTicker(cfg.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-t.C:
+					p.sink(p.update())
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Step records rows more processed rows (one block or unit of work)
+// and refreshes the stage's gauges. Safe for concurrent use: counts
+// are atomic and gauges are last-write-wins.
+func (p *Progress) Step(rows int) {
+	if p == nil {
+		return
+	}
+	p.rows.Add(int64(rows))
+	p.chunks.Add(1)
+	p.publish()
+}
+
+// Close stops the ticker (delivering one final sink update) and
+// publishes the final gauge state.
+func (p *Progress) Close() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.wg.Wait()
+	p.publish()
+	if p.sink != nil {
+		p.sink(p.update())
+	}
+}
+
+// update computes the current ProgressUpdate.
+func (p *Progress) update() ProgressUpdate {
+	u := ProgressUpdate{
+		Name:    p.name,
+		Rows:    p.rows.Load(),
+		Total:   p.total,
+		Chunk:   p.chunks.Load(),
+		Elapsed: time.Since(p.start),
+	}
+	if s := u.Elapsed.Seconds(); s > 0 {
+		u.RowsPerSec = float64(u.Rows) / s
+	}
+	if p.total > 0 && u.RowsPerSec > 0 && u.Rows < p.total {
+		u.ETA = time.Duration(float64(p.total-u.Rows) / u.RowsPerSec * float64(time.Second))
+	}
+	return u
+}
+
+// publish refreshes the stage's gauges on the current recorder.
+func (p *Progress) publish() {
+	if !Enabled() {
+		return
+	}
+	u := p.update()
+	Gauge(p.metric+".rows", u.Rows)
+	Gauge(p.metric+".chunk", u.Chunk)
+	Gauge(p.metric+".rows_per_sec", int64(u.RowsPerSec))
+	if u.ETA > 0 {
+		Gauge(p.metric+".eta_ns", u.ETA.Nanoseconds())
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStartProgressUnobservedIsNil pins the byte-identity fast path: no
+// recorder and no sink means no Progress object, no goroutine, no clock
+// read — and the nil handle absorbs all methods.
+func TestStartProgressUnobservedIsNil(t *testing.T) {
+	Disable()
+	SetProgressSink(nil, 0)
+	p := StartProgress("encode/apply_stream", 100)
+	if p != nil {
+		t.Fatal("StartProgress returned non-nil with nothing observing")
+	}
+	p.Step(10) // nil-safe
+	p.Close()
+}
+
+// TestProgressGauges checks the recorder-facing half: Step refreshes
+// the stage's gauges on the enabled registry.
+func TestProgressGauges(t *testing.T) {
+	defer Disable()
+	reg := NewRegistry()
+	Enable(reg)
+	p := StartProgress("encode/apply_stream", 100)
+	if p == nil {
+		t.Fatal("StartProgress returned nil with a recorder enabled")
+	}
+	time.Sleep(time.Millisecond) // measurable elapsed so ETA is non-zero
+	p.Step(40)
+	g := reg.Snapshot().Gauges
+	if g["progress.encode.apply_stream.total"] != 100 {
+		t.Errorf("total gauge = %d, want 100", g["progress.encode.apply_stream.total"])
+	}
+	if g["progress.encode.apply_stream.rows"] != 40 {
+		t.Errorf("rows gauge = %d, want 40", g["progress.encode.apply_stream.rows"])
+	}
+	if g["progress.encode.apply_stream.chunk"] != 1 {
+		t.Errorf("chunk gauge = %d, want 1", g["progress.encode.apply_stream.chunk"])
+	}
+	if g["progress.encode.apply_stream.rows_per_sec"] <= 0 {
+		t.Errorf("rows_per_sec gauge = %d, want > 0", g["progress.encode.apply_stream.rows_per_sec"])
+	}
+	if g["progress.encode.apply_stream.eta_ns"] <= 0 {
+		t.Errorf("eta_ns gauge = %d, want > 0", g["progress.encode.apply_stream.eta_ns"])
+	}
+	p.Step(60)
+	p.Close()
+	g = reg.Snapshot().Gauges
+	if g["progress.encode.apply_stream.rows"] != 100 {
+		t.Errorf("final rows gauge = %d, want 100", g["progress.encode.apply_stream.rows"])
+	}
+	if g["progress.encode.apply_stream.chunk"] != 2 {
+		t.Errorf("final chunk gauge = %d, want 2", g["progress.encode.apply_stream.chunk"])
+	}
+}
+
+// TestProgressSink checks the ticker half: an installed sink receives
+// periodic updates plus a guaranteed final one at Close, and the final
+// update carries the closing state.
+func TestProgressSink(t *testing.T) {
+	Disable()
+	var mu sync.Mutex
+	var got []ProgressUpdate
+	SetProgressSink(func(u ProgressUpdate) {
+		mu.Lock()
+		got = append(got, u)
+		mu.Unlock()
+	}, 5*time.Millisecond)
+	defer SetProgressSink(nil, 0)
+
+	p := StartProgress("experiments/grid", -1)
+	if p == nil {
+		t.Fatal("StartProgress returned nil with a sink installed")
+	}
+	p.Step(5)
+	time.Sleep(30 * time.Millisecond)
+	p.Step(5)
+	p.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("sink received no updates")
+	}
+	last := got[len(got)-1]
+	if last.Name != "experiments/grid" || last.Rows != 10 || last.Chunk != 2 {
+		t.Errorf("final update = %+v, want rows 10 chunk 2", last)
+	}
+	if last.Total != -1 || last.ETA != 0 {
+		t.Errorf("unknown-total update = %+v, want Total -1 and ETA 0", last)
+	}
+	if last.Elapsed <= 0 || last.RowsPerSec <= 0 {
+		t.Errorf("final update has no throughput: %+v", last)
+	}
+}
+
+// TestProgressUpdateETA checks the extrapolation arithmetic directly.
+func TestProgressUpdateETA(t *testing.T) {
+	p := &Progress{name: "x", total: 100, start: time.Now().Add(-time.Second)}
+	p.rows.Store(50)
+	u := p.update()
+	if u.RowsPerSec < 40 || u.RowsPerSec > 60 {
+		t.Errorf("RowsPerSec = %v, want ~50", u.RowsPerSec)
+	}
+	// 50 rows left at ~50 rows/s → ~1s.
+	if u.ETA < 500*time.Millisecond || u.ETA > 2*time.Second {
+		t.Errorf("ETA = %v, want ~1s", u.ETA)
+	}
+	p.rows.Store(100)
+	if eta := p.update().ETA; eta != 0 {
+		t.Errorf("ETA at completion = %v, want 0", eta)
+	}
+}
+
+// TestProgressConcurrentSteps checks Step is safe from many goroutines
+// (the experiment grid calls it from every worker).
+func TestProgressConcurrentSteps(t *testing.T) {
+	defer Disable()
+	reg := NewRegistry()
+	Enable(reg)
+	p := StartProgress("grid", 1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 125; i++ {
+				p.Step(1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	g := reg.Snapshot().Gauges
+	if g["progress.grid.rows"] != 1000 || g["progress.grid.chunk"] != 1000 {
+		t.Errorf("concurrent steps lost: rows=%d chunk=%d, want 1000/1000",
+			g["progress.grid.rows"], g["progress.grid.chunk"])
+	}
+}

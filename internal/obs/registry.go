@@ -23,6 +23,14 @@ type Registry struct {
 	spanStats map[string]*spanStat
 	spanOrder []string // first-End order, for stable reporting
 
+	// Span event capture (off unless CaptureEvents set a budget): the
+	// raw begin/duration record of every completed span, bounded to
+	// eventCap with overflow counted instead of grown — a long run can
+	// never make the registry's memory unbounded.
+	eventCap      int
+	events        []SpanEvent
+	eventsDropped int64
+
 	start time.Time
 }
 
@@ -173,6 +181,19 @@ type HistStat struct {
 	Count         int64
 	Sum, Min, Max float64
 	P50, P90, P99 float64 // bucket-upper-bound estimates
+	// Buckets holds the non-empty log2 buckets in ascending upper-bound
+	// order — the raw distribution Prometheus exposition renders as a
+	// cumulative `le` series. Empty buckets are elided; the exclusive
+	// upper bound of each retained bucket is carried alongside its
+	// count, so consumers never need the registry's bucket layout.
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket: Count observations
+// strictly below Upper (and at or above the previous bucket's Upper).
+type HistBucket struct {
+	Upper float64 `json:"upper"`
+	Count int64   `json:"count"`
 }
 
 // snapshot folds the histogram into a HistStat. Concurrent observers
@@ -194,6 +215,11 @@ func (h *Histogram) snapshot() HistStat {
 	for i := range counts {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
+	}
+	for i := range counts {
+		if counts[i] > 0 {
+			st.Buckets = append(st.Buckets, HistBucket{Upper: bucketUpper(i), Count: counts[i]})
+		}
 	}
 	quantile := func(q float64) float64 {
 		target := int64(math.Ceil(q * float64(total)))
@@ -222,12 +248,20 @@ func (h *Histogram) snapshot() HistStat {
 type Snapshot struct {
 	// Uptime is the time elapsed since the registry was created.
 	Uptime time.Duration
+	// Build identifies the binary the snapshot came from.
+	Build BuildInfo
 	// Counters, Gauges and Hists map metric names to their state.
 	Counters map[string]int64
 	Gauges   map[string]int64
 	Hists    map[string]HistStat
 	// Spans aggregates completed spans by path.
 	Spans []SpanStat
+	// Events holds the raw completed-span records when event capture is
+	// on (CaptureEvents), in completion order; nil otherwise.
+	Events []SpanEvent
+	// EventsDropped counts spans that completed after the event budget
+	// was exhausted.
+	EventsDropped int64
 }
 
 // Snapshot folds the registry into an immutable view. It takes the
@@ -235,6 +269,7 @@ type Snapshot struct {
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Uptime:   time.Since(r.start),
+		Build:    CurrentBuildInfo(),
 		Counters: map[string]int64{},
 		Gauges:   map[string]int64{},
 		Hists:    map[string]HistStat{},
@@ -256,8 +291,24 @@ func (r *Registry) Snapshot() *Snapshot {
 	for _, path := range r.spanOrder {
 		s.Spans = append(s.Spans, r.spanStats[path].stat(path))
 	}
+	if len(r.events) > 0 {
+		s.Events = make([]SpanEvent, len(r.events))
+		copy(s.Events, r.events)
+	}
+	s.EventsDropped = r.eventsDropped
 	r.spanMu.Unlock()
 	return s
+}
+
+// CaptureEvents turns on span event capture with a budget of at most
+// max retained events (0 disables). Each completed span then records a
+// SpanEvent — the raw material of the trace-event export — until the
+// budget is exhausted; later completions only bump the dropped count,
+// so memory stays bounded on arbitrarily long runs.
+func (r *Registry) CaptureEvents(max int) {
+	r.spanMu.Lock()
+	r.eventCap = max
+	r.spanMu.Unlock()
 }
 
 // CounterNames returns the snapshot's counter names in sorted order.

@@ -17,8 +17,17 @@ func (s *Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintln(w, "spans:")
 		for _, sp := range s.Spans {
 			indent := strings.Repeat("  ", sp.Depth())
+			// The name column narrows as the indent widens so the count
+			// column stays put; clamp it at depth >= 14, where
+			// 28-2*Depth() would go non-positive and fmt would treat a
+			// negative width as left-justification of width |w|,
+			// silently widening deep rows.
+			width := 28 - 2*sp.Depth()
+			if width < 1 {
+				width = 1
+			}
 			fmt.Fprintf(w, "  %s%-*s %6d× total %-10v avg %v",
-				indent, 28-2*sp.Depth(), sp.Name(), sp.Count,
+				indent, width, sp.Name(), sp.Count,
 				round(sp.Total), round(sp.Avg()))
 			if len(sp.Workers) > 0 {
 				parts := make([]string, 0, len(sp.Workers))
@@ -78,6 +87,7 @@ func round(d time.Duration) time.Duration {
 // nanoseconds, span worker maps keyed by stringified worker index.
 type jsonSnapshot struct {
 	UptimeNS int64               `json:"uptime_ns"`
+	Build    BuildInfo           `json:"build"`
 	Counters map[string]int64    `json:"counters,omitempty"`
 	Gauges   map[string]int64    `json:"gauges,omitempty"`
 	Hists    map[string]HistStat `json:"histograms,omitempty"`
@@ -97,6 +107,7 @@ type jsonSpan struct {
 func (s *Snapshot) WriteJSON(w io.Writer) error {
 	js := jsonSnapshot{
 		UptimeNS: s.Uptime.Nanoseconds(),
+		Build:    s.Build,
 		Counters: s.Counters,
 		Gauges:   s.Gauges,
 		Hists:    s.Hists,

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteTextDeepSpanClamp pins the name-column clamp: at depth >= 14
+// the 28-2*depth width would go non-positive, which fmt would read as
+// left-justification and silently widen deep rows. The clamp holds it
+// at 1, so a depth-15 span renders with exactly one cell of padding.
+func TestWriteTextDeepSpanClamp(t *testing.T) {
+	deep := strings.TrimSuffix(strings.Repeat("a/", 15), "/") + "/z" // depth 15
+	snap := &Snapshot{Spans: []SpanStat{
+		{Path: deep, Count: 1, Total: time.Millisecond, Min: time.Millisecond, Max: time.Millisecond},
+	}}
+	var b strings.Builder
+	snap.WriteText(&b)
+	out := b.String()
+	// Indent is 2 + 2*15 spaces, then the name padded to the clamped
+	// width of 1 (i.e. unpadded), one separator space, then the 6-wide
+	// count column.
+	want := "  " + strings.Repeat("  ", 15) + "z      1× total"
+	if !strings.Contains(out, want) {
+		t.Errorf("deep span row misaligned:\n%s\nwant substring %q", out, want)
+	}
+}
+
+// TestCaptureEventsBounded checks the event budget: capacity events are
+// retained, later completions only bump the dropped counter, and the
+// snapshot copies rather than aliases the buffer.
+func TestCaptureEventsBounded(t *testing.T) {
+	reg := NewRegistry()
+	reg.CaptureEvents(2)
+	for i := 0; i < 3; i++ {
+		reg.StartSpan("stage").End()
+	}
+	snap := reg.Snapshot()
+	if len(snap.Events) != 2 {
+		t.Fatalf("got %d events, want 2 (budget)", len(snap.Events))
+	}
+	if snap.EventsDropped != 1 {
+		t.Errorf("EventsDropped = %d, want 1", snap.EventsDropped)
+	}
+	ev := snap.Events[0]
+	if ev.Path != "stage" || ev.Worker != -1 || ev.Start < 0 || ev.Dur < 0 {
+		t.Errorf("event = %+v, want path stage, worker -1, non-negative times", ev)
+	}
+	// The aggregate view still counts all three completions.
+	if snap.Spans[0].Count != 3 {
+		t.Errorf("span count = %d, want 3", snap.Spans[0].Count)
+	}
+	snap.Events[0].Path = "mutated"
+	if reg.Snapshot().Events[0].Path != "stage" {
+		t.Error("snapshot aliases the registry's event buffer")
+	}
+}
+
+// TestCaptureEventsOffByDefault: without a budget no events accumulate.
+func TestCaptureEventsOffByDefault(t *testing.T) {
+	reg := NewRegistry()
+	reg.StartSpan("stage").End()
+	snap := reg.Snapshot()
+	if snap.Events != nil || snap.EventsDropped != 0 {
+		t.Errorf("events captured without CaptureEvents: %d events, %d dropped",
+			len(snap.Events), snap.EventsDropped)
+	}
+}
+
+// TestSpanEventWorkerAttribution checks SetWorker flows into the event
+// record.
+func TestSpanEventWorkerAttribution(t *testing.T) {
+	reg := NewRegistry()
+	reg.CaptureEvents(4)
+	sp := reg.StartSpan("fanout")
+	sp.SetWorker(2)
+	sp.End()
+	snap := reg.Snapshot()
+	if len(snap.Events) != 1 || snap.Events[0].Worker != 2 {
+		t.Fatalf("events = %+v, want one event on worker 2", snap.Events)
+	}
+}
+
+// TestHistStatBuckets checks the snapshot's bucket list: ascending
+// upper bounds, only non-empty buckets, counts summing to Count, and
+// each observation below its bucket's bound.
+func TestHistStatBuckets(t *testing.T) {
+	reg := NewRegistry()
+	for _, v := range []float64{1, 3, 3, 1000} {
+		reg.Observe("h", v)
+	}
+	h := reg.Snapshot().Hists["h"]
+	if len(h.Buckets) == 0 {
+		t.Fatal("no buckets in snapshot")
+	}
+	var sum int64
+	prev := 0.0
+	for _, bk := range h.Buckets {
+		if bk.Count <= 0 {
+			t.Errorf("empty bucket retained: %+v", bk)
+		}
+		if bk.Upper <= prev {
+			t.Errorf("bucket uppers not ascending: %+v", h.Buckets)
+		}
+		prev = bk.Upper
+		sum += bk.Count
+	}
+	if sum != h.Count {
+		t.Errorf("bucket counts sum to %d, histogram Count is %d", sum, h.Count)
+	}
+	if h.Buckets[len(h.Buckets)-1].Upper < h.Max {
+		t.Errorf("last bucket upper %v below max %v", h.Buckets[len(h.Buckets)-1].Upper, h.Max)
+	}
+}
+
+// TestCurrentBuildInfo sanity-checks the binary identity used by
+// build_info exports.
+func TestCurrentBuildInfo(t *testing.T) {
+	bi := CurrentBuildInfo()
+	if bi.Module == "" || bi.Version == "" {
+		t.Errorf("build info incomplete: %+v", bi)
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want go…", bi.GoVersion)
+	}
+	if bi.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d, want >= 1", bi.GOMAXPROCS)
+	}
+	if again := CurrentBuildInfo(); again != bi {
+		t.Errorf("build info unstable across calls: %+v vs %+v", bi, again)
+	}
+}
+
+// TestWriteJSONIncludesBuild checks the JSON snapshot carries the build
+// block.
+func TestWriteJSONIncludesBuild(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add("c", 1)
+	var b strings.Builder
+	if err := reg.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Build BuildInfo `json:"build"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Build.GoVersion == "" || doc.Build.GOMAXPROCS < 1 {
+		t.Errorf("json build block incomplete: %+v", doc.Build)
+	}
+}

@@ -43,12 +43,13 @@ func (s *Span) SetWorker(w int) {
 }
 
 // End closes the span, folding its duration into the registry's
-// per-path statistics.
+// per-path statistics (and, when event capture is on, appending the
+// raw event record).
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.r.endSpan(s.path, time.Since(s.start), s.worker)
+	s.r.endSpan(s.path, s.start, time.Since(s.start), s.worker)
 }
 
 // spanStat accumulates the completed spans of one path.
@@ -58,7 +59,7 @@ type spanStat struct {
 	workers         map[int]time.Duration
 }
 
-func (r *Registry) endSpan(path string, d time.Duration, worker int) {
+func (r *Registry) endSpan(path string, start time.Time, d time.Duration, worker int) {
 	r.spanMu.Lock()
 	st := r.spanStats[path]
 	if st == nil {
@@ -80,7 +81,31 @@ func (r *Registry) endSpan(path string, d time.Duration, worker int) {
 		}
 		st.workers[worker] += d
 	}
+	if r.eventCap > 0 {
+		if len(r.events) < r.eventCap {
+			r.events = append(r.events, SpanEvent{
+				Path:   path,
+				Worker: worker,
+				Start:  start.Sub(r.start),
+				Dur:    d,
+			})
+		} else {
+			r.eventsDropped++
+		}
+	}
 	r.spanMu.Unlock()
+}
+
+// SpanEvent is the raw record of one completed span: where it sits in
+// the hierarchy, which worker (if any) ran it, when it began relative
+// to the registry's creation, and how long it lasted. Events exist
+// only under CaptureEvents and feed the trace-event export, where each
+// one becomes a complete ("X") slice on its worker's lane.
+type SpanEvent struct {
+	Path   string
+	Worker int // -1 when unattributed
+	Start  time.Duration
+	Dur    time.Duration
 }
 
 // SpanStat is the aggregated snapshot of one span path.

@@ -60,6 +60,16 @@ func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chun
 	workers = parallel.ResolveWorkers(workers)
 	sp := obs.StartSpan("encode/apply_stream")
 	defer sp.End()
+	// Live progress: rows/s, chunk index and ETA as gauges (scrapeable
+	// from the obs server's /metrics mid-run) plus the optional ticker.
+	// StartProgress returns nil when nothing observes the run, so the
+	// flag-less path neither reads the clock nor starts a goroutine.
+	total := int64(-1)
+	if t, ok := src.(interface{ Total() int }); ok {
+		total = int64(t.Total())
+	}
+	pg := obs.StartProgress("encode/apply_stream", total)
+	defer pg.Close()
 	// The per-block transform closure is hoisted out of the loop and
 	// reads the current block through blk, so a long stream does not
 	// allocate a fresh closure (plus the pool's per-batch bookkeeping)
@@ -94,6 +104,7 @@ func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chun
 		if err := sink.Write(blk); err != nil {
 			return &StageError{Stage: StageApply, Err: err}
 		}
+		pg.Step(blk.NumRows())
 	}
 	if err := sink.Flush(); err != nil {
 		return &StageError{Stage: StageApply, Err: err}

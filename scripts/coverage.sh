@@ -2,8 +2,9 @@
 # Coverage gate: runs the test suite with coverage, writes a merged
 # profile (the CI artifact), and enforces a soft floor on the packages
 # that carry the correctness guarantees — the conformance battery, the
-# encode pipeline, the transform layer — and the observability layer,
-# whose no-op default the byte-identity tests lean on.
+# encode pipeline, the transform layer — and the observability layer
+# (core and export/server), whose no-op default the byte-identity tests
+# lean on.
 #
 #   COVER_OUT    profile path (default coverage.out)
 #   COVER_FLOOR  per-package floor in percent (default 70)
@@ -22,7 +23,7 @@ go test -covermode=atomic -coverprofile="$OUT" ./... >"$LOG" 2>&1 || {
 cat "$LOG"
 
 fail=0
-for pkg in privtree/internal/conformance privtree/internal/pipeline privtree/internal/transform privtree/internal/obs; do
+for pkg in privtree/internal/conformance privtree/internal/pipeline privtree/internal/transform privtree/internal/obs privtree/internal/obs/export; do
   pct=$(awk -v p="$pkg" '$1 == "ok" && $2 == p {
     for (i = 1; i <= NF; i++) if ($i ~ /^[0-9.]+%$/) { sub("%", "", $i); print $i }
   }' "$LOG")

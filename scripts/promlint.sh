@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Minimal Prometheus text-exposition (version 0.0.4) linter for the obs
+# server's /metrics page. Reads the page from the file argument (or
+# stdin) and checks what a scraper would choke on:
+#
+#   - metric and label name syntax;
+#   - every sample belongs to a family announced by a # TYPE line, and
+#     no family is announced twice;
+#   - histogram families are internally consistent: cumulative
+#     non-decreasing buckets, a terminating +Inf bucket whose count
+#     equals _count, and a _sum sample;
+#   - sample values parse as numbers (+Inf/-Inf/NaN included).
+#
+# Exits non-zero with one line per violation. Stdlib awk only — this is
+# a CI gate, not a promtool replacement.
+set -euo pipefail
+
+awk '
+function fail(msg) { print "promlint: line " NR ": " msg > "/dev/stderr"; bad = 1 }
+# The family a sample belongs to: histogram series fold their suffix.
+function family(m) {
+  if (m ~ /_bucket$/) { sub(/_bucket$/, "", m); return m }
+  if (m ~ /_sum$/ && (substr(m, 1, length(m) - 4) in istype) && istype[substr(m, 1, length(m) - 4)] == "histogram") {
+    return substr(m, 1, length(m) - 4)
+  }
+  if (m ~ /_count$/ && (substr(m, 1, length(m) - 6) in istype) && istype[substr(m, 1, length(m) - 6)] == "histogram") {
+    return substr(m, 1, length(m) - 6)
+  }
+  return m
+}
+/^$/ { next }
+/^# HELP / { next }
+/^# TYPE / {
+  if (NF != 4) { fail("malformed TYPE line"); next }
+  name = $3; kind = $4
+  if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) fail("bad metric name " name)
+  if (kind !~ /^(counter|gauge|histogram|summary|untyped)$/) fail("bad type " kind)
+  if (name in istype) fail("duplicate TYPE for " name)
+  istype[name] = kind
+  next
+}
+/^#/ { next }
+{
+  # sample: name[{labels}] value
+  line = $0
+  if (match(line, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) { fail("unparseable sample: " line); next }
+  name = substr(line, 1, RLENGTH)
+  rest = substr(line, RLENGTH + 1)
+  labels = ""
+  if (substr(rest, 1, 1) == "{") {
+    close_i = index(rest, "}")
+    if (close_i == 0) { fail("unterminated label set: " line); next }
+    labels = substr(rest, 2, close_i - 2)
+    rest = substr(rest, close_i + 1)
+  }
+  sub(/^[ \t]+/, "", rest)
+  value = rest
+  if (value !~ /^([+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$/) fail("bad value " value " for " name)
+
+  # Label pairs: name="escaped value"
+  lb = labels
+  while (lb != "") {
+    if (match(lb, /^[a-zA-Z_][a-zA-Z0-9_]*="/) == 0) { fail("bad label syntax in " labels); break }
+    lb = substr(lb, RLENGTH + 1)
+    # skip escaped string body
+    i = 1
+    while (i <= length(lb)) {
+      c = substr(lb, i, 1)
+      if (c == "\\") { i += 2; continue }
+      if (c == "\"") break
+      i++
+    }
+    if (i > length(lb)) { fail("unterminated label value in " labels); break }
+    lb = substr(lb, i + 1)
+    if (substr(lb, 1, 1) == ",") lb = substr(lb, 2)
+    else if (lb != "") { fail("bad label separator in " labels); break }
+  }
+
+  fam = family(name)
+  if (!(fam in istype)) fail("sample " name " has no TYPE line")
+
+  if (istype[fam] == "histogram") {
+    if (name ~ /_bucket$/) {
+      le = ""
+      if (match(labels, /le="[^"]*"/)) {
+        le = substr(labels, RSTART + 4, RLENGTH - 5)
+      } else fail("bucket sample without le label: " line)
+      if (fam in lastbucket && value + 0 < lastbucket[fam] + 0)
+        fail(fam " buckets not cumulative at le=" le)
+      lastbucket[fam] = value
+      if (le == "+Inf") infcount[fam] = value
+      seenbucket[fam] = 1
+    } else if (name ~ /_sum$/) {
+      seensum[fam] = 1
+    } else if (name ~ /_count$/) {
+      countval[fam] = value
+      seencount[fam] = 1
+    }
+  }
+  next
+}
+END {
+  for (fam in istype) {
+    if (istype[fam] != "histogram") continue
+    if (!(fam in seenbucket)) { print "promlint: histogram " fam " has no buckets" > "/dev/stderr"; bad = 1 }
+    if (!(fam in seensum)) { print "promlint: histogram " fam " has no _sum" > "/dev/stderr"; bad = 1 }
+    if (!(fam in seencount)) { print "promlint: histogram " fam " has no _count" > "/dev/stderr"; bad = 1 }
+    if ((fam in infcount) && (fam in countval) && infcount[fam] + 0 != countval[fam] + 0) {
+      print "promlint: histogram " fam " +Inf bucket " infcount[fam] " != _count " countval[fam] > "/dev/stderr"; bad = 1
+    }
+    if ((fam in seenbucket) && !(fam in infcount)) {
+      print "promlint: histogram " fam " has no +Inf bucket" > "/dev/stderr"; bad = 1
+    }
+  }
+  exit bad
+}
+' "${1:-/dev/stdin}"
+echo "promlint: ok"
