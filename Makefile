@@ -3,16 +3,24 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel bench-check experiments examples fmt vet clean check fuzz-smoke cover verify obs-smoke
+.PHONY: all build test race bench bench-parallel bench-check experiments examples fmt vet clean check fuzz-smoke cover verify obs-smoke shard-smoke
 
 all: build test
 
 # The full local gate, mirroring .github/workflows/ci.yml: build, vet,
-# race-enabled tests, and a short parallel-benchmark smoke run (the
-# smoke writes its JSON to a scratch file so the committed
-# BENCH_parallel.json keeps its full-length numbers).
-check: build vet race obs-smoke
+# race-enabled tests, the sharded-encode byte-identity smoke, and a
+# short parallel-benchmark smoke run (the smoke writes its JSON to a
+# scratch file so the committed BENCH_parallel.json keeps its
+# full-length numbers).
+check: build vet race obs-smoke shard-smoke
 	BENCH_OUT="$$(mktemp)" ./scripts/bench_parallel.sh 1x
+
+# Out-of-core smoke: datagen a sharded set, encode it both in-memory
+# and shard-wise, cmp the outputs byte for byte, and run the
+# conformance battery against the sharded original (see
+# scripts/shard_smoke.sh).
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 # Live-telemetry smoke: encode with -obs-listen on an ephemeral port,
 # scrape /healthz, /metrics and /snapshot mid-run, and lint the

@@ -3,10 +3,12 @@ package privtree
 import (
 	"io"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
 
+	"privtree/internal/dataset"
 	"privtree/internal/experiments"
 	"privtree/internal/forest"
 	"privtree/internal/obs"
@@ -461,6 +463,66 @@ func BenchmarkParallelEncodeStages(b *testing.B) {
 					b.ReportMetric(float64(sp.Total.Nanoseconds())/float64(b.N), stage+"-ns/op")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkShardedEncode measures the out-of-core encode path end to
+// end — OpenSharded, the two-pass streaming profile, and the per-shard
+// parallel apply — over a 4-shard on-disk set, at workers=1 and
+// workers=4. The output is byte-identical across worker counts; only
+// the wall clock changes. rows/s feeds BENCH_parallel.json.
+func BenchmarkShardedEncode(b *testing.B) {
+	const rows, shards = 20000, 4
+	st, err := synth.CovertypeStreamer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefix := filepath.Join(b.TempDir(), "set")
+	sink, err := dataset.NewShardedCSVSink(prefix, (rows+shards-1)/shards, st.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, st.NumAttrs())
+	blk := &dataset.Block{Cols: make([][]float64, st.NumAttrs())}
+	for i := 0; i < rows; i++ {
+		label := st.Sample(rng, vals)
+		for a := range vals {
+			blk.Cols[a] = append(blk.Cols[a], vals[a])
+		}
+		blk.Labels = append(blk.Labels, label)
+	}
+	if err := sink.Write(blk); err != nil {
+		b.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			opts := EncodeOptions{Strategy: StrategyMaxMP, Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := OpenSharded(sink.ManifestPath())
+				if err != nil {
+					b.Fatal(err)
+				}
+				key, err := BuildKeySharded(src, opts, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				outSchema, err := pipeline.OutputSchema(key, src.Schema())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := pipeline.ApplySharded(key, src, dataset.NewCSVSink(io.Discard, outSchema), 0, workers); err != nil {
+					b.Fatal(err)
+				}
+				src.Close()
+			}
+			b.StopTimer()
+			reportRowsPerSec(b, rows)
 		})
 	}
 }

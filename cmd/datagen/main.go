@@ -5,6 +5,13 @@
 //	datagen -kind covertype -n 60000 -seed 1 -o covertype.csv
 //	datagen -kind census -n 30000 -o census.csv
 //	datagen -kind figure1 -o fig1.csv
+//
+// With -shards K the set is written sharded — K CSV shard files plus a
+// manifest at <o>.manifest.json, where -o names the path prefix — and
+// generation streams tuple-at-a-time, so 10M+-row sets emit in constant
+// memory. The rows are identical to the unsharded output at the same
+// seed: concatenating the shards (minus the per-shard headers)
+// reproduces the single CSV exactly.
 package main
 
 import (
@@ -21,10 +28,17 @@ func main() {
 	kind := flag.String("kind", "covertype", "data set kind: covertype, census, figure1")
 	n := flag.Int("n", 60000, "number of tuples (ignored for figure1)")
 	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file (default stdout); with -shards, the shard path prefix")
+	shards := flag.Int("shards", 0, "write a sharded set with this many shard files (covertype and census only; requires -o)")
 	flag.Parse()
 
-	if err := run(*kind, *n, *seed, *out); err != nil {
+	var err error
+	if *shards > 0 {
+		err = runSharded(*kind, *n, *seed, *out, *shards)
+	} else {
+		err = run(*kind, *n, *seed, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
@@ -59,4 +73,67 @@ func run(kind string, n int, seed int64, out string) error {
 		w = f
 	}
 	return d.WriteCSV(w)
+}
+
+// genBlockRows is the tuples per block on the streaming path.
+const genBlockRows = 4096
+
+// runSharded streams the generator into a ShardedCSVSink: memory stays
+// O(block), independent of n.
+func runSharded(kind string, n int, seed int64, prefix string, shards int) error {
+	if prefix == "" {
+		return fmt.Errorf("-shards requires -o (the shard path prefix)")
+	}
+	if n <= 0 {
+		return fmt.Errorf("-shards requires -n > 0, got %d", n)
+	}
+	var (
+		st  *synth.Streamer
+		err error
+	)
+	switch kind {
+	case "covertype":
+		st, err = synth.CovertypeStreamer()
+	case "census":
+		st, err = synth.CensusStreamer()
+	default:
+		return fmt.Errorf("kind %q cannot be sharded (covertype and census only)", kind)
+	}
+	if err != nil {
+		return err
+	}
+	rowsPerShard := (n + shards - 1) / shards
+	sink, err := dataset.NewShardedCSVSink(prefix, rowsPerShard, st.Schema())
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nAttrs := st.NumAttrs()
+	vals := make([]float64, nAttrs)
+	blk := &dataset.Block{Cols: make([][]float64, nAttrs)}
+	for a := range blk.Cols {
+		blk.Cols[a] = make([]float64, 0, genBlockRows)
+	}
+	for done := 0; done < n; {
+		rows := genBlockRows
+		if n-done < rows {
+			rows = n - done
+		}
+		for a := range blk.Cols {
+			blk.Cols[a] = blk.Cols[a][:0]
+		}
+		blk.Labels = blk.Labels[:0]
+		for i := 0; i < rows; i++ {
+			label := st.Sample(rng, vals)
+			for a := range vals {
+				blk.Cols[a] = append(blk.Cols[a], vals[a])
+			}
+			blk.Labels = append(blk.Labels, label)
+		}
+		if err := sink.Write(blk); err != nil {
+			return err
+		}
+		done += rows
+	}
+	return sink.Flush()
 }

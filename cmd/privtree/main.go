@@ -1,16 +1,19 @@
 // Command privtree is the custodian's command-line workflow around the
 // privtree library:
 //
-//	privtree encode -in train.csv -out encoded.csv -key key.json [-strategy maxmp] [-w 20] [-seed 7]
+//	privtree encode (-in train.csv | -manifest train.manifest.json) -out encoded.csv -key key.json [-strategy maxmp] [-w 20] [-seed 7] [-workers 4]
 //	    Transform a training data set with a fresh piecewise key. Ship
-//	    encoded.csv to the mining service; keep key.json private.
+//	    encoded.csv to the mining service; keep key.json private. With
+//	    -manifest the input is a sharded set (see datagen -shards) and
+//	    encoding runs out-of-core, shard by shard, producing bytes
+//	    identical to the in-memory path at any -workers setting.
 //
 //	privtree mine -in encoded.csv [-out tree.json] [-criterion gini] [-minleaf 1] [-maxdepth 0]
 //	    Mine a decision tree (what the service provider runs; it sees
 //	    only encoded values). With -out, write the tree as JSON — the
 //	    artifact the service ships back to the custodian.
 //
-//	privtree decode (-tree tree.json | -in encoded.csv) -orig train.csv -key key.json [...]
+//	privtree decode (-tree tree.json | -in encoded.csv) (-orig train.csv | -manifest train.manifest.json) -key key.json [...]
 //	    Decode the service's tree (or re-mine the encoded data) into the
 //	    original attribute space — exactly the tree direct mining would
 //	    produce.
@@ -23,7 +26,7 @@
 //	    Check that a new batch can reuse the existing key without voiding
 //	    the guarantee, and encode it for shipping.
 //
-//	privtree verify -in train.csv -key key.json [tree flags]
+//	privtree verify (-in train.csv | -manifest train.manifest.json) -key key.json [tree flags]
 //	privtree verify -rand [-trials 25] [-strategy all] [-workers 8] [-seed 1]
 //	    Run the conformance battery: check a concrete key's structural
 //	    invariants and the no-outcome-change guarantee against its data,
@@ -124,6 +127,7 @@ func strategyFlag(s string) (opt privtree.EncodeOptions, err error) {
 func cmdEncode(args []string) (err error) {
 	fs := flag.NewFlagSet("encode", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV (last column = class)")
+	manifest := fs.String("manifest", "", "sharded input: manifest JSON (out-of-core; instead of -in)")
 	out := fs.String("out", "", "output CSV for the transformed data")
 	keyPath := fs.String("key", "", "output JSON file for the secret key")
 	strategy := fs.String("strategy", "maxmp", "breakpoint strategy: none, bp, maxmp")
@@ -131,6 +135,7 @@ func cmdEncode(args []string) (err error) {
 	minWidth := fs.Int("minwidth", 5, "monochromatic piece width threshold")
 	seed := fs.Int64("seed", 1, "random seed")
 	chunk := fs.Int("chunk", 0, "tuples per streamed output block (0 = default)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = default); output is identical at any setting")
 	var oc obs.CLI
 	oc.Register(fs)
 	fs.Parse(args)
@@ -144,8 +149,8 @@ func cmdEncode(args []string) (err error) {
 		return e
 	}
 	defer stopObs()
-	if *in == "" || *out == "" || *keyPath == "" {
-		return usageError{"encode needs -in, -out and -key"}
+	if (*in == "") == (*manifest == "") || *out == "" || *keyPath == "" {
+		return usageError{"encode needs -out, -key and exactly one of -in or -manifest"}
 	}
 	opts, err := strategyFlag(*strategy)
 	if err != nil {
@@ -153,6 +158,10 @@ func cmdEncode(args []string) (err error) {
 	}
 	opts.Breakpoints = *w
 	opts.MinPieceWidth = *minWidth
+	opts.Workers = *workers
+	if *manifest != "" {
+		return encodeSharded(*manifest, *out, *keyPath, opts, *seed, *chunk, *workers)
+	}
 	d, err := privtree.ReadCSVFile(*in)
 	if err != nil {
 		return err
@@ -175,7 +184,7 @@ func cmdEncode(args []string) (err error) {
 		return err
 	}
 	sink := dataset.NewCSVSink(f, outSchema)
-	if err := pipeline.ApplyStream(key, dataset.NewDatasetSource(d), sink, *chunk, 0); err != nil {
+	if err := pipeline.ApplyStream(key, dataset.NewDatasetSource(d), sink, *chunk, *workers); err != nil {
 		f.Close()
 		return err
 	}
@@ -185,6 +194,56 @@ func cmdEncode(args []string) (err error) {
 	fmt.Printf("encoded %d tuples × %d attributes → %s (key: %s)\n",
 		d.NumTuples(), d.NumAttrs(), *out, *keyPath)
 	return nil
+}
+
+// encodeSharded is the out-of-core encode: the key is built by the
+// two-pass streaming profile and the data transformed shard-by-shard,
+// so memory stays bounded by shard size × workers. The output CSV and
+// key are byte-identical to the in-memory path on the same rows and
+// seed.
+func encodeSharded(manifestPath, out, keyPath string, opts privtree.EncodeOptions, seed int64, chunk, workers int) error {
+	src, err := privtree.OpenSharded(manifestPath)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	key, err := privtree.BuildKeySharded(src, opts, seed)
+	if err != nil {
+		return err
+	}
+	if err := privtree.SaveKey(key, keyPath); err != nil {
+		return err
+	}
+	outSchema, err := pipeline.OutputSchema(key, src.Schema())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	sink := dataset.NewCSVSink(f, outSchema)
+	if err := pipeline.ApplySharded(key, src, sink, chunk, workers); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d tuples × %d attributes from %d shard(s) → %s (key: %s)\n",
+		src.Total(), src.Schema().NumAttrs(), src.NumShards(), out, keyPath)
+	return nil
+}
+
+// readOriginal materializes the custodian's original data from either
+// a single CSV or a sharded manifest (exactly one must be set; the
+// caller validates). Tree decoding and verification need the relation
+// in memory, so sharded sets are collected here.
+func readOriginal(csvPath, manifestPath string) (*privtree.Dataset, error) {
+	if manifestPath != "" {
+		return privtree.ReadShardedFile(manifestPath)
+	}
+	return privtree.ReadCSVFile(csvPath)
 }
 
 // treeFlags registers the shared mining flags.
@@ -263,6 +322,7 @@ func cmdDecode(args []string) (err error) {
 	in := fs.String("in", "", "encoded CSV (as shipped to the service); used to re-mine when -tree is absent")
 	treePath := fs.String("tree", "", "tree JSON returned by the service (skips re-mining)")
 	orig := fs.String("orig", "", "original CSV (the custodian's copy)")
+	manifest := fs.String("manifest", "", "sharded original: manifest JSON (instead of -orig)")
 	keyPath := fs.String("key", "", "secret key JSON")
 	criterion, minLeaf, maxDepth := treeFlags(fs)
 	var oc obs.CLI
@@ -278,14 +338,14 @@ func cmdDecode(args []string) (err error) {
 		return e
 	}
 	defer stopObs()
-	if (*in == "" && *treePath == "") || *orig == "" || *keyPath == "" {
-		return usageError{"decode needs -orig, -key, and one of -in or -tree"}
+	if (*in == "" && *treePath == "") || (*orig == "") == (*manifest == "") || *keyPath == "" {
+		return usageError{"decode needs -key, one of -in or -tree, and exactly one of -orig or -manifest"}
 	}
 	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
 	if err != nil {
 		return err
 	}
-	d, err := privtree.ReadCSVFile(*orig)
+	d, err := readOriginal(*orig, *manifest)
 	if err != nil {
 		return err
 	}

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"privtree"
+	"privtree/internal/dataset"
 	"privtree/internal/synth"
 )
 
@@ -180,5 +183,97 @@ func TestAppendWorkflow(t *testing.T) {
 	}
 	if err := cmdAppend(nil); err == nil {
 		t.Error("append without flags should fail")
+	}
+}
+
+// writeShardedFixture writes the fixture rows as a sharded set and
+// returns the manifest path. The rows are the CSV round-trip of the
+// fixture, so -in on the CSV and -manifest on the shards see identical
+// values.
+func writeShardedFixture(t *testing.T, dir, train string, rowsPerShard int) string {
+	t.Helper()
+	d, err := privtree.ReadCSVFile(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := dataset.NewShardedCSVSink(filepath.Join(dir, "train"), rowsPerShard, d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dataset.NewDatasetSource(d)
+	for {
+		blk, err := src.Next(0)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Write(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.ManifestPath()
+}
+
+// TestEncodeManifestMatchesInMemory pins the CLI-level byte identity:
+// encode -manifest produces exactly the CSV and key that encode -in
+// produces on the same rows and seed, and decode/verify accept the
+// manifest form.
+func TestEncodeManifestMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFixture(t, dir)
+	manifest := writeShardedFixture(t, dir, train, 150)
+
+	encMem := filepath.Join(dir, "enc_mem.csv")
+	keyMem := filepath.Join(dir, "key_mem.json")
+	if err := cmdEncode([]string{"-in", train, "-out", encMem, "-key", keyMem, "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	encSh := filepath.Join(dir, "enc_sh.csv")
+	keySh := filepath.Join(dir, "key_sh.json")
+	if err := cmdEncode([]string{"-manifest", manifest, "-out", encSh, "-key", keySh, "-seed", "3", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pair := range [][2]string{{encMem, encSh}, {keyMem, keySh}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ", pair[0], pair[1])
+		}
+	}
+
+	if err := cmdDecode([]string{"-in", encSh, "-manifest", manifest, "-key", keySh, "-minleaf", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-manifest", manifest, "-key", keySh, "-minleaf", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManifestFlagValidation checks the -in/-manifest exclusivity.
+func TestManifestFlagValidation(t *testing.T) {
+	var ue usageError
+	if err := cmdEncode([]string{"-in", "a.csv", "-manifest", "b.json", "-out", "o", "-key", "k"}); !errors.As(err, &ue) {
+		t.Error("encode with both -in and -manifest should be a usage error")
+	}
+	if err := cmdDecode([]string{"-in", "e.csv", "-orig", "a.csv", "-manifest", "b.json", "-key", "k"}); !errors.As(err, &ue) {
+		t.Error("decode with both -orig and -manifest should be a usage error")
+	}
+	if err := cmdVerify([]string{"-in", "a.csv", "-manifest", "b.json", "-key", "k"}); !errors.As(err, &ue) {
+		t.Error("verify with both -in and -manifest should be a usage error")
+	}
+	if err := cmdEncode([]string{"-manifest", "missing.json", "-out", "o", "-key", "k"}); err == nil || errors.As(err, &ue) {
+		t.Error("encode of missing manifest should be a runtime error")
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 
-	"privtree"
 	"privtree/internal/conformance"
 	"privtree/internal/obs"
 	"privtree/internal/pipeline"
@@ -25,6 +24,7 @@ import (
 func cmdVerify(args []string) (err error) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	in := fs.String("in", "", "original CSV the key was built for")
+	manifest := fs.String("manifest", "", "sharded original: manifest JSON (instead of -in)")
 	keyPath := fs.String("key", "", "secret key JSON to verify")
 	randMode := fs.Bool("rand", false, "run the randomized self-test instead of checking a key")
 	trials := fs.Int("trials", 25, "self-test: randomized trials")
@@ -77,10 +77,10 @@ func cmdVerify(args []string) (err error) {
 		return rep.Err()
 	}
 
-	if *in == "" || *keyPath == "" {
-		return usageError{"verify needs -in and -key (or -rand for the self-test)"}
+	if (*in == "") == (*manifest == "") || *keyPath == "" {
+		return usageError{"verify needs -key and exactly one of -in or -manifest (or -rand for the self-test)"}
 	}
-	d, err := privtree.ReadCSVFile(*in)
+	d, err := readOriginal(*in, *manifest)
 	if err != nil {
 		return err
 	}

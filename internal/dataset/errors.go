@@ -25,4 +25,8 @@ var (
 	// ErrBadSplit reports train/test or fold parameters outside their
 	// valid ranges.
 	ErrBadSplit = errors.New("dataset: invalid split parameters")
+	// ErrBadManifest reports a sharded-dataset manifest that is
+	// malformed or disagrees with its shard files (missing shards,
+	// wrong row counts, unknown class names, mismatched headers).
+	ErrBadManifest = errors.New("dataset: invalid shard manifest")
 )

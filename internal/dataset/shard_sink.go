@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// ShardedCSVSink is a Sink that writes the stream as a sharded data
+// set: CSV shard files of at most rowsPerShard tuples each, named
+// <prefix>-00000.csv, <prefix>-00001.csv, ..., plus a manifest at
+// <prefix>.manifest.json describing them. Rows land in shard files in
+// stream order, so reading the set back through ShardedSource yields
+// exactly the written stream.
+//
+// The manifest's ClassNames records class names in order of first
+// appearance in the written rows — the same assignment rule ReadCSV
+// uses on a single file — so a sharded write followed by a sharded
+// read produces the same label indices as writing one big CSV and
+// reading it back. That equivalence is what lets shard-wise profile
+// statistics merge byte-identically to the single-file result.
+type ShardedCSVSink struct {
+	prefix       string
+	schema       *Schema
+	rowsPerShard int
+
+	f       *os.File
+	cw      *csv.Writer
+	row     []string
+	curRows int
+
+	shards     []ShardInfo
+	classSeen  map[string]bool
+	classOrder []string
+	flushed    bool
+}
+
+// NewShardedCSVSink returns a sink writing shard files and a manifest
+// under the given path prefix. rowsPerShard caps the tuples per shard
+// file and must be positive. Labels resolve against schema at Write
+// time, so a streaming source's live schema works.
+func NewShardedCSVSink(prefix string, rowsPerShard int, schema *Schema) (*ShardedCSVSink, error) {
+	if rowsPerShard <= 0 {
+		return nil, fmt.Errorf("rows per shard %d, want > 0: %w", rowsPerShard, ErrBadManifest)
+	}
+	if schema.NumAttrs() == 0 {
+		return nil, ErrNoAttributes
+	}
+	return &ShardedCSVSink{
+		prefix:       prefix,
+		schema:       schema,
+		rowsPerShard: rowsPerShard,
+		classSeen:    make(map[string]bool),
+	}, nil
+}
+
+// ManifestPath returns the path the manifest is written to at Flush.
+func (s *ShardedCSVSink) ManifestPath() string {
+	return s.prefix + ".manifest.json"
+}
+
+// shardPath returns the path of shard i.
+func (s *ShardedCSVSink) shardPath(i int) string {
+	return fmt.Sprintf("%s-%05d.csv", s.prefix, i)
+}
+
+// openShard starts shard file len(s.shards) and writes its header.
+func (s *ShardedCSVSink) openShard() error {
+	f, err := os.Create(s.shardPath(len(s.shards)))
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.cw = csv.NewWriter(f)
+	s.curRows = 0
+	header := append(append([]string(nil), s.schema.AttrNames...), "class")
+	return s.cw.Write(header)
+}
+
+// closeShard finishes the open shard file and records it in the
+// manifest's shard list.
+func (s *ShardedCSVSink) closeShard() error {
+	s.cw.Flush()
+	if err := s.cw.Error(); err != nil {
+		s.f.Close()
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	s.shards = append(s.shards, ShardInfo{
+		Path: filepath.Base(s.shardPath(len(s.shards))),
+		Rows: s.curRows,
+	})
+	s.f = nil
+	s.cw = nil
+	return nil
+}
+
+// Write implements Sink, splitting blocks across shard boundaries as
+// needed.
+func (s *ShardedCSVSink) Write(b *Block) error {
+	m := s.schema.NumAttrs()
+	if len(b.Cols) != m {
+		return fmt.Errorf("block has %d columns, schema %d: %w", len(b.Cols), m, ErrSchemaMismatch)
+	}
+	if s.row == nil {
+		s.row = make([]string, m+1)
+	}
+	for i, label := range b.Labels {
+		if s.f == nil {
+			if err := s.openShard(); err != nil {
+				return err
+			}
+		}
+		for a := 0; a < m; a++ {
+			s.row[a] = strconv.FormatFloat(b.Cols[a][i], 'g', -1, 64)
+		}
+		if label < 0 || label >= len(s.schema.ClassNames) {
+			return fmt.Errorf("block label %d outside schema classes: %w", label, ErrBadLabel)
+		}
+		cls := s.schema.ClassNames[label]
+		if !s.classSeen[cls] {
+			s.classSeen[cls] = true
+			s.classOrder = append(s.classOrder, cls)
+		}
+		s.row[m] = cls
+		if err := s.cw.Write(s.row); err != nil {
+			return err
+		}
+		s.curRows++
+		if s.curRows == s.rowsPerShard {
+			if err := s.closeShard(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush implements Sink: it finishes the open shard, writes the
+// manifest, and makes the set readable. An empty stream produces one
+// empty shard (header only) so the set round-trips like an empty CSV.
+func (s *ShardedCSVSink) Flush() error {
+	if s.flushed {
+		return nil
+	}
+	if s.f == nil && len(s.shards) == 0 {
+		if err := s.openShard(); err != nil {
+			return err
+		}
+	}
+	if s.f != nil {
+		if err := s.closeShard(); err != nil {
+			return err
+		}
+	}
+	s.flushed = true
+	m := &Manifest{
+		Version:    ManifestVersion,
+		AttrNames:  append([]string(nil), s.schema.AttrNames...),
+		ClassNames: append([]string(nil), s.classOrder...),
+		Shards:     s.shards,
+	}
+	return WriteManifest(m, s.ManifestPath())
+}

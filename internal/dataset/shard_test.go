@@ -1,0 +1,331 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// shardTestData builds a small dataset with class churn so label
+// indexing matters.
+func shardTestData(t *testing.T, n int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	d := New([]string{"x", "y"}, []string{"neg", "pos", "zero"})
+	for i := 0; i < n; i++ {
+		vals := []float64{float64(rng.Intn(50)), rng.Float64() * 10}
+		if err := d.Append(vals, rng.Intn(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// writeSharded writes d through a ShardedCSVSink and returns the
+// manifest path.
+func writeSharded(t *testing.T, d *Dataset, dir string, rowsPerShard int) string {
+	t.Helper()
+	sink, err := NewShardedCSVSink(filepath.Join(dir, "data"), rowsPerShard, d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewDatasetSource(d)
+	for {
+		blk, err := src.Next(7) // odd block size to cross shard boundaries
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Write(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.ManifestPath()
+}
+
+// drainAll materializes a Source.
+func drainAll(t *testing.T, src Source) *Dataset {
+	t.Helper()
+	coll := NewCollector(src.Schema())
+	for {
+		blk, err := src.Next(0)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Write(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := coll.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// sameData compares schema, values and resolved class names row-wise.
+func sameData(t *testing.T, got, want *Dataset) {
+	t.Helper()
+	if got.NumTuples() != want.NumTuples() || got.NumAttrs() != want.NumAttrs() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.NumTuples(), got.NumAttrs(), want.NumTuples(), want.NumAttrs())
+	}
+	for a := range want.Cols {
+		for i := range want.Cols[a] {
+			if got.Cols[a][i] != want.Cols[a][i] {
+				t.Fatalf("col %d row %d: %v, want %v", a, i, got.Cols[a][i], want.Cols[a][i])
+			}
+		}
+	}
+	for i := range want.Labels {
+		if got.ClassNames[got.Labels[i]] != want.ClassNames[want.Labels[i]] {
+			t.Fatalf("row %d class %q, want %q", i,
+				got.ClassNames[got.Labels[i]], want.ClassNames[want.Labels[i]])
+		}
+	}
+}
+
+// TestShardedRoundTrip pins the write→read cycle: a dataset streamed
+// through ShardedCSVSink and read back through ShardedSource is the
+// original, and labels resolve identically to a single-CSV round trip.
+func TestShardedRoundTrip(t *testing.T) {
+	d := shardTestData(t, 103)
+	dir := t.TempDir()
+	mp := writeSharded(t, d, dir, 25) // 103 rows / 25 per shard = 5 shards
+
+	m, err := ReadManifest(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards() != 5 {
+		t.Fatalf("%d shards, want 5", m.NumShards())
+	}
+	if m.TotalRows() != 103 {
+		t.Fatalf("TotalRows %d, want 103", m.TotalRows())
+	}
+	if m.Shards[4].Rows != 3 {
+		t.Fatalf("last shard %d rows, want 3", m.Shards[4].Rows)
+	}
+
+	src, err := OpenSharded(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.Total() != 103 {
+		t.Fatalf("Total %d, want 103", src.Total())
+	}
+	sameData(t, drainAll(t, src), d)
+
+	// The manifest's class order must match ReadCSV's first-appearance
+	// order on the equivalent single CSV.
+	var sb strings.Builder
+	if err := d.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	single, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ClassNames) != len(single.ClassNames) {
+		t.Fatalf("manifest classes %v, single-CSV %v", m.ClassNames, single.ClassNames)
+	}
+	for i := range m.ClassNames {
+		if m.ClassNames[i] != single.ClassNames[i] {
+			t.Fatalf("class %d: manifest %q, single-CSV %q", i, m.ClassNames[i], single.ClassNames[i])
+		}
+	}
+}
+
+// TestShardSourceIndependent checks per-shard sub-sources see exactly
+// their shard's rows and can be read concurrently with the parent.
+func TestShardSourceIndependent(t *testing.T) {
+	d := shardTestData(t, 40)
+	mp := writeSharded(t, d, t.TempDir(), 16)
+	src, err := OpenSharded(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.NumShards() != 3 {
+		t.Fatalf("%d shards, want 3", src.NumShards())
+	}
+	offset := 0
+	for i := 0; i < src.NumShards(); i++ {
+		sh, err := src.Shard(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := drainAll(t, sh)
+		if part.NumTuples() != src.ShardRows(i) {
+			t.Fatalf("shard %d: %d rows, want %d", i, part.NumTuples(), src.ShardRows(i))
+		}
+		for r := 0; r < part.NumTuples(); r++ {
+			if part.Cols[0][r] != d.Cols[0][offset+r] {
+				t.Fatalf("shard %d row %d: %v, want %v", i, r, part.Cols[0][r], d.Cols[0][offset+r])
+			}
+		}
+		offset += part.NumTuples()
+		sh.Close()
+	}
+	if offset != 40 {
+		t.Fatalf("shards cover %d rows, want 40", offset)
+	}
+}
+
+// TestShardedEmptyStream checks an empty stream flushes to a readable,
+// empty sharded set.
+func TestShardedEmptyStream(t *testing.T) {
+	dir := t.TempDir()
+	sch := &Schema{AttrNames: []string{"x"}, ClassNames: []string{"a"}}
+	sink, err := NewShardedCSVSink(filepath.Join(dir, "empty"), 10, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenSharded(sink.ManifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.Next(0); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next on empty set: %v, want EOF", err)
+	}
+}
+
+// TestShardedSinkArgs checks constructor validation.
+func TestShardedSinkArgs(t *testing.T) {
+	sch := &Schema{AttrNames: []string{"x"}}
+	if _, err := NewShardedCSVSink("p", 0, sch); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("rowsPerShard=0: %v", err)
+	}
+	if _, err := NewShardedCSVSink("p", 5, &Schema{}); !errors.Is(err, ErrNoAttributes) {
+		t.Fatalf("no attrs: %v", err)
+	}
+}
+
+// TestManifestValidate sweeps the structural error paths.
+func TestManifestValidate(t *testing.T) {
+	good := func() *Manifest {
+		return &Manifest{
+			Version:    ManifestVersion,
+			AttrNames:  []string{"x"},
+			ClassNames: []string{"a", "b"},
+			Shards:     []ShardInfo{{Path: "s.csv", Rows: 1}},
+		}
+	}
+	cases := []struct {
+		name  string
+		mod   func(*Manifest)
+		valid bool
+	}{
+		{"good", func(m *Manifest) {}, true},
+		{"version", func(m *Manifest) { m.Version = 99 }, false},
+		{"no-attrs", func(m *Manifest) { m.AttrNames = nil }, false},
+		{"dup-class", func(m *Manifest) { m.ClassNames = []string{"a", "a"} }, false},
+		{"empty-path", func(m *Manifest) { m.Shards[0].Path = "" }, false},
+		{"neg-rows", func(m *Manifest) { m.Shards[0].Rows = -1 }, false},
+	}
+	for _, tc := range cases {
+		m := good()
+		tc.mod(m)
+		err := m.Validate()
+		if tc.valid && err != nil {
+			t.Fatalf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.valid && !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("%s: err %v, want ErrBadManifest", tc.name, err)
+		}
+	}
+}
+
+// corruptSharded writes a valid sharded set, lets the caller tamper
+// with it, and returns the first error from opening and draining it.
+func corruptSharded(t *testing.T, tamper func(dir string, m *Manifest)) error {
+	t.Helper()
+	d := shardTestData(t, 20)
+	dir := t.TempDir()
+	mp := writeSharded(t, d, dir, 10)
+	m, err := ReadManifest(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(dir, m)
+	if err := WriteManifest(m, mp); err != nil {
+		return err
+	}
+	src, err := OpenSharded(mp)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	for {
+		if _, err := src.Next(0); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// TestShardedReadErrors sweeps the shard/manifest disagreement paths:
+// each must surface ErrBadManifest (or the file error), never silently
+// skewed data.
+func TestShardedReadErrors(t *testing.T) {
+	t.Run("missing-shard", func(t *testing.T) {
+		err := corruptSharded(t, func(dir string, m *Manifest) {
+			os.Remove(filepath.Join(dir, m.Shards[0].Path))
+		})
+		if err == nil || errors.Is(err, ErrBadManifest) {
+			if err == nil {
+				t.Fatal("missing shard file not detected")
+			}
+		}
+	})
+	t.Run("row-overrun", func(t *testing.T) {
+		err := corruptSharded(t, func(dir string, m *Manifest) {
+			m.Shards[0].Rows--
+		})
+		if !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("err %v, want ErrBadManifest", err)
+		}
+	})
+	t.Run("row-underrun", func(t *testing.T) {
+		err := corruptSharded(t, func(dir string, m *Manifest) {
+			m.Shards[0].Rows++
+		})
+		if !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("err %v, want ErrBadManifest", err)
+		}
+	})
+	t.Run("unknown-class", func(t *testing.T) {
+		err := corruptSharded(t, func(dir string, m *Manifest) {
+			m.ClassNames = m.ClassNames[:1]
+		})
+		if !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("err %v, want ErrBadManifest", err)
+		}
+	})
+	t.Run("header-mismatch", func(t *testing.T) {
+		err := corruptSharded(t, func(dir string, m *Manifest) {
+			m.AttrNames = []string{"x", "wrong"}
+		})
+		if !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("err %v, want ErrBadManifest", err)
+		}
+	})
+}

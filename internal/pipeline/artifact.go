@@ -60,11 +60,20 @@ func BuildKeyArtifacts(d *dataset.Dataset, opts Options, rng *rand.Rand) (*trans
 	if err != nil {
 		return nil, nil, err
 	}
+	return assembleKey(root, cols, opts, rng, workers)
+}
 
+// assembleKey runs the stages downstream of profile — choose → draw →
+// verify — over already-profiled columns and packages the key and
+// artifacts. Both profile front-ends (the in-memory profileColumns and
+// the out-of-core profileSharded) feed it, which is what pins the
+// sharded encode to the in-memory one: identical Groups in, identical
+// rng consumption, identical key bytes out.
+func assembleKey(root *obs.Span, cols []Column, opts Options, rng *rand.Rand, workers int) (*transform.Key, []Artifact, error) {
 	// Randomized section: choose and draw interleave per attribute, in
 	// attribute order, on the caller's stream — see the package comment
 	// for why this section is serial.
-	sp = root.Child("choose+draw")
+	sp := root.Child("choose+draw")
 	for i := range cols {
 		if err := cols[i].choose(opts, rng); err != nil {
 			sp.End()
@@ -94,7 +103,7 @@ func BuildKeyArtifacts(d *dataset.Dataset, opts Options, rng *rand.Rand) (*trans
 	}
 	obs.Add("pipeline.pieces", pieces)
 	sp = root.Child("verify")
-	err = verifyColumns(cols, workers)
+	err := verifyColumns(cols, workers)
 	sp.End()
 	if err != nil {
 		return nil, nil, err

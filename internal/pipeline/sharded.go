@@ -1,0 +1,268 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"privtree/internal/dataset"
+	"privtree/internal/obs"
+	"privtree/internal/parallel"
+	"privtree/internal/runs"
+	"privtree/internal/transform"
+)
+
+// The out-of-core encode path. The custodian transform is built from
+// global per-attribute statistics and applied row-wise, so nothing
+// about it requires the in-memory Dataset: this file rewires the
+// pipeline's profile and apply stages onto a sharded on-disk relation,
+// with the shard as both the unit of memory (at most one shard per
+// worker is ever resident) and the unit of parallelism.
+//
+//   - Two-pass streaming profile: pass one reads each shard once and
+//     reduces it to per-attribute sorted value groups (O(distinct)
+//     memory, pooled ProjScratch sorting); pass two merges the
+//     per-shard groups deterministically in shard-index order
+//     (runs.MergeGroups) into exactly the Groups the in-memory
+//     profileColumns computes. The choose/draw/verify stages that
+//     follow are byte-for-byte the same code (assembleKey), so
+//     BuildKeySharded's key is byte-identical to BuildKey's on the
+//     materialized data.
+//   - Per-shard apply: shards are transformed concurrently and merged
+//     into the sink in shard-index order (parallel.OrderedEach), so
+//     the output stream is byte-identical to the single-stream
+//     ApplyStream at any worker count.
+//
+// Sharded sources carry no categorical metadata (CSV shards are all
+// numeric), so the categorical code paths never trigger here.
+
+// shardedProvider is the slice of dataset.ShardedSource the pipeline
+// needs: the fixed schema, the shard count and per-shard sub-sources.
+// It is satisfied by *dataset.ShardedSource; tests substitute failing
+// implementations.
+type shardedProvider interface {
+	Schema() *dataset.Schema
+	NumShards() int
+	Total() int
+	Shard(i int) (*dataset.ShardSource, error)
+}
+
+// BuildKeySharded runs the key-construction stages over a sharded
+// data set without ever materializing it whole: profile is the
+// two-pass streaming version; choose → draw → verify are the standard
+// stages. The key is byte-identical to BuildKey on the materialized
+// relation for the same rng state, at any worker and shard count.
+func BuildKeySharded(src *dataset.ShardedSource, opts Options, rng *rand.Rand) (*transform.Key, error) {
+	key, _, err := BuildKeyShardedArtifacts(src, opts, rng)
+	return key, err
+}
+
+// BuildKeyShardedArtifacts is BuildKeySharded plus the per-attribute
+// stage artifacts, mirroring BuildKeyArtifacts.
+func BuildKeyShardedArtifacts(src *dataset.ShardedSource, opts Options, rng *rand.Rand) (*transform.Key, []Artifact, error) {
+	return buildKeySharded(src, opts, rng)
+}
+
+// buildKeySharded is the provider-generic implementation.
+func buildKeySharded(src shardedProvider, opts Options, rng *rand.Rand) (*transform.Key, []Artifact, error) {
+	sch := src.Schema()
+	if sch.NumAttrs() == 0 {
+		return nil, nil, &StageError{Stage: StageProfile, Err: dataset.ErrNoAttributes}
+	}
+	opts = opts.normalize()
+	workers := parallel.ResolveWorkers(opts.Workers)
+
+	root := obs.StartSpan("encode")
+	defer root.End()
+	obs.Add("pipeline.attrs", int64(sch.NumAttrs()))
+	obs.Add("pipeline.shards", int64(src.NumShards()))
+
+	sp := root.Child("profile")
+	cols, err := profileSharded(src, workers)
+	sp.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	return assembleKey(root, cols, opts, rng, workers)
+}
+
+// profileSharded is the two-pass streaming profile stage.
+//
+// Pass one fans out per shard: each worker materializes one shard (the
+// peak-memory bound: shard size × workers), sorts every attribute's
+// A-projection in a pooled ProjScratch and keeps only the O(distinct)
+// value groups. Pass two fans out per attribute, folding the per-shard
+// groups in shard-index order. The merged Groups are element-identical
+// to profileColumns over the concatenated relation — runs.MergeGroups
+// is exact — so everything downstream is untouched by sharding.
+func profileSharded(src shardedProvider, workers int) ([]Column, error) {
+	sch := src.Schema()
+	nAttrs := sch.NumAttrs()
+	nShards := src.NumShards()
+	pg := obs.StartProgress("encode/profile_sharded", int64(src.Total()))
+	defer pg.Close()
+
+	perShard := make([][][]runs.ValueGroup, nShards) // [shard][attr]
+	err := parallel.ForEach(noCtx, nShards, workers, func(i int) error {
+		sh, err := src.Shard(i)
+		if err != nil {
+			return &StageError{Stage: StageProfile, Err: err}
+		}
+		defer sh.Close()
+		coll := dataset.NewCollector(sh.Schema())
+		rows := 0
+		for {
+			blk, err := sh.Next(0)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return &StageError{Stage: StageProfile, Err: err}
+			}
+			rows += blk.NumRows()
+			if err := coll.Write(blk); err != nil {
+				return &StageError{Stage: StageProfile, Err: err}
+			}
+		}
+		d, err := coll.Dataset()
+		if err != nil {
+			return &StageError{Stage: StageProfile, Err: err}
+		}
+		s := dataset.GetProjScratch()
+		groups := make([][]runs.ValueGroup, nAttrs)
+		for a := range groups {
+			groups[a] = runs.GroupColumn(d, a, s)
+		}
+		dataset.PutProjScratch(s)
+		perShard[i] = groups
+		pg.Step(rows)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cols := make([]Column, nAttrs)
+	shardGroups := make([][]runs.ValueGroup, nShards)
+	mergeErr := parallel.ForEachWorker(noCtx, nAttrs, workers, func(w, a int) error {
+		cols[a] = Column{Index: a, Name: sch.AttrNames[a]}
+		if workers <= 1 || nAttrs == 1 {
+			// Serial path may reuse the one scratch slice.
+			for i := range shardGroups {
+				shardGroups[i] = perShard[i][a]
+			}
+			cols[a].Groups = runs.MergeGroups(shardGroups)
+			return nil
+		}
+		sg := make([][]runs.ValueGroup, nShards)
+		for i := range sg {
+			sg[i] = perShard[i][a]
+		}
+		cols[a].Groups = runs.MergeGroups(sg)
+		return nil
+	})
+	if mergeErr != nil {
+		return nil, mergeErr
+	}
+	return cols, nil
+}
+
+// ApplySharded is the parallel per-shard apply stage: shards are
+// transformed concurrently — each worker streams its shard block-wise
+// and buffers only that shard's transformed values — and the results
+// are merged into the sink in shard-index order, so the output is
+// byte-identical to ApplyStream over the same sharded source at any
+// worker count. chunk bounds the tuples per read block (<= 0 for the
+// source's default); peak memory is O(workers × shard size).
+//
+// Sinks that carry category names should be constructed against
+// OutputSchema(key, src.Schema()) — though sharded sources are always
+// numeric-only, so the schemas coincide.
+func ApplySharded(key *transform.Key, src *dataset.ShardedSource, sink dataset.Sink, chunk, workers int) error {
+	return applySharded(key, src, sink, chunk, workers)
+}
+
+// applySharded is the provider-generic implementation.
+func applySharded(key *transform.Key, src shardedProvider, sink dataset.Sink, chunk, workers int) error {
+	sch := src.Schema()
+	if len(key.Attrs) != sch.NumAttrs() {
+		return &StageError{
+			Stage: StageApply,
+			Err:   fmt.Errorf("key has %d attributes, source has %d: %w", len(key.Attrs), sch.NumAttrs(), transform.ErrKeyMismatch),
+		}
+	}
+	workers = parallel.ResolveWorkers(workers)
+	sp := obs.StartSpan("encode/apply_sharded")
+	defer sp.End()
+	pg := obs.StartProgress("encode/apply_sharded", int64(src.Total()))
+	defer pg.Close()
+
+	nAttrs := sch.NumAttrs()
+	produce := func(i int) (*dataset.Block, error) {
+		sh, err := src.Shard(i)
+		if err != nil {
+			return nil, &StageError{Stage: StageApply, Err: err}
+		}
+		defer sh.Close()
+		// One contiguous block per shard: the declared row count sizes
+		// the buffer exactly, and a single ordered Write per shard keeps
+		// the merge cheap. Values land identically to the block-wise
+		// single stream because ApplyColumn is pure and per-value.
+		out := &dataset.Block{
+			Cols:   make([][]float64, nAttrs),
+			Labels: make([]int, 0, sh.Total()),
+		}
+		for a := range out.Cols {
+			out.Cols[a] = make([]float64, 0, sh.Total())
+		}
+		for {
+			blk, err := sh.Next(chunk)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return nil, &StageError{Stage: StageApply, Err: err}
+			}
+			for a := range blk.Cols {
+				from := len(out.Cols[a])
+				out.Cols[a] = append(out.Cols[a], blk.Cols[a]...)
+				key.Attrs[a].ApplyColumn(out.Cols[a][from:], out.Cols[a][from:])
+			}
+			out.Labels = append(out.Labels, blk.Labels...)
+		}
+		obs.Add("pipeline.sharded.shards", 1)
+		obs.Add("pipeline.sharded.rows", int64(out.NumRows()))
+		return out, nil
+	}
+	consume := func(i int, blk *dataset.Block) error {
+		if err := sink.Write(blk); err != nil {
+			return &StageError{Stage: StageApply, Err: err}
+		}
+		pg.Step(blk.NumRows())
+		return nil
+	}
+	if err := parallel.OrderedEach(noCtx, src.NumShards(), workers, produce, consume); err != nil {
+		return err
+	}
+	if err := sink.Flush(); err != nil {
+		return &StageError{Stage: StageApply, Err: err}
+	}
+	return nil
+}
+
+// EncodeSharded is the end-to-end out-of-core encode: BuildKeySharded
+// (two-pass streaming profile) followed by ApplySharded into sink. The
+// key is returned for the custodian's vault. Output and key are
+// byte-identical to the in-memory Encode on the materialized relation
+// for the same rng state.
+func EncodeSharded(src *dataset.ShardedSource, sink dataset.Sink, opts Options, rng *rand.Rand) (*transform.Key, error) {
+	key, err := BuildKeySharded(src, opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := ApplySharded(key, src, sink, 0, parallel.ResolveWorkers(opts.Workers)); err != nil {
+		return nil, err
+	}
+	return key, nil
+}

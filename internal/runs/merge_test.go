@@ -1,0 +1,127 @@
+package runs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"privtree/internal/dataset"
+)
+
+func classNames(k int) []string {
+	names := make([]string, k)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	return names
+}
+
+// randomColumn builds a dataset column with heavy value collisions so
+// merged groups exercise Count/Mono/Label combining, not just
+// interleaving of distinct values.
+func randomColumn(rng *rand.Rand, n, distinct, classes int) *dataset.Dataset {
+	d := dataset.New([]string{"a"}, classNames(classes))
+	for i := 0; i < n; i++ {
+		v := float64(rng.Intn(distinct))
+		if err := d.Append([]float64{v}, rng.Intn(classes)); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+// groupsOf profiles attribute 0 of d.
+func groupsOf(d *dataset.Dataset) []ValueGroup {
+	s := dataset.GetProjScratch()
+	defer dataset.PutProjScratch(s)
+	return GroupColumn(d, 0, s)
+}
+
+// TestMergeGroupsOracle pins the exactness claim: merging per-shard
+// groups over any row partition is element-identical to grouping the
+// whole column at once.
+func TestMergeGroupsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		d := randomColumn(rng, n, 1+rng.Intn(40), 1+rng.Intn(4))
+		want := groupsOf(d)
+
+		// Partition the rows into 1..6 contiguous shards.
+		nShards := 1 + rng.Intn(6)
+		cuts := []int{0}
+		for i := 1; i < nShards; i++ {
+			cuts = append(cuts, rng.Intn(n+1))
+		}
+		cuts = append(cuts, n)
+		sort.Ints(cuts)
+		perShard := make([][]ValueGroup, 0, nShards)
+		for i := 1; i < len(cuts); i++ {
+			sh := dataset.New([]string{"a"}, d.ClassNames)
+			for r := cuts[i-1]; r < cuts[i]; r++ {
+				if err := sh.Append(d.Tuple(r), d.Labels[r]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			perShard = append(perShard, groupsOf(sh))
+		}
+		got := MergeGroups(perShard)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d merged groups, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d group %d: merged %+v, whole %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergeGroupsEmptyShards checks empty and single-shard inputs.
+func TestMergeGroupsEmptyShards(t *testing.T) {
+	if got := MergeGroups(nil); len(got) != 0 {
+		t.Fatalf("merge of no shards: %v", got)
+	}
+	if got := MergeGroups([][]ValueGroup{{}, {}}); len(got) != 0 {
+		t.Fatalf("merge of empty shards: %v", got)
+	}
+	one := []ValueGroup{{Value: 1, Count: 2, Mono: true, Label: 1}}
+	got := MergeGroups([][]ValueGroup{{}, one, {}})
+	if len(got) != 1 || got[0] != one[0] {
+		t.Fatalf("merge of one shard: %v, want %v", got, one)
+	}
+	// The fold must not alias the input slice.
+	got[0].Count = 99
+	if one[0].Count != 2 {
+		t.Fatal("MergeGroups aliased its input")
+	}
+}
+
+// TestMergeGroupsCombine pins the per-field combine semantics on a
+// hand-built case: counts sum, Label is the minimum, Mono requires
+// both sides monochromatic with equal labels.
+func TestMergeGroupsCombine(t *testing.T) {
+	a := []ValueGroup{
+		{Value: 1, Count: 2, Mono: true, Label: 1},
+		{Value: 3, Count: 1, Mono: true, Label: 0},
+	}
+	b := []ValueGroup{
+		{Value: 1, Count: 3, Mono: true, Label: 0},
+		{Value: 2, Count: 4, Mono: false, Label: 0},
+	}
+	got := MergeGroups([][]ValueGroup{a, b})
+	want := []ValueGroup{
+		{Value: 1, Count: 5, Mono: false, Label: 0}, // labels differ → mixed; min label
+		{Value: 2, Count: 4, Mono: false, Label: 0}, // b only
+		{Value: 3, Count: 1, Mono: true, Label: 0},  // a only
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("group %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

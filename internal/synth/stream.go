@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privtree/internal/dataset"
+)
+
+// Streamer is the tuple-at-a-time form of GenerateOverlap: it holds
+// the spec-derived state (names, the virtual mid-class overlap specs)
+// and draws one tuple per Sample call. n calls on a fresh rng produce
+// exactly the tuples GenerateOverlap(rng, n, ...) materializes — the
+// per-tuple rng consumption order is identical — which is what lets
+// cmd/datagen emit 10M+-row sharded sets without ever holding the
+// data, while staying byte-compatible with the in-memory generators.
+type Streamer struct {
+	classes     int
+	overlapFrac float64
+	specs       []AttrSpec
+	midSpecs    []AttrSpec
+	names       []string
+	classNames  []string
+}
+
+// NewStreamer validates the generator parameters and precomputes the
+// overlap component's mid specs.
+func NewStreamer(classes int, overlapFrac float64, specs []AttrSpec) (*Streamer, error) {
+	if classes <= 0 || len(specs) == 0 {
+		return nil, fmt.Errorf("synth: need positive classes (%d) and attributes (%d)", classes, len(specs))
+	}
+	if overlapFrac < 0 || overlapFrac >= 1 {
+		return nil, fmt.Errorf("synth: overlap fraction %v outside [0,1)", overlapFrac)
+	}
+	st := &Streamer{
+		classes:     classes,
+		overlapFrac: overlapFrac,
+		specs:       append([]AttrSpec(nil), specs...),
+	}
+	st.names = make([]string, len(specs))
+	for i, s := range specs {
+		st.names[i] = s.Name
+	}
+	st.classNames = make([]string, classes)
+	for c := range st.classNames {
+		st.classNames[c] = fmt.Sprintf("c%d", c)
+	}
+	// Overlap tuples sample as a virtual mid-class: Sep collapses every
+	// class mean to the center, and the shrunken spread keeps overlap
+	// draws inside the mixed mid-range, off the class-pure tails.
+	st.midSpecs = make([]AttrSpec, len(specs))
+	for i, s := range specs {
+		s.Sep = 0
+		s.Spread *= 0.35
+		st.midSpecs[i] = s
+	}
+	return st, nil
+}
+
+// AttrNames returns the attribute names, one per spec.
+func (st *Streamer) AttrNames() []string { return st.names }
+
+// ClassNames returns the class names ("c0", "c1", ...).
+func (st *Streamer) ClassNames() []string { return st.classNames }
+
+// NumAttrs returns the attribute count.
+func (st *Streamer) NumAttrs() int { return len(st.specs) }
+
+// Schema returns a fresh schema for the generated relation.
+func (st *Streamer) Schema() *dataset.Schema {
+	return &dataset.Schema{
+		AttrNames:  append([]string(nil), st.names...),
+		ClassNames: append([]string(nil), st.classNames...),
+	}
+}
+
+// Sample draws one tuple into vals (len NumAttrs) and returns its
+// label, consuming rng exactly as one GenerateOverlap iteration does.
+func (st *Streamer) Sample(rng *rand.Rand, vals []float64) int {
+	label := rng.Intn(st.classes)
+	use := st.specs
+	if st.overlapFrac > 0 && rng.Float64() < st.overlapFrac {
+		use = st.midSpecs
+	}
+	for a := range use {
+		vals[a] = use[a].sample(rng, label, st.classes)
+	}
+	return label
+}
+
+// CovertypeStreamer returns the Streamer behind Covertype.
+func CovertypeStreamer() (*Streamer, error) {
+	return NewStreamer(2, CovertypeOverlap, CovertypeSpecs())
+}
+
+// CensusStreamer returns the Streamer behind Census.
+func CensusStreamer() (*Streamer, error) {
+	return NewStreamer(2, 0, CensusSpecs())
+}

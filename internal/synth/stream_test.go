@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamerMatchesGenerate pins the rng-order contract: n Sample
+// calls on a fresh rng reproduce GenerateOverlap(rng, n, ...) exactly,
+// tuple by tuple — the property that makes sharded datagen output
+// byte-identical to the in-memory generators.
+func TestStreamerMatchesGenerate(t *testing.T) {
+	cases := []struct {
+		name        string
+		classes     int
+		overlapFrac float64
+		specs       []AttrSpec
+	}{
+		{"covertype", 2, CovertypeOverlap, CovertypeSpecs()},
+		{"census", 2, 0, CensusSpecs()},
+		{"threeclass", 3, 0.15, CovertypeSpecs()[:4]},
+	}
+	const n = 500
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := GenerateOverlap(rand.New(rand.NewSource(99)), n, tc.classes, tc.overlapFrac, tc.specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := NewStreamer(tc.classes, tc.overlapFrac, tc.specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			vals := make([]float64, st.NumAttrs())
+			for i := 0; i < n; i++ {
+				label := st.Sample(rng, vals)
+				if label != d.Labels[i] {
+					t.Fatalf("tuple %d: label %d, want %d", i, label, d.Labels[i])
+				}
+				for a := range vals {
+					if vals[a] != d.Cols[a][i] {
+						t.Fatalf("tuple %d attr %d: %v, want %v", i, a, vals[a], d.Cols[a][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamerSchema checks the schema mirrors the generators' naming.
+func TestStreamerSchema(t *testing.T) {
+	st, err := CovertypeStreamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := st.Schema()
+	if sch.NumAttrs() != 10 {
+		t.Fatalf("%d attrs, want 10", sch.NumAttrs())
+	}
+	if sch.AttrNames[0] != "elevation" {
+		t.Fatalf("attr 0 = %q", sch.AttrNames[0])
+	}
+	if len(sch.ClassNames) != 2 || sch.ClassNames[0] != "c0" || sch.ClassNames[1] != "c1" {
+		t.Fatalf("classes %v", sch.ClassNames)
+	}
+}
+
+// TestStreamerArgs checks parameter validation.
+func TestStreamerArgs(t *testing.T) {
+	if _, err := NewStreamer(0, 0, CensusSpecs()); err == nil {
+		t.Error("expected error for zero classes")
+	}
+	if _, err := NewStreamer(2, 0, nil); err == nil {
+		t.Error("expected error for no specs")
+	}
+	if _, err := NewStreamer(2, 1.0, CensusSpecs()); err == nil {
+		t.Error("expected error for overlap = 1")
+	}
+}

@@ -126,42 +126,17 @@ func Generate(rng *rand.Rand, n, classes int, specs []AttrSpec) (*dataset.Datase
 // intact, because overlap draws concentrate in the mid-range where
 // values are already mixed.
 func GenerateOverlap(rng *rand.Rand, n, classes int, overlapFrac float64, specs []AttrSpec) (*dataset.Dataset, error) {
-	if n <= 0 || classes <= 0 || len(specs) == 0 {
-		return nil, fmt.Errorf("synth: need positive tuples (%d), classes (%d) and attributes (%d)", n, classes, len(specs))
+	if n <= 0 {
+		return nil, fmt.Errorf("synth: need positive tuples (%d)", n)
 	}
-	if overlapFrac < 0 || overlapFrac >= 1 {
-		return nil, fmt.Errorf("synth: overlap fraction %v outside [0,1)", overlapFrac)
+	st, err := NewStreamer(classes, overlapFrac, specs)
+	if err != nil {
+		return nil, err
 	}
-	names := make([]string, len(specs))
-	for i, s := range specs {
-		names[i] = s.Name
-	}
-	classNames := make([]string, classes)
-	for c := range classNames {
-		classNames[c] = fmt.Sprintf("c%d", c)
-	}
-	d := dataset.New(names, classNames)
-	vals := make([]float64, len(specs))
-	// Overlap tuples sample as a virtual mid-class: with Sep scaled to
-	// zero every class mean collapses to the center.
-	midSpecs := make([]AttrSpec, len(specs))
-	for i, s := range specs {
-		s.Sep = 0
-		// Shrink the spread so overlap draws stay inside the mixed
-		// center and never flood the class-pure tails that carry the
-		// monochromatic structure.
-		s.Spread *= 0.35
-		midSpecs[i] = s
-	}
+	d := dataset.New(st.AttrNames(), st.ClassNames())
+	vals := make([]float64, st.NumAttrs())
 	for i := 0; i < n; i++ {
-		label := rng.Intn(classes)
-		use := specs
-		if overlapFrac > 0 && rng.Float64() < overlapFrac {
-			use = midSpecs
-		}
-		for a := range use {
-			vals[a] = use[a].sample(rng, label, classes)
-		}
+		label := st.Sample(rng, vals)
 		if err := d.Append(vals, label); err != nil {
 			return nil, err
 		}

@@ -39,6 +39,7 @@
 package privtree
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -90,6 +91,47 @@ func WriteCSVFile(d *Dataset, path string) error {
 	return f.Close()
 }
 
+// ShardedSource streams a sharded data set — CSV shard files described
+// by a manifest — in shard order, and exposes the per-shard structure
+// the out-of-core encode fans out over.
+type ShardedSource = dataset.ShardedSource
+
+// OpenSharded opens a sharded data set by its manifest path (see
+// cmd/datagen -shards for writing one). Shard paths in the manifest
+// resolve relative to the manifest's directory.
+func OpenSharded(manifestPath string) (*ShardedSource, error) {
+	return dataset.OpenSharded(manifestPath)
+}
+
+// ReadShardedFile materializes a sharded data set into memory — the
+// bridge to the in-memory API (Mine, DecodeTree, ...) for sets that do
+// fit. For out-of-core encoding use BuildKeySharded + ApplySharded.
+func ReadShardedFile(manifestPath string) (*Dataset, error) {
+	src, err := dataset.OpenSharded(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	coll := dataset.NewCollector(src.Schema())
+	for {
+		blk, err := src.Next(0)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", manifestPath, err)
+		}
+		if err := coll.Write(blk); err != nil {
+			return nil, fmt.Errorf("%s: %w", manifestPath, err)
+		}
+	}
+	d, err := coll.Dataset()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", manifestPath, err)
+	}
+	return d, nil
+}
+
 // Key is the custodian's secret: the complete piecewise transformation
 // of every attribute. Keep it private; it decodes both D' and the mined
 // tree.
@@ -125,6 +167,15 @@ func Encode(d *Dataset, opts EncodeOptions, seed int64) (*Dataset, *Key, error) 
 // ApplyStream to encode data sets block-wise.
 func BuildKey(d *Dataset, opts EncodeOptions, seed int64) (*Key, error) {
 	return pipeline.BuildKey(d, opts, rand.New(rand.NewSource(seed)))
+}
+
+// BuildKeySharded is BuildKey over a sharded data set, without ever
+// materializing it: the profile stage streams each shard once and
+// merges per-shard statistics. The key is byte-identical to BuildKey
+// on the materialized data at the same seed, for any worker and shard
+// count.
+func BuildKeySharded(src *ShardedSource, opts EncodeOptions, seed int64) (*Key, error) {
+	return pipeline.BuildKeySharded(src, opts, rand.New(rand.NewSource(seed)))
 }
 
 // MarshalKey serializes a key to the versioned JSON wire format for
