@@ -1,0 +1,20 @@
+# privtreed — multi-tenant encode/decode/verify HTTP daemon.
+#
+#   docker build -t privtreed .
+#   docker run -p 8077:8077 -v privtree-keys:/data/keys privtreed
+#
+# The module is stdlib-only, so the build needs no module downloads and
+# the binary is fully static (CGO disabled) — it runs FROM scratch.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/privtreed ./cmd/privtreed \
+ && CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/privtree ./cmd/privtree
+
+FROM scratch
+COPY --from=build /out/privtreed /privtreed
+COPY --from=build /out/privtree /privtree
+VOLUME /data/keys
+EXPOSE 8077
+ENTRYPOINT ["/privtreed"]
+CMD ["-listen", ":8077", "-keys", "/data/keys", "-log", "json"]

@@ -3,17 +3,24 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel bench-check experiments examples fmt vet clean check fuzz-smoke cover verify obs-smoke shard-smoke
+.PHONY: all build test race bench bench-parallel bench-check experiments examples fmt vet clean check fuzz-smoke cover verify obs-smoke shard-smoke privtreed-smoke
 
 all: build test
 
 # The full local gate, mirroring .github/workflows/ci.yml: build, vet,
-# race-enabled tests, the sharded-encode byte-identity smoke, and a
-# short parallel-benchmark smoke run (the smoke writes its JSON to a
-# scratch file so the committed BENCH_parallel.json keeps its
-# full-length numbers).
-check: build vet race obs-smoke shard-smoke
+# race-enabled tests, the sharded-encode byte-identity smoke, the
+# privtreed daemon smoke, and a short parallel-benchmark smoke run (the
+# smoke writes its JSON to a scratch file so the committed
+# BENCH_parallel.json keeps its full-length numbers).
+check: build vet race obs-smoke shard-smoke privtreed-smoke
 	BENCH_OUT="$$(mktemp)" ./scripts/bench_parallel.sh 1x
+
+# Daemon smoke: start privtreed on an ephemeral port and prove the HTTP
+# encode is byte-identical to the CLI, the key round-trips, decode
+# preserves the mining outcome, the rate limiter answers 429, and
+# SIGTERM shuts down gracefully (see scripts/privtreed_smoke.sh).
+privtreed-smoke:
+	./scripts/privtreed_smoke.sh
 
 # Out-of-core smoke: datagen a sharded set, encode it both in-memory
 # and shard-wise, cmp the outputs byte for byte, and run the

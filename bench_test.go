@@ -1,8 +1,11 @@
 package privtree
 
 import (
+	"bytes"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -16,6 +19,7 @@ import (
 	"privtree/internal/perturb"
 	"privtree/internal/pipeline"
 	"privtree/internal/risk"
+	"privtree/internal/server"
 	"privtree/internal/synth"
 	"privtree/internal/tree"
 )
@@ -627,5 +631,56 @@ func BenchmarkAssoc(b *testing.B) {
 			b.Fatal(err)
 		}
 		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkServerEncode measures the privtreed HTTP service plane end
+// to end: covertype rows in as a CSV POST, the encoded CSV streamed
+// back over a real TCP loopback connection. Throughput counts dataset
+// rows per wall-clock second plus whole requests per second — the two
+// numbers capacity planning for the daemon needs. workers controls the
+// per-request encode fan-out (server.Config.Workers), exactly the
+// -workers flag of privtreed.
+func BenchmarkServerEncode(b *testing.B) {
+	const rows = 20000
+	d, err := synth.Covertype(rand.New(rand.NewSource(1)), rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := d.WriteCSV(&csvBuf); err != nil {
+		b.Fatal(err)
+	}
+	payload := csvBuf.Bytes()
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			srv, err := server.New(server.Config{Keys: server.NewMemStore(), Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			client := ts.Client()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/encode?key=bench&overwrite=1&seed=1", bytes.NewReader(payload))
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || n == 0 {
+					b.Fatalf("encode request: status %d, %d body bytes", resp.StatusCode, n)
+				}
+			}
+			b.StopTimer()
+			reportRowsPerSec(b, rows)
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
 	}
 }

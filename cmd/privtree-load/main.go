@@ -1,0 +1,187 @@
+// Command privtree-load drives synthetic encode load against a running
+// privtreed and reports throughput and latency — the capacity-planning
+// companion to `privtreed`. It generates one deterministic covertype
+// CSV body, then hammers POST /v1/encode from -c concurrent workers
+// spread across -tenants tenants for -duration, and prints requests/s,
+// rows/s and latency percentiles.
+//
+// Usage:
+//
+//	privtreed -listen 127.0.0.1:8077 &
+//	privtree-load -addr http://127.0.0.1:8077 -c 8 -duration 30s -rows 5000
+//
+// Rate-limited responses (429) are counted separately from failures:
+// against a -rate-limited daemon they are the expected backpressure
+// signal, not an error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"privtree/internal/synth"
+)
+
+// Report is the run summary, printable as text or JSON.
+type Report struct {
+	Requests   int            `json:"requests"`
+	Failed     int            `json:"failed"`
+	Limited    int            `json:"limited"` // 429s
+	Seconds    float64        `json:"seconds"`
+	ReqPerSec  float64        `json:"req_per_sec"`
+	RowsPerSec float64        `json:"rows_per_sec"`
+	P50Ms      float64        `json:"p50_ms"`
+	P95Ms      float64        `json:"p95_ms"`
+	P99Ms      float64        `json:"p99_ms"`
+	Statuses   map[string]int `json:"statuses"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "privtree-load:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("privtree-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "", "base URL of a running privtreed (e.g. http://127.0.0.1:8077); required")
+		conc     = fs.Int("c", 4, "concurrent client workers")
+		duration = fs.Duration("duration", 10*time.Second, "how long to drive load")
+		rows     = fs.Int("rows", 5000, "rows per request body")
+		tenants  = fs.Int("tenants", 1, "spread requests across this many tenants")
+		seed     = fs.Int64("seed", 1, "workload and encode seed")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return errors.New("-addr is required")
+	}
+	if *conc < 1 || *rows < 1 || *tenants < 1 || *duration <= 0 {
+		return errors.New("-c, -rows, -tenants must be >= 1 and -duration > 0")
+	}
+
+	d, err := synth.Covertype(rand.New(rand.NewSource(*seed)), *rows)
+	if err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	if err := d.WriteCSV(&body); err != nil {
+		return err
+	}
+	payload := body.Bytes()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	type workerStat struct {
+		lats     []time.Duration
+		statuses map[int]int
+		failed   int
+	}
+	stats := make([]workerStat, *conc)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.statuses = make(map[int]int)
+			url := fmt.Sprintf("%s/v1/encode?key=load-%d&overwrite=1&seed=%d", *addr, w, *seed)
+			tenant := fmt.Sprintf("load%d", w%*tenants)
+			for ctx.Err() == nil {
+				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+				if err != nil {
+					st.failed++
+					return
+				}
+				req.Header.Set("X-Privtree-Tenant", tenant)
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					st.failed++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.lats = append(st.lats, time.Since(t0))
+				st.statuses[resp.StatusCode]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{Seconds: elapsed.Seconds(), Statuses: make(map[string]int)}
+	var lats []time.Duration
+	ok := 0
+	for i := range stats {
+		rep.Failed += stats[i].failed
+		lats = append(lats, stats[i].lats...)
+		for code, n := range stats[i].statuses {
+			rep.Statuses[fmt.Sprint(code)] += n
+			switch {
+			case code == http.StatusOK:
+				ok += n
+			case code == http.StatusTooManyRequests:
+				rep.Limited += n
+			default:
+				rep.Failed += n
+			}
+		}
+	}
+	rep.Requests = len(lats)
+	if rep.Requests == 0 {
+		return errors.New("no request completed — is privtreed up at -addr?")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.ReqPerSec = float64(rep.Requests) / elapsed.Seconds()
+	rep.RowsPerSec = float64(ok) * float64(*rows) / elapsed.Seconds()
+	rep.P50Ms = percentileMs(lats, 0.50)
+	rep.P95Ms = percentileMs(lats, 0.95)
+	rep.P99Ms = percentileMs(lats, 0.99)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&rep)
+	}
+	fmt.Fprintf(stdout, "requests   %d (%d failed, %d rate-limited)\n", rep.Requests, rep.Failed, rep.Limited)
+	fmt.Fprintf(stdout, "elapsed    %.2fs\n", rep.Seconds)
+	fmt.Fprintf(stdout, "req/s      %.1f\n", rep.ReqPerSec)
+	fmt.Fprintf(stdout, "rows/s     %.0f\n", rep.RowsPerSec)
+	fmt.Fprintf(stdout, "latency    p50 %.1fms  p95 %.1fms  p99 %.1fms\n", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	for code, n := range rep.Statuses {
+		fmt.Fprintf(stdout, "status %s  %d\n", code, n)
+	}
+	return nil
+}
+
+// percentileMs returns the p-th percentile of sorted latencies in
+// milliseconds (nearest-rank).
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"privtree/internal/server"
+)
+
+func loadTarget(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	if cfg.Keys == nil {
+		cfg.Keys = server.NewMemStore()
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadAgainstServer drives a short run against an in-process
+// privtreed handler and checks the JSON report adds up.
+func TestLoadAgainstServer(t *testing.T) {
+	ts := loadTarget(t, server.Config{})
+	var out, errs bytes.Buffer
+	args := []string{"-addr", ts.URL, "-c", "3", "-tenants", "2", "-rows", "200", "-duration", "300ms", "-json"}
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errs.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests == 0 || rep.Failed != 0 {
+		t.Fatalf("report %+v: want >0 requests, 0 failed", rep)
+	}
+	if rep.ReqPerSec <= 0 || rep.RowsPerSec <= 0 || rep.P50Ms <= 0 {
+		t.Errorf("report rates not populated: %+v", rep)
+	}
+	if rep.Statuses["200"] != rep.Requests {
+		t.Errorf("statuses %v, want all %d as 200", rep.Statuses, rep.Requests)
+	}
+}
+
+// TestLoadCountsRateLimiting asserts 429s land in `limited`, not
+// `failed` — backpressure from a -rate daemon is expected behavior.
+func TestLoadCountsRateLimiting(t *testing.T) {
+	ts := loadTarget(t, server.Config{Rate: 0.001, Burst: 1})
+	var out, errs bytes.Buffer
+	args := []string{"-addr", ts.URL, "-c", "2", "-rows", "100", "-duration", "200ms", "-json"}
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errs.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Limited == 0 {
+		t.Errorf("report %+v: want rate-limited requests counted", rep)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("report %+v: 429s must not count as failures", rep)
+	}
+}
+
+// TestLoadTextReport smoke-tests the human-readable output.
+func TestLoadTextReport(t *testing.T) {
+	ts := loadTarget(t, server.Config{})
+	var out, errs bytes.Buffer
+	args := []string{"-addr", ts.URL, "-c", "1", "-rows", "100", "-duration", "150ms"}
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"req/s", "rows/s", "latency", "p95"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLoadBadFlags pins the argument validation.
+func TestLoadBadFlags(t *testing.T) {
+	cases := [][]string{
+		{}, // missing -addr
+		{"-addr", "x", "-c", "0"},
+		{"-addr", "x", "-duration", "0s"},
+		{"-addr", "x", "-rows", "0"},
+		{"-addr", "x", "-tenants", "0"},
+	}
+	for _, args := range cases {
+		var out, errs bytes.Buffer
+		if err := run(args, &out, &errs); err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+	// Unreachable daemon: every request fails, run reports it.
+	var out, errs bytes.Buffer
+	err := run([]string{"-addr", "http://127.0.0.1:1", "-c", "1", "-rows", "10", "-duration", "100ms"}, &out, &errs)
+	if err == nil {
+		t.Error("run against a dead address should error")
+	}
+}

@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -184,7 +185,7 @@ func cmdEncode(args []string) (err error) {
 		return err
 	}
 	sink := dataset.NewCSVSink(f, outSchema)
-	if err := pipeline.ApplyStream(key, dataset.NewDatasetSource(d), sink, *chunk, *workers); err != nil {
+	if err := pipeline.ApplyStream(context.Background(), key, dataset.NewDatasetSource(d), sink, *chunk, *workers); err != nil {
 		f.Close()
 		return err
 	}
@@ -433,7 +434,7 @@ func cmdAppend(args []string) (err error) {
 		return err
 	}
 	sink := dataset.NewCSVSink(f, outSchema)
-	if err := pipeline.ApplyStream(key, dataset.NewDatasetSource(b), sink, 0, 0); err != nil {
+	if err := pipeline.ApplyStream(context.Background(), key, dataset.NewDatasetSource(b), sink, 0, 0); err != nil {
 		f.Close()
 		return err
 	}

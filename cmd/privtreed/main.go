@@ -1,0 +1,133 @@
+// Command privtreed is the long-running privtree service: a
+// multi-tenant HTTP daemon exposing the encode/decode/verify pipeline
+// and per-tenant key management, with token-bucket rate limiting,
+// graceful shutdown, and the obs telemetry endpoints (/healthz,
+// /metrics, /snapshot, /debug/pprof) mounted alongside the API.
+//
+// Every byte it serves comes from the same pipeline code the privtree
+// CLI runs: an HTTP encode at a given seed and options is bit-identical
+// to `privtree encode` on the same input (scripts/privtreed_smoke.sh
+// proves it with cmp on every CI run).
+//
+// Usage:
+//
+//	privtreed -listen :8077 -keys /var/lib/privtree/keys -rate 50
+//
+// Shutdown: SIGINT or SIGTERM stops accepting connections and waits up
+// to -grace for in-flight requests (a long streaming encode finishes;
+// its client is not cut mid-CSV), then exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"privtree/internal/obs"
+	"privtree/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "privtreed:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole daemon, factored off main so tests can drive it
+// with a cancelable context and a captured stderr. It returns nil on a
+// clean signal-initiated shutdown.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("privtreed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:8077", "address to serve on (\":0\" picks an ephemeral port, announced in the log)")
+		keysDir   = fs.String("keys", "", "directory for the file-backed key store; empty keeps keys in memory (lost on exit)")
+		rate      = fs.Float64("rate", 0, "sustained per-tenant requests/sec on /v1 (0 = unlimited)")
+		burst     = fs.Int("burst", 0, "per-tenant burst capacity (default ceil(rate), at least 1)")
+		maxBody   = fs.Int64("max-body", 32<<20, "request-body cap in bytes; larger requests get 413")
+		chunk     = fs.Int("chunk", 0, "tuples per streamed block on encode responses (0 = stream default)")
+		workers   = fs.Int("workers", 0, "per-request encode fan-out (0 = PRIVTREE_WORKERS or GOMAXPROCS)")
+		logFormat = fs.String("log", "text", "structured logging to stderr: text, json or off")
+		grace     = fs.Duration("grace", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logFormat != "off" {
+		h, err := obs.NewLogHandler(stderr, *logFormat, slog.LevelInfo)
+		if err != nil {
+			return err
+		}
+		obs.SetLogger(slog.New(h))
+	}
+
+	// One process-wide registry: pipeline spans, server counters and
+	// the /metrics endpoint all see the same numbers.
+	reg := obs.NewRegistry()
+	reg.CaptureEvents(obs.DefaultEventCap)
+	obs.Enable(reg)
+
+	var store server.KeyStore
+	storeDesc := "memory"
+	if *keysDir != "" {
+		var err error
+		if store, err = server.NewFileStore(*keysDir); err != nil {
+			return err
+		}
+		storeDesc = *keysDir
+	} else {
+		store = server.NewMemStore()
+	}
+
+	handler, err := server.New(server.Config{
+		Keys:     store,
+		Registry: reg,
+		Rate:     *rate,
+		Burst:    *burst,
+		MaxBody:  *maxBody,
+		Chunk:    *chunk,
+		Workers:  *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	obs.Logger().Info("privtreed: serving", "addr", ln.Addr().String(), "keys", storeDesc, "rate", *rate)
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	obs.Logger().Info("privtreed: shutting down", "grace", grace.String())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		_ = srv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-serveErr // always http.ErrServerClosed after a clean Shutdown
+	obs.Logger().Info("privtreed: stopped")
+	return nil
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"privtree/internal/pipeline"
+	"privtree/internal/synth"
+	"privtree/internal/transform"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the
+// daemon's stderr while it runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`"privtreed: serving" addr=([0-9.:]+)`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL, the cancel that triggers graceful shutdown, and the channel
+// run's error lands on.
+func startDaemon(t *testing.T, extraArgs ...string) (baseURL string, cancel context.CancelFunc, done chan error, logs *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	logs = &syncBuffer{}
+	args := append([]string{"-listen", "127.0.0.1:0", "-grace", "5s"}, extraArgs...)
+	done = make(chan error, 1)
+	go func() { done <- run(ctx, args, logs) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(logs.String()); m != nil {
+			return "http://" + m[1], cancel, done, logs
+		}
+		select {
+		case err := <-done:
+			cancel()
+			t.Fatalf("daemon exited before serving: %v\nlog: %s", err, logs.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address\nlog: %s", logs.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitExit(t *testing.T, done chan error, logs *syncBuffer) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil on graceful shutdown\nlog: %s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not exit after cancel\nlog: %s", logs.String())
+	}
+}
+
+// TestDaemonServesAndShutsDownGracefully is the daemon lifecycle test:
+// announce address, answer /healthz and an API request, then exit
+// cleanly on context cancellation (the SIGTERM path).
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	baseURL, cancel, done, logs := startDaemon(t)
+	defer cancel()
+
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz: status %d", resp.StatusCode)
+	}
+
+	// The API plane is up too: an empty tenant lists no keys.
+	resp, err = http.Get(baseURL + "/v1/tenants/acme/keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"keys"`) {
+		t.Fatalf("list keys: status %d body %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	waitExit(t, done, logs)
+	if !strings.Contains(logs.String(), "privtreed: stopped") {
+		t.Errorf("log does not record the clean stop:\n%s", logs.String())
+	}
+
+	// The listener is really gone.
+	if _, err := http.Get(baseURL + "/healthz"); err == nil {
+		t.Error("daemon still answering after shutdown")
+	}
+}
+
+// TestDaemonFileStoreSurvivesRestart stores a key over HTTP, restarts
+// the daemon on the same -keys directory, and reads the key back — the
+// operational restart story end to end.
+func TestDaemonFileStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	key, err := pipeline.BuildKey(synth.Figure1(), pipeline.Options{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireBytes, err := transform.MarshalKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := string(wireBytes)
+
+	baseURL, cancel, done, logs := startDaemon(t, "-keys", dir)
+	req, _ := http.NewRequest("PUT", baseURL+"/v1/tenants/acme/keys/prod", strings.NewReader(wire))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("PUT key: status %d", resp.StatusCode)
+	}
+	cancel()
+	waitExit(t, done, logs)
+
+	baseURL, cancel, done, logs = startDaemon(t, "-keys", dir)
+	defer cancel()
+	resp, err = http.Get(baseURL + "/v1/tenants/acme/keys/prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != wire {
+		t.Fatalf("key after restart: status %d body %q, want the stored wire bytes", resp.StatusCode, body)
+	}
+	cancel()
+	waitExit(t, done, logs)
+}
+
+// TestDaemonRateLimitFlag wires -rate through to 429s.
+func TestDaemonRateLimitFlag(t *testing.T) {
+	baseURL, cancel, done, logs := startDaemon(t, "-rate", "0.001", "-burst", "1")
+	defer cancel()
+	codes := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(baseURL + "/v1/tenants/acme/keys")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	if codes[0] != 200 || codes[2] != http.StatusTooManyRequests {
+		t.Fatalf("statuses %v, want first 200 and burst-exceeded 429", codes)
+	}
+	cancel()
+	waitExit(t, done, logs)
+}
+
+// TestDaemonBadFlags pins the error paths main reports.
+func TestDaemonBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-log", "bogus"},
+		{"-listen", "not-an-address"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		var logs syncBuffer
+		if err := run(context.Background(), args, &logs); err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+}
+
+// TestDaemonDefaultsHelp smoke-tests -h output mentions every flag.
+func TestDaemonDefaultsHelp(t *testing.T) {
+	var logs syncBuffer
+	err := run(context.Background(), []string{"-h"}, &logs)
+	if err == nil {
+		t.Fatal("-h should return flag.ErrHelp")
+	}
+	for _, flagName := range []string{"-listen", "-keys", "-rate", "-burst", "-max-body", "-chunk", "-workers", "-log", "-grace"} {
+		if !strings.Contains(logs.String(), flagName) {
+			t.Errorf("usage output missing %s", flagName)
+		}
+	}
+}

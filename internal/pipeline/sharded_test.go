@@ -144,7 +144,7 @@ func TestApplyShardedByteIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ref bytes.Buffer
-	if err := ApplyStream(key, dataset.NewDatasetSource(d), dataset.NewCSVSink(&ref, outSchema), 0, 1); err != nil {
+	if err := ApplyStream(noCtx, key, dataset.NewDatasetSource(d), dataset.NewCSVSink(&ref, outSchema), 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 7, 32} {

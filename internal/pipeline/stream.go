@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -47,9 +48,15 @@ func OutputSchema(key *transform.Key, in *dataset.Schema) (*dataset.Schema, erro
 // per-value transform is pure, so neither blocking nor fan-out can
 // reorder or change anything.
 //
+// ctx bounds the stream's lifetime: cancellation (a disconnected HTTP
+// client, a daemon shutting down) is observed between blocks, so a
+// long stream returns promptly with a StageError wrapping ctx's error
+// (errors.Is(err, context.Canceled) / context.DeadlineExceeded) instead
+// of draining the source to EOF.
+//
 // Sinks that carry category names should be constructed against
 // OutputSchema(key, src.Schema()).
-func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chunk, workers int) error {
+func ApplyStream(ctx context.Context, key *transform.Key, src dataset.Source, sink dataset.Sink, chunk, workers int) error {
 	sch := src.Schema()
 	if len(key.Attrs) != sch.NumAttrs() {
 		return &StageError{
@@ -83,6 +90,9 @@ func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chun
 		return nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return &StageError{Stage: StageApply, Err: fmt.Errorf("stream aborted: %w", err)}
+		}
 		var err error
 		blk, err = src.Next(chunk)
 		if errors.Is(err, io.EOF) {
@@ -98,8 +108,8 @@ func ApplyStream(key *transform.Key, src dataset.Source, sink dataset.Sink, chun
 			for a := range blk.Cols {
 				_ = applyAttr(a) // always nil; signature shared with the fan-out
 			}
-		} else if err := parallel.ForEach(noCtx, len(blk.Cols), workers, applyAttr); err != nil {
-			return err
+		} else if err := parallel.ForEach(ctx, len(blk.Cols), workers, applyAttr); err != nil {
+			return &StageError{Stage: StageApply, Err: err}
 		}
 		if err := sink.Write(blk); err != nil {
 			return &StageError{Stage: StageApply, Err: err}

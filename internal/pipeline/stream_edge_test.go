@@ -43,7 +43,7 @@ func TestApplyStreamEmptyDataset(t *testing.T) {
 	obs.Enable(reg)
 	var csv bytes.Buffer
 	sink := dataset.NewCSVSink(&csv, outSchema)
-	err = ApplyStream(key, dataset.NewDatasetSource(empty), sink, 0, 1)
+	err = ApplyStream(noCtx, key, dataset.NewDatasetSource(empty), sink, 0, 1)
 	obs.Disable()
 	if err != nil {
 		t.Fatalf("ApplyStream on empty dataset: %v", err)
@@ -60,7 +60,7 @@ func TestApplyStreamEmptyDataset(t *testing.T) {
 
 	// The Collector path agrees: zero tuples, schema intact.
 	col := dataset.NewCollector(outSchema)
-	if err := ApplyStream(key, dataset.NewDatasetSource(empty), col, 0, 1); err != nil {
+	if err := ApplyStream(noCtx, key, dataset.NewDatasetSource(empty), col, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	got, err := col.Dataset()
@@ -89,7 +89,7 @@ func TestApplyStreamSingleRowChunks(t *testing.T) {
 	reg := obs.NewRegistry()
 	obs.Enable(reg)
 	col := dataset.NewCollector(outSchema)
-	err = ApplyStream(key, dataset.NewDatasetSource(d), col, 1, 1)
+	err = ApplyStream(noCtx, key, dataset.NewDatasetSource(d), col, 1, 1)
 	obs.Disable()
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestApplyStreamChunkLargerThanDataset(t *testing.T) {
 	reg := obs.NewRegistry()
 	obs.Enable(reg)
 	col := dataset.NewCollector(outSchema)
-	err = ApplyStream(key, dataset.NewDatasetSource(d), col, 100*d.NumTuples(), 1)
+	err = ApplyStream(noCtx, key, dataset.NewDatasetSource(d), col, 100*d.NumTuples(), 1)
 	obs.Disable()
 	if err != nil {
 		t.Fatal(err)

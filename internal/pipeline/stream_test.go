@@ -26,7 +26,7 @@ func TestApplyStreamMatchesApply(t *testing.T) {
 		for _, workers := range []int{1, 4} {
 			src := dataset.NewDatasetSource(d)
 			col := dataset.NewCollector(outSchema)
-			if err := ApplyStream(key, src, col, chunk, workers); err != nil {
+			if err := ApplyStream(noCtx, key, src, col, chunk, workers); err != nil {
 				t.Fatalf("chunk=%d workers=%d: %v", chunk, workers, err)
 			}
 			got, err := col.Dataset()
@@ -59,7 +59,7 @@ func TestApplyStreamCSVRoundTrip(t *testing.T) {
 	}
 	var gotCSV bytes.Buffer
 	sink := dataset.NewCSVSink(&gotCSV, outSchema)
-	if err := ApplyStream(key, dataset.NewDatasetSource(d), sink, 128, 0); err != nil {
+	if err := ApplyStream(noCtx, key, dataset.NewDatasetSource(d), sink, 128, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(wantCSV.Bytes(), gotCSV.Bytes()) {
@@ -110,7 +110,7 @@ func TestApplyStreamKeyMismatch(t *testing.T) {
 	if _, err := OutputSchema(short, d.Schema()); !errors.Is(err, transform.ErrKeyMismatch) {
 		t.Fatalf("OutputSchema: got %v, want ErrKeyMismatch", err)
 	}
-	err = ApplyStream(short, dataset.NewDatasetSource(d), dataset.NewCollector(d.Schema()), 0, 0)
+	err = ApplyStream(noCtx, short, dataset.NewDatasetSource(d), dataset.NewCollector(d.Schema()), 0, 0)
 	if !errors.Is(err, transform.ErrKeyMismatch) {
 		t.Fatalf("ApplyStream: got %v, want ErrKeyMismatch", err)
 	}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KeyStore is the multi-tenant vault behind the daemon's key-management
+// endpoints. It stores keys as their versioned JSON wire bytes (the
+// exact output of transform.MarshalKey), so a GET returns bit-for-bit
+// what a PUT or an encode stored — the server validates the wire format
+// before Put, the store only moves bytes.
+//
+// Implementations must be safe for concurrent use.
+type KeyStore interface {
+	// Put stores wire under (tenant, name), overwriting any previous
+	// key, and reports whether the slot was newly created.
+	Put(tenant, name string, wire []byte) (created bool, err error)
+	// Get returns the stored wire bytes, or an error wrapping
+	// ErrNoSuchKey.
+	Get(tenant, name string) ([]byte, error)
+	// Delete removes the key, or returns an error wrapping
+	// ErrNoSuchKey when it is absent.
+	Delete(tenant, name string) error
+	// List returns the tenant's key names, sorted. An unknown tenant
+	// has no keys — not an error.
+	List(tenant string) ([]string, error)
+}
+
+// maxNameLen bounds tenant and key names; long enough for any sane
+// identifier, short enough for every filesystem.
+const maxNameLen = 64
+
+// checkName enforces the naming rule shared by every store: names are
+// path segments in file-backed stores and label values in metrics, so
+// they must start with a letter or digit and continue with letters,
+// digits, '.', '_' or '-'. That grammar cannot spell "..", "." or
+// anything containing a separator.
+func checkName(kind, s string) error {
+	if s == "" || len(s) > maxNameLen {
+		return fmt.Errorf("%s %q: must be 1-%d bytes: %w", kind, s, maxNameLen, ErrBadName)
+	}
+	for i, r := range s {
+		alnum := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+		if i == 0 && !alnum {
+			return fmt.Errorf("%s %q: must start with a letter or digit: %w", kind, s, ErrBadName)
+		}
+		if !alnum && r != '.' && r != '_' && r != '-' {
+			return fmt.Errorf("%s %q: allowed characters are [A-Za-z0-9._-]: %w", kind, s, ErrBadName)
+		}
+	}
+	return nil
+}
+
+func checkNames(tenant, name string) error {
+	if err := checkName("tenant", tenant); err != nil {
+		return err
+	}
+	return checkName("key", name)
+}
+
+// MemStore is the in-memory KeyStore: a per-process map, gone on
+// restart. The default for tests and for daemons run with no -keys
+// directory.
+type MemStore struct {
+	mu      sync.RWMutex
+	tenants map[string]map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{tenants: map[string]map[string][]byte{}}
+}
+
+// Put implements KeyStore.
+func (s *MemStore) Put(tenant, name string, wire []byte) (bool, error) {
+	if err := checkNames(tenant, name); err != nil {
+		return false, err
+	}
+	cp := append([]byte(nil), wire...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[tenant]
+	if t == nil {
+		t = map[string][]byte{}
+		s.tenants[tenant] = t
+	}
+	_, existed := t[name]
+	t[name] = cp
+	return !existed, nil
+}
+
+// Get implements KeyStore.
+func (s *MemStore) Get(tenant, name string) ([]byte, error) {
+	if err := checkNames(tenant, name); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	wire, ok := s.tenants[tenant][name]
+	if !ok {
+		return nil, fmt.Errorf("tenant %q key %q: %w", tenant, name, ErrNoSuchKey)
+	}
+	return append([]byte(nil), wire...), nil
+}
+
+// Delete implements KeyStore.
+func (s *MemStore) Delete(tenant, name string) error {
+	if err := checkNames(tenant, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[tenant][name]; !ok {
+		return fmt.Errorf("tenant %q key %q: %w", tenant, name, ErrNoSuchKey)
+	}
+	delete(s.tenants[tenant], name)
+	return nil
+}
+
+// List implements KeyStore.
+func (s *MemStore) List(tenant string) ([]string, error) {
+	if err := checkName("tenant", tenant); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tenants[tenant]))
+	for n := range s.tenants[tenant] {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// FileStore is the persistent KeyStore: one file per key at
+// <dir>/<tenant>/<name>.json, written atomically (temp file in the
+// same directory, fsync-free rename), so a crash mid-Put leaves either
+// the old key or the new one, never a torn file. Reopening the same
+// directory sees every previously stored key — that is the daemon's
+// restart story.
+type FileStore struct {
+	dir string
+	// mu serializes writers so a Put's exists-check and rename are one
+	// step; readers go straight to the filesystem (rename is atomic).
+	mu sync.Mutex
+}
+
+// NewFileStore opens (creating if needed) a file-backed store rooted at
+// dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("server: keystore dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) path(tenant, name string) string {
+	return filepath.Join(s.dir, tenant, name+".json")
+}
+
+// Put implements KeyStore.
+func (s *FileStore) Put(tenant, name string, wire []byte) (bool, error) {
+	if err := checkNames(tenant, name); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tdir := filepath.Join(s.dir, tenant)
+	if err := os.MkdirAll(tdir, 0o700); err != nil {
+		return false, fmt.Errorf("server: keystore tenant dir: %w", err)
+	}
+	dst := s.path(tenant, name)
+	_, statErr := os.Lstat(dst)
+	created := errors.Is(statErr, fs.ErrNotExist)
+	tmp, err := os.CreateTemp(tdir, ".put-*")
+	if err != nil {
+		return false, fmt.Errorf("server: keystore temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(wire); err != nil {
+		tmp.Close()
+		return false, fmt.Errorf("server: keystore write: %w", err)
+	}
+	// Keys are secrets: same 0600 the CLI's SaveKey uses.
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return false, fmt.Errorf("server: keystore chmod: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return false, fmt.Errorf("server: keystore close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return false, fmt.Errorf("server: keystore rename: %w", err)
+	}
+	return created, nil
+}
+
+// Get implements KeyStore.
+func (s *FileStore) Get(tenant, name string) ([]byte, error) {
+	if err := checkNames(tenant, name); err != nil {
+		return nil, err
+	}
+	wire, err := os.ReadFile(s.path(tenant, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("tenant %q key %q: %w", tenant, name, ErrNoSuchKey)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: keystore read: %w", err)
+	}
+	return wire, nil
+}
+
+// Delete implements KeyStore.
+func (s *FileStore) Delete(tenant, name string) error {
+	if err := checkNames(tenant, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(tenant, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("tenant %q key %q: %w", tenant, name, ErrNoSuchKey)
+	}
+	if err != nil {
+		return fmt.Errorf("server: keystore delete: %w", err)
+	}
+	return nil
+}
+
+// List implements KeyStore.
+func (s *FileStore) List(tenant string) ([]string, error) {
+	if err := checkName("tenant", tenant); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(filepath.Join(s.dir, tenant))
+	if errors.Is(err, fs.ErrNotExist) {
+		return []string{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: keystore list: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		n := e.Name()
+		// Skip orphaned temp files from a crash mid-Put and anything
+		// else that is not a stored key.
+		if e.IsDir() || !strings.HasSuffix(n, ".json") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(n, ".json"))
+	}
+	sort.Strings(names)
+	return names, nil
+}

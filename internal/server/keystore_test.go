@@ -1,0 +1,172 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stores returns one of each KeyStore implementation; the parity tests
+// below run the same script against both, so the file-backed store
+// cannot drift from the in-memory reference semantics.
+func stores(t *testing.T) map[string]KeyStore {
+	t.Helper()
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]KeyStore{"mem": NewMemStore(), "file": fs}
+}
+
+func TestKeyStoreCRUD(t *testing.T) {
+	for label, st := range stores(t) {
+		t.Run(label, func(t *testing.T) {
+			wire := []byte(`{"version":1,"attrs":[]}`)
+			created, err := st.Put("acme", "k1", wire)
+			if err != nil || !created {
+				t.Fatalf("first Put: created=%v err=%v", created, err)
+			}
+			created, err = st.Put("acme", "k1", []byte(`{"version":1,"attrs":[1]}`))
+			if err != nil || created {
+				t.Fatalf("overwrite Put: created=%v err=%v, want false,nil", created, err)
+			}
+			got, err := st.Get("acme", "k1")
+			if err != nil || string(got) != `{"version":1,"attrs":[1]}` {
+				t.Fatalf("Get after overwrite: %q err=%v", got, err)
+			}
+			if _, err := st.Get("acme", "nope"); !errors.Is(err, ErrNoSuchKey) {
+				t.Fatalf("Get missing: %v, want ErrNoSuchKey", err)
+			}
+			if _, err := st.Get("other", "k1"); !errors.Is(err, ErrNoSuchKey) {
+				t.Fatalf("Get cross-tenant: %v, want ErrNoSuchKey (tenants are isolated)", err)
+			}
+			if _, err := st.Put("acme", "k2", wire); err != nil {
+				t.Fatal(err)
+			}
+			names, err := st.List("acme")
+			if err != nil || !reflect.DeepEqual(names, []string{"k1", "k2"}) {
+				t.Fatalf("List: %v err=%v, want [k1 k2]", names, err)
+			}
+			names, err = st.List("unknown-tenant")
+			if err != nil || len(names) != 0 {
+				t.Fatalf("List unknown tenant: %v err=%v, want empty", names, err)
+			}
+			if err := st.Delete("acme", "k1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Delete("acme", "k1"); !errors.Is(err, ErrNoSuchKey) {
+				t.Fatalf("double Delete: %v, want ErrNoSuchKey", err)
+			}
+			names, _ = st.List("acme")
+			if !reflect.DeepEqual(names, []string{"k2"}) {
+				t.Fatalf("List after delete: %v, want [k2]", names)
+			}
+		})
+	}
+}
+
+func TestKeyStoreNameValidation(t *testing.T) {
+	bad := []string{
+		"", ".", "..", "../x", "a/b", "a\\b", ".hidden", "-lead", "_lead",
+		"spa ce", "tab\tname", strings.Repeat("x", maxNameLen+1),
+	}
+	good := []string{"a", "A9", "k-1", "k_1", "k.v2", strings.Repeat("x", maxNameLen)}
+	for label, st := range stores(t) {
+		t.Run(label, func(t *testing.T) {
+			for _, name := range bad {
+				if _, err := st.Put("t", name, []byte("{}")); !errors.Is(err, ErrBadName) {
+					t.Errorf("Put name %q: err=%v, want ErrBadName", name, err)
+				}
+				if _, err := st.Put(name, "k", []byte("{}")); !errors.Is(err, ErrBadName) {
+					t.Errorf("Put tenant %q: err=%v, want ErrBadName", name, err)
+				}
+				if _, err := st.Get(name, "k"); !errors.Is(err, ErrBadName) {
+					t.Errorf("Get tenant %q: err=%v, want ErrBadName", name, err)
+				}
+				if err := st.Delete("t", name); !errors.Is(err, ErrBadName) {
+					t.Errorf("Delete name %q: err=%v, want ErrBadName", name, err)
+				}
+				if _, err := st.List(name); !errors.Is(err, ErrBadName) {
+					t.Errorf("List tenant %q: err=%v, want ErrBadName", name, err)
+				}
+			}
+			for i, name := range good {
+				if _, err := st.Put("t", name, []byte(fmt.Sprintf("{%d}", i))); err != nil {
+					t.Errorf("Put good name %q: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestFileStorePersistence reopens the same directory and asserts every
+// key survives — the daemon's restart story.
+func TestFileStorePersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "keys")
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("acme", "prod", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("beta", "stage", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.Get("acme", "prod")
+	if err != nil || string(got) != `{"v":1}` {
+		t.Fatalf("reopened Get: %q err=%v", got, err)
+	}
+	names, err := reopened.List("beta")
+	if err != nil || !reflect.DeepEqual(names, []string{"stage"}) {
+		t.Fatalf("reopened List: %v err=%v", names, err)
+	}
+}
+
+// TestFileStoreIgnoresTempFiles plants an orphaned temp file (a crash
+// mid-Put) and asserts List skips it.
+func TestFileStoreIgnoresTempFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "keys")
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("acme", "real", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "acme", ".put-orphan"), []byte("torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.List("acme")
+	if err != nil || !reflect.DeepEqual(names, []string{"real"}) {
+		t.Fatalf("List with orphan temp: %v err=%v, want [real]", names, err)
+	}
+}
+
+// TestFileStoreKeyFileMode asserts stored keys keep the CLI's 0600 —
+// they are secrets.
+func TestFileStoreKeyFileMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "keys")
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("acme", "secret", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, "acme", "secret.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Fatalf("key file mode %v, want 0600", fi.Mode().Perm())
+	}
+}

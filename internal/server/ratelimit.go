@@ -1,0 +1,75 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter is a per-tenant token bucket: each tenant gets burst tokens,
+// refilled continuously at rate tokens per second; a request costs one
+// token. A tenant that bursts past its bucket is answered 429 with a
+// Retry-After telling it when the next token lands — backpressure, not
+// a ban.
+//
+// The implementation is deliberately stdlib-only (no x/time/rate): one
+// mutex, lazy per-tenant buckets, refill computed from elapsed time on
+// access. The clock is injectable so tests are deterministic.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns a limiter granting each tenant `burst` immediate
+// requests and `rate` sustained requests per second. A nil Limiter (or
+// rate <= 0) never limits.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = int(math.Max(1, math.Ceil(rate)))
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: map[string]*bucket{},
+	}
+}
+
+// Allow consumes one token from tenant's bucket. When the bucket is
+// empty it reports false and how long until the next token is
+// available.
+func (l *Limiter) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	missing := 1 - b.tokens
+	return false, time.Duration(missing / l.rate * float64(time.Second))
+}

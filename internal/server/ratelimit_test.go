@@ -1,0 +1,99 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst int) (*Limiter, *fakeClock) {
+	l := NewLimiter(rate, burst)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = clk.now
+	return l, clk
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l, clk := newTestLimiter(2, 3) // 2 req/s sustained, burst of 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("acme"); !ok {
+			t.Fatalf("request %d inside burst denied", i)
+		}
+	}
+	ok, retry := l.Allow("acme")
+	if ok {
+		t.Fatal("request past burst allowed")
+	}
+	// Bucket is exactly empty: the next token lands in 1/rate = 500ms.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter %v, want (0, 500ms]", retry)
+	}
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := l.Allow("acme"); !ok {
+		t.Fatal("request after refill window still denied")
+	}
+	// And the very next one is denied again — refill is continuous, not
+	// a window reset.
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("second request immediately after one refilled token allowed")
+	}
+}
+
+func TestLimiterTenantsAreIsolated(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("tenant a's first request denied")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("tenant a's burst not enforced")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("tenant b throttled by tenant a's bucket")
+	}
+}
+
+func TestLimiterBucketCapsAtBurst(t *testing.T) {
+	l, clk := newTestLimiter(10, 2)
+	if ok, _ := l.Allow("t"); !ok {
+		t.Fatal("first request denied")
+	}
+	clk.advance(time.Hour) // refill far past capacity
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("t"); !ok {
+			t.Fatalf("request %d within capped burst denied", i)
+		}
+	}
+	if ok, _ := l.Allow("t"); ok {
+		t.Fatal("idle time accumulated tokens past the burst cap")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	if l := NewLimiter(0, 5); l != nil {
+		t.Fatal("rate 0 should return a nil (never-limiting) limiter")
+	}
+	var l *Limiter
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow("any"); !ok {
+			t.Fatal("nil limiter denied a request")
+		}
+	}
+}
+
+func TestLimiterDefaultBurst(t *testing.T) {
+	l, _ := newTestLimiter(2.5, 0) // burst defaults to ceil(rate) = 3
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("t"); ok {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("default burst allowed %d immediate requests, want 3", allowed)
+	}
+}

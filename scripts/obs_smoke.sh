@@ -57,15 +57,24 @@ echo "obs_smoke: scraping $addr"
   exit 1
 }
 
-curl -fsS "http://$addr/metrics" >"$tmp/metrics.prom"
-./scripts/promlint.sh "$tmp/metrics.prom"
+# The encode races the scrape: pipeline metrics only appear once the
+# apply stage has streamed its first block, so re-scrape briefly
+# before declaring a metric missing (the linger keeps the server up
+# well past the encode).
 for want in privtree_build_info privtree_pipeline_stream_rows_total \
   privtree_progress_encode_apply_stream_rows privtree_span_seconds_total; do
-  grep -q "$want" "$tmp/metrics.prom" || {
+  found=""
+  for _ in $(seq 1 25); do
+    curl -fsS "http://$addr/metrics" >"$tmp/metrics.prom"
+    grep -q "$want" "$tmp/metrics.prom" && { found=1; break; }
+    sleep 0.2
+  done
+  [ -n "$found" ] || {
     echo "obs_smoke: /metrics missing $want" >&2
     exit 1
   }
 done
+./scripts/promlint.sh "$tmp/metrics.prom"
 
 curl -fsS "http://$addr/snapshot?format=prom" >/dev/null
 curl -fsS "http://$addr/snapshot?format=json" | grep -q '"build"' || {
