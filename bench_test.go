@@ -531,6 +531,120 @@ func BenchmarkShardedEncode(b *testing.B) {
 	}
 }
 
+// benchShardedSet writes a covertype-like sharded set in the given
+// format and returns its manifest path. The rows are identical across
+// formats at the same seed, so format-vs-format benchmarks measure the
+// wire encoding alone.
+func benchShardedSet(b *testing.B, rows, shards int, format string) string {
+	b.Helper()
+	st, err := synth.CovertypeStreamer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefix := filepath.Join(b.TempDir(), "set")
+	var sink dataset.ShardSink
+	switch format {
+	case dataset.FormatCSV:
+		sink, err = dataset.NewShardedCSVSink(prefix, (rows+shards-1)/shards, st.Schema())
+	case dataset.FormatBin:
+		sink, err = dataset.NewBinaryShardSink(prefix, (rows+shards-1)/shards, st.Schema())
+	default:
+		b.Fatalf("format %q", format)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, st.NumAttrs())
+	blk := &dataset.Block{Cols: make([][]float64, st.NumAttrs())}
+	for i := 0; i < rows; i++ {
+		label := st.Sample(rng, vals)
+		for a := range vals {
+			blk.Cols[a] = append(blk.Cols[a], vals[a])
+		}
+		blk.Labels = append(blk.Labels, label)
+	}
+	if err := sink.Write(blk); err != nil {
+		b.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return sink.ManifestPath()
+}
+
+// BenchmarkBinaryShardedEncode is BenchmarkShardedEncode with the
+// text taken out of the loop on both ends: binary shards in, binary
+// shards out. The same rows, the same two-pass profile and parallel
+// apply — but raw little-endian float64 columns replace CSV parsing on
+// the read side and CSV formatting on the write side. The rows/s gap
+// against BenchmarkShardedEncode is the price of text — the reason the
+// binary format exists.
+func BenchmarkBinaryShardedEncode(b *testing.B) {
+	const rows, shards = 20000, 4
+	manifest := benchShardedSet(b, rows, shards, dataset.FormatBin)
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			opts := EncodeOptions{Strategy: StrategyMaxMP, Workers: workers}
+			outDir := b.TempDir()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := OpenSharded(manifest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				key, err := BuildKeySharded(src, opts, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				outSchema, err := pipeline.OutputSchema(key, src.Schema())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink, err := dataset.NewBinaryShardSink(
+					filepath.Join(outDir, benchName("enc", i)), (rows+shards-1)/shards, outSchema)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := pipeline.ApplySharded(key, src, sink, 0, workers); err != nil {
+					b.Fatal(err)
+				}
+				src.Close()
+			}
+			b.StopTimer()
+			reportRowsPerSec(b, rows)
+		})
+	}
+}
+
+// BenchmarkShardedMine measures the out-of-core level-synchronous
+// induction over a binary-sharded set — OpenSharded plus BuildSharded
+// — at workers=1 and workers=4. The tree is byte-identical to the
+// in-memory build at any worker count; rows/s feeds
+// BENCH_parallel.json.
+func BenchmarkShardedMine(b *testing.B) {
+	const rows, shards = 20000, 4
+	manifest := benchShardedSet(b, rows, shards, dataset.FormatBin)
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			cfg := TreeConfig{MinLeaf: 20, MaxDepth: 10, Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := OpenSharded(manifest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := MineSharded(src, cfg); err != nil {
+					b.Fatal(err)
+				}
+				src.Close()
+			}
+			b.StopTimer()
+			reportRowsPerSec(b, rows)
+		})
+	}
+}
+
 // BenchmarkMedianReduction contrasts the pooled quickselect reduction
 // now inside MedianOfTrials against the old copy-and-full-sort one.
 func BenchmarkMedianReduction(b *testing.B) {

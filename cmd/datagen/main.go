@@ -6,12 +6,16 @@
 //	datagen -kind census -n 30000 -o census.csv
 //	datagen -kind figure1 -o fig1.csv
 //
-// With -shards K the set is written sharded — K CSV shard files plus a
+// With -shards K the set is written sharded — K shard files plus a
 // manifest at <o>.manifest.json, where -o names the path prefix — and
 // generation streams tuple-at-a-time, so 10M+-row sets emit in constant
-// memory. The rows are identical to the unsharded output at the same
-// seed: concatenating the shards (minus the per-shard headers)
-// reproduces the single CSV exactly.
+// memory. -format picks the shard encoding: csv (default, human
+// readable) or bin (the binary shard format — raw little-endian
+// float64 columns, far faster to re-read). The logical rows are
+// identical to the unsharded output at the same seed regardless of
+// format: concatenating the CSV shards (minus the per-shard headers)
+// reproduces the single CSV exactly, and bin shards decode to the same
+// values bit for bit.
 package main
 
 import (
@@ -30,11 +34,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file (default stdout); with -shards, the shard path prefix")
 	shards := flag.Int("shards", 0, "write a sharded set with this many shard files (covertype and census only; requires -o)")
+	format := flag.String("format", "csv", "shard file format with -shards: csv or bin")
 	flag.Parse()
 
 	var err error
 	if *shards > 0 {
-		err = runSharded(*kind, *n, *seed, *out, *shards)
+		err = runSharded(*kind, *n, *seed, *out, *shards, *format)
 	} else {
 		err = run(*kind, *n, *seed, *out)
 	}
@@ -78,9 +83,9 @@ func run(kind string, n int, seed int64, out string) error {
 // genBlockRows is the tuples per block on the streaming path.
 const genBlockRows = 4096
 
-// runSharded streams the generator into a ShardedCSVSink: memory stays
-// O(block), independent of n.
-func runSharded(kind string, n int, seed int64, prefix string, shards int) error {
+// runSharded streams the generator into a shard sink of the requested
+// format: memory stays O(block), independent of n.
+func runSharded(kind string, n int, seed int64, prefix string, shards int, format string) error {
 	if prefix == "" {
 		return fmt.Errorf("-shards requires -o (the shard path prefix)")
 	}
@@ -103,7 +108,15 @@ func runSharded(kind string, n int, seed int64, prefix string, shards int) error
 		return err
 	}
 	rowsPerShard := (n + shards - 1) / shards
-	sink, err := dataset.NewShardedCSVSink(prefix, rowsPerShard, st.Schema())
+	var sink dataset.ShardSink
+	switch format {
+	case dataset.FormatCSV:
+		sink, err = dataset.NewShardedCSVSink(prefix, rowsPerShard, st.Schema())
+	case dataset.FormatBin:
+		sink, err = dataset.NewBinaryShardSink(prefix, rowsPerShard, st.Schema())
+	default:
+		return fmt.Errorf("unknown shard format %q (csv, bin)", format)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -74,7 +75,7 @@ func TestRunShardedMatchesSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	prefix := filepath.Join(dir, "shardset")
-	if err := runSharded("covertype", 100, 3, prefix, 4); err != nil {
+	if err := runSharded("covertype", 100, 3, prefix, 4, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	m, err := dataset.ReadManifest(prefix + ".manifest.json")
@@ -109,13 +110,75 @@ func TestRunShardedMatchesSingle(t *testing.T) {
 
 // TestRunShardedErrors checks the sharded mode's flag validation.
 func TestRunShardedErrors(t *testing.T) {
-	if err := runSharded("covertype", 100, 1, "", 2); err == nil {
+	if err := runSharded("covertype", 100, 1, "", 2, "csv"); err == nil {
 		t.Error("expected error for missing -o")
 	}
-	if err := runSharded("figure1", 100, 1, filepath.Join(t.TempDir(), "x"), 2); err == nil {
+	if err := runSharded("figure1", 100, 1, filepath.Join(t.TempDir(), "x"), 2, "csv"); err == nil {
 		t.Error("expected error for unshardable kind")
 	}
-	if err := runSharded("covertype", 0, 1, filepath.Join(t.TempDir(), "x"), 2); err == nil {
+	if err := runSharded("covertype", 0, 1, filepath.Join(t.TempDir(), "x"), 2, "csv"); err == nil {
 		t.Error("expected error for zero tuples")
+	}
+	if err := runSharded("covertype", 100, 1, filepath.Join(t.TempDir(), "x"), 2, "xml"); err == nil {
+		t.Error("expected error for unknown format")
+	}
+}
+
+// materializeSharded reads a full sharded set into memory.
+func materializeSharded(t *testing.T, manifestPath string) *dataset.Dataset {
+	t.Helper()
+	src, err := dataset.OpenSharded(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	coll := dataset.NewCollector(src.Schema())
+	for {
+		blk, err := src.Next(0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Write(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := coll.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRunShardedBinary checks -format bin emits binary shards that
+// decode to the same logical rows as the CSV shards at the same seed.
+func TestRunShardedBinary(t *testing.T) {
+	dir := t.TempDir()
+	csvPrefix := filepath.Join(dir, "csvset")
+	binPrefix := filepath.Join(dir, "binset")
+	if err := runSharded("census", 90, 5, csvPrefix, 3, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSharded("census", 90, 5, binPrefix, 3, "bin"); err != nil {
+		t.Fatal(err)
+	}
+	dc := materializeSharded(t, csvPrefix+".manifest.json")
+	db := materializeSharded(t, binPrefix+".manifest.json")
+	if dc.NumTuples() != 90 || db.NumTuples() != 90 {
+		t.Fatalf("tuples: csv %d, bin %d, want 90", dc.NumTuples(), db.NumTuples())
+	}
+	for a := range dc.Cols {
+		for i := range dc.Cols[a] {
+			if dc.Cols[a][i] != db.Cols[a][i] {
+				t.Fatalf("attr %d row %d: csv %v != bin %v", a, i, dc.Cols[a][i], db.Cols[a][i])
+			}
+		}
+	}
+	for i := range dc.Labels {
+		if dc.Labels[i] != db.Labels[i] {
+			t.Fatalf("label %d: csv %d != bin %d", i, dc.Labels[i], db.Labels[i])
+		}
 	}
 }

@@ -8,15 +8,23 @@
 //	    encoding runs out-of-core, shard by shard, producing bytes
 //	    identical to the in-memory path at any -workers setting.
 //
-//	privtree mine -in encoded.csv [-out tree.json] [-criterion gini] [-minleaf 1] [-maxdepth 0]
+//	privtree mine (-in encoded.csv | -manifest encoded.manifest.json) [-out tree.json] [-criterion gini] [-minleaf 1] [-maxdepth 0] [-workers 4]
 //	    Mine a decision tree (what the service provider runs; it sees
 //	    only encoded values). With -out, write the tree as JSON — the
-//	    artifact the service ships back to the custodian.
+//	    artifact the service ships back to the custodian. With -manifest
+//	    the input is a sharded set and induction runs out-of-core, one
+//	    scan of the shards per tree level, producing a tree
+//	    byte-identical to the in-memory path at any -workers setting.
 //
-//	privtree decode (-tree tree.json | -in encoded.csv) (-orig train.csv | -manifest train.manifest.json) -key key.json [...]
-//	    Decode the service's tree (or re-mine the encoded data) into the
-//	    original attribute space — exactly the tree direct mining would
-//	    produce.
+//	privtree decode (-tree tree.json | -in encoded.csv | -enc-manifest encoded.manifest.json) (-orig train.csv | -manifest train.manifest.json) -key key.json [...]
+//	    Decode the service's tree (or re-mine the encoded data — with
+//	    -enc-manifest, out-of-core) into the original attribute space —
+//	    exactly the tree direct mining would produce.
+//
+//	privtree convert -manifest set.manifest.json -out prefix -format (csv|bin)
+//	    Rewrite a sharded set between the CSV and binary shard formats.
+//	    Exact: row order, shard boundaries and label indices carry over
+//	    unchanged; checksums are recomputed and verified.
 //
 //	privtree risk -in train.csv [-trials 31] [-rho 0.02] [-seed 7]
 //	    Encode and run the attack suite, reporting per-attribute domain
@@ -70,6 +78,8 @@ func main() {
 		err = cmdMine(os.Args[2:])
 	case "decode":
 		err = cmdDecode(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "risk":
 		err = cmdRisk(os.Args[2:])
 	case "append":
@@ -94,8 +104,49 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: privtree <encode|mine|decode|risk|append|verify> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: privtree <encode|mine|decode|convert|risk|append|verify> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'privtree <command> -h' for command flags")
+}
+
+// cmdConvert rewrites a sharded data set between the CSV and binary
+// shard formats. The conversion is exact — row order, shard boundaries
+// and label indices carry over unchanged, and checksums are recomputed
+// — so encode/mine over either format produce identical bytes.
+func cmdConvert(args []string) (err error) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	manifest := fs.String("manifest", "", "input sharded manifest JSON")
+	out := fs.String("out", "", "output path prefix for the converted shard files and manifest")
+	format := fs.String("format", "", "target shard format: csv or bin")
+	var oc obs.CLI
+	oc.Register(fs)
+	fs.Parse(args)
+	defer func() {
+		if e := oc.Finish(os.Stderr); err == nil {
+			err = e
+		}
+	}()
+	stopObs, e := obsStart(&oc)
+	if e != nil {
+		return e
+	}
+	defer stopObs()
+	if *manifest == "" || *out == "" {
+		return usageError{"convert needs -manifest, -out and -format"}
+	}
+	if *format != dataset.FormatCSV && *format != dataset.FormatBin {
+		return usageError{fmt.Sprintf("unknown format %q (csv, bin)", *format)}
+	}
+	outManifest, err := privtree.ConvertSharded(*manifest, *out, *format)
+	if err != nil {
+		return err
+	}
+	m, err := dataset.ReadManifest(outManifest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %d tuples across %d shard(s) to %s format → %s\n",
+		m.TotalRows(), m.NumShards(), *format, outManifest)
+	return nil
 }
 
 // obsStart finalizes the observability flags of a parsed subcommand:
@@ -271,8 +322,10 @@ func treeConfig(criterion string, minLeaf, maxDepth int) (privtree.TreeConfig, e
 func cmdMine(args []string) (err error) {
 	fs := flag.NewFlagSet("mine", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV")
+	manifest := fs.String("manifest", "", "sharded input: manifest JSON (out-of-core mining; instead of -in)")
 	out := fs.String("out", "", "optional JSON file for the mined tree (what the service ships back)")
 	criterion, minLeaf, maxDepth := treeFlags(fs)
+	workers := fs.Int("workers", 0, "worker goroutines (0 = default); the mined tree is identical at any setting")
 	var oc obs.CLI
 	oc.Register(fs)
 	fs.Parse(args)
@@ -286,23 +339,42 @@ func cmdMine(args []string) (err error) {
 		return e
 	}
 	defer stopObs()
-	if *in == "" {
-		return usageError{"mine needs -in"}
+	if (*in == "") == (*manifest == "") {
+		return usageError{"mine needs exactly one of -in or -manifest"}
 	}
 	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
 	if err != nil {
 		return err
 	}
-	d, err := privtree.ReadCSVFile(*in)
-	if err != nil {
-		return err
-	}
-	t, err := privtree.Mine(d, cfg)
-	if err != nil {
-		return err
+	cfg.Workers = *workers
+	var t *privtree.Tree
+	var accuracy float64
+	if *manifest != "" {
+		src, err := privtree.OpenSharded(*manifest)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		if t, err = privtree.MineSharded(src, cfg); err != nil {
+			return err
+		}
+		// BuildSharded reads per-shard sub-sources, so src itself is
+		// still at the start; one more streaming pass scores it.
+		if accuracy, err = t.AccuracySource(src); err != nil {
+			return err
+		}
+	} else {
+		d, err := privtree.ReadCSVFile(*in)
+		if err != nil {
+			return err
+		}
+		if t, err = privtree.Mine(d, cfg); err != nil {
+			return err
+		}
+		accuracy = t.Accuracy(d)
 	}
 	fmt.Printf("tree: %d nodes, %d leaves, depth %d, training accuracy %.2f%%\n",
-		t.NumNodes(), t.NumLeaves(), t.Depth(), 100*t.Accuracy(d))
+		t.NumNodes(), t.NumLeaves(), t.Depth(), 100*accuracy)
 	if *out != "" {
 		blob, err := privtree.MarshalTree(t)
 		if err != nil {
@@ -321,6 +393,7 @@ func cmdMine(args []string) (err error) {
 func cmdDecode(args []string) (err error) {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	in := fs.String("in", "", "encoded CSV (as shipped to the service); used to re-mine when -tree is absent")
+	encManifest := fs.String("enc-manifest", "", "sharded encoded data: manifest JSON (re-mines out-of-core; instead of -in or -tree)")
 	treePath := fs.String("tree", "", "tree JSON returned by the service (skips re-mining)")
 	orig := fs.String("orig", "", "original CSV (the custodian's copy)")
 	manifest := fs.String("manifest", "", "sharded original: manifest JSON (instead of -orig)")
@@ -339,8 +412,8 @@ func cmdDecode(args []string) (err error) {
 		return e
 	}
 	defer stopObs()
-	if (*in == "" && *treePath == "") || (*orig == "") == (*manifest == "") || *keyPath == "" {
-		return usageError{"decode needs -key, one of -in or -tree, and exactly one of -orig or -manifest"}
+	if (*in == "" && *treePath == "" && *encManifest == "") || (*orig == "") == (*manifest == "") || *keyPath == "" {
+		return usageError{"decode needs -key, one of -in, -tree or -enc-manifest, and exactly one of -orig or -manifest"}
 	}
 	cfg, err := treeConfig(*criterion, *minLeaf, *maxDepth)
 	if err != nil {
@@ -355,7 +428,8 @@ func cmdDecode(args []string) (err error) {
 		return err
 	}
 	var mined *privtree.Tree
-	if *treePath != "" {
+	switch {
+	case *treePath != "":
 		tb, err := os.ReadFile(*treePath)
 		if err != nil {
 			return err
@@ -363,7 +437,20 @@ func cmdDecode(args []string) (err error) {
 		if mined, err = privtree.UnmarshalTree(tb); err != nil {
 			return err
 		}
-	} else {
+	case *encManifest != "":
+		// The re-mine side runs out-of-core over the sharded encoded
+		// set; only the custodian's original is materialized for the
+		// Theorem 2 decode.
+		encSrc, err := privtree.OpenSharded(*encManifest)
+		if err != nil {
+			return err
+		}
+		mined, err = privtree.MineSharded(encSrc, cfg)
+		encSrc.Close()
+		if err != nil {
+			return err
+		}
+	default:
 		enc, err := privtree.ReadCSVFile(*in)
 		if err != nil {
 			return err

@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+)
+
+// ConvertSharded rewrites the sharded data set described by
+// manifestPath into the requested shard format under outPrefix and
+// returns the new manifest's path. The conversion is exact: row order,
+// shard boundaries and the manifest's class order (and therefore every
+// label index) carry over unchanged, checksums are recomputed for the
+// new bytes, and the source's own checksums and row counts are
+// verified on the way through. Converting csv → bin → csv therefore
+// reproduces the logical relation bit-for-bit, shard for shard.
+func ConvertSharded(manifestPath, outPrefix, format string) (string, error) {
+	src, err := OpenSharded(manifestPath)
+	if err != nil {
+		return "", err
+	}
+	defer src.Close()
+	schema := src.Schema()
+
+	// Shard boundaries come from NextShard, never from the sink's row
+	// cap — so the cap is set past the largest source shard.
+	capRows := 1
+	for i := 0; i < src.NumShards(); i++ {
+		if r := src.ShardRows(i); r >= capRows {
+			capRows = r + 1
+		}
+	}
+	var sink ShardSink
+	switch format {
+	case FormatCSV:
+		sink, err = NewShardedCSVSink(outPrefix, capRows, schema)
+	case FormatBin:
+		sink, err = NewBinaryShardSink(outPrefix, capRows, schema)
+	default:
+		return "", fmt.Errorf("convert to format %q, want %q or %q: %w", format, FormatCSV, FormatBin, ErrBadManifest)
+	}
+	if err != nil {
+		return "", err
+	}
+	sink.PinClassOrder()
+
+	for i := 0; i < src.NumShards(); i++ {
+		sh, err := src.Shard(i)
+		if err != nil {
+			return "", err
+		}
+		for {
+			blk, err := sh.Next(0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				sh.Close()
+				return "", err
+			}
+			if err := sink.Write(blk); err != nil {
+				sh.Close()
+				return "", err
+			}
+		}
+		if err := sink.NextShard(); err != nil {
+			return "", err
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		return "", err
+	}
+	return sink.ManifestPath(), nil
+}

@@ -29,4 +29,10 @@ var (
 	// malformed or disagrees with its shard files (missing shards,
 	// wrong row counts, unknown class names, mismatched headers).
 	ErrBadManifest = errors.New("dataset: invalid shard manifest")
+	// ErrCorruptShard reports a shard file whose own bytes are broken:
+	// bad magic or version, a truncated or malformed frame, or a
+	// checksum mismatch against the manifest. Distinct from
+	// ErrBadManifest so callers can tell "the description is wrong"
+	// from "the data on disk is damaged".
+	ErrCorruptShard = errors.New("dataset: corrupt shard file")
 )

@@ -1,0 +1,185 @@
+package dataset
+
+// Golden-file pin for the binary shard wire format. The committed
+// fixture under testdata stands in for "a shard written by another
+// process at another time": the pin test asserts today's writer still
+// produces those exact bytes (and the exact manifest JSON) for a fixed
+// tiny relation, so any accidental format drift fails loudly instead
+// of silently orphaning old shards. Regenerate with:
+//
+//	go test ./internal/dataset -run TestBinaryShardGolden -update
+//
+// only when the wire format intentionally changes, alongside a
+// BinaryShardVersion bump. The v1 manifest fixture is frozen history —
+// a manifest written before version 2 existed — and is never
+// regenerated.
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateShardGolden = flag.Bool("update", false, "rewrite binary shard golden fixtures")
+
+const (
+	goldenV2Manifest = "testdata/golden_v2.manifest.json"
+	goldenV2Shard    = "testdata/golden_v2-00000.bin"
+	goldenV1Manifest = "testdata/golden_v1.manifest.json"
+)
+
+// goldenShardRows is the fixed tiny relation behind the fixture: two
+// attributes, two classes, five rows with values that exercise exact
+// float bit patterns (negative zero, subnormal-ish fractions, a big
+// magnitude).
+func goldenShardRows() (*Schema, *Block) {
+	schema := &Schema{AttrNames: []string{"x", "y"}, ClassNames: []string{"neg", "pos"}}
+	blk := &Block{
+		Cols: [][]float64{
+			{1.5, -2.25, 0.0, 1e17, -0.0},
+			{100, 0.1, -7, 0.5, 3},
+		},
+		Labels: []int{0, 1, 1, 0, 1},
+	}
+	return schema, blk
+}
+
+// writeGoldenShard writes the fixture relation as a one-shard binary
+// set under dir and returns the manifest and shard paths.
+func writeGoldenShard(t *testing.T, dir string) (string, string) {
+	t.Helper()
+	schema, blk := goldenShardRows()
+	sink, err := NewBinaryShardSink(filepath.Join(dir, "golden_v2"), 10, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Write(blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.ManifestPath(), filepath.Join(dir, "golden_v2-00000.bin")
+}
+
+// TestBinaryShardGolden pins the wire bytes: writer output must match
+// the committed fixture bit for bit, manifest included.
+func TestBinaryShardGolden(t *testing.T) {
+	manifestPath, shardPath := writeGoldenShard(t, t.TempDir())
+	gotManifest, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotShard, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateShardGolden {
+		if err := os.WriteFile(goldenV2Manifest, gotManifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenV2Shard, gotShard, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantManifest, err := os.ReadFile(goldenV2Manifest)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	wantShard, err := os.ReadFile(goldenV2Shard)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(gotShard, wantShard) {
+		t.Error("binary shard bytes drifted from the golden fixture; if intentional, bump BinaryShardVersion and regenerate with -update")
+	}
+	if !bytes.Equal(gotManifest, wantManifest) {
+		t.Error("manifest JSON drifted from the golden fixture; if intentional, bump ManifestVersion and regenerate with -update")
+	}
+}
+
+// TestBinaryShardGoldenReads decodes the committed fixture as a fresh
+// process would and checks every value and label bit for bit.
+func TestBinaryShardGoldenReads(t *testing.T) {
+	src, err := OpenSharded(goldenV2Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if f := src.Manifest().EffectiveFormat(); f != FormatBin {
+		t.Fatalf("fixture format = %q, want %q", f, FormatBin)
+	}
+	schema, want := goldenShardRows()
+	coll := NewCollector(src.Schema())
+	for {
+		blk, err := src.Next(0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Write(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := coll.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTuples() != len(want.Labels) || d.NumAttrs() != schema.NumAttrs() {
+		t.Fatalf("fixture decodes to %d×%d, want %d×%d",
+			d.NumTuples(), d.NumAttrs(), len(want.Labels), schema.NumAttrs())
+	}
+	for a := range want.Cols {
+		for i, v := range want.Cols[a] {
+			if d.Cols[a][i] != v {
+				t.Errorf("attr %d row %d: %v, want %v", a, i, d.Cols[a][i], v)
+			}
+		}
+	}
+	for i, l := range want.Labels {
+		if d.Labels[i] != l {
+			t.Errorf("label %d: %d, want %d", i, d.Labels[i], l)
+		}
+	}
+}
+
+// TestManifestV1Compat reads the frozen version-1 manifest — written
+// before the format field and per-shard checksums existed — and checks
+// the modern reader still accepts it as a CSV-format set, skipping
+// checksum verification it cannot perform.
+func TestManifestV1Compat(t *testing.T) {
+	m, err := ReadManifest(goldenV1Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 {
+		t.Fatalf("fixture version = %d, want 1", m.Version)
+	}
+	if f := m.EffectiveFormat(); f != FormatCSV {
+		t.Fatalf("v1 manifest effective format = %q, want %q", f, FormatCSV)
+	}
+	src, err := OpenSharded(goldenV1Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	rows := 0
+	for {
+		blk, err := src.Next(0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows += len(blk.Labels)
+	}
+	if rows != m.TotalRows() {
+		t.Fatalf("v1 set streamed %d rows, manifest says %d", rows, m.TotalRows())
+	}
+}

@@ -21,18 +21,36 @@ import (
 // merged byte-identically to the single-stream result.
 
 // ManifestVersion is the wire version of the manifest format; readers
-// reject manifests written by an incompatible version.
-const ManifestVersion = 1
+// reject manifests written by an incompatible version. Version 2 added
+// the format field and per-shard checksums; version-1 manifests (plain
+// CSV shards, no checksums) still read.
+const ManifestVersion = 2
+
+// Shard file formats a manifest can declare.
+const (
+	// FormatCSV marks shards stored as CSV files with a header row —
+	// the version-1 format, still the default when a manifest declares
+	// no format.
+	FormatCSV = "csv"
+	// FormatBin marks shards stored in the binary format (see
+	// binshard.go).
+	FormatBin = "bin"
+)
 
 // ShardInfo describes one shard file of a sharded data set.
 type ShardInfo struct {
-	// Path locates the shard's CSV file, relative to the manifest file
+	// Path locates the shard file, relative to the manifest file
 	// (absolute paths are taken as-is).
 	Path string `json:"path"`
 	// Rows is the declared tuple count of the shard. Readers verify it:
 	// a shard that yields a different number of rows fails with
 	// ErrBadManifest rather than silently skewing merged statistics.
 	Rows int `json:"rows"`
+	// Checksum, when non-empty, is the XXH64 digest of the shard file's
+	// complete bytes as "xxh64:<16 hex digits>". Readers verify it on
+	// the same pass that streams the rows; a mismatch fails with
+	// ErrCorruptShard. Version-1 manifests carry no checksums.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // Manifest is the on-disk description of a sharded data set: the
@@ -44,8 +62,13 @@ type ShardInfo struct {
 // read produce identical label indices.
 type Manifest struct {
 	Version int `json:"version"`
-	// AttrNames holds one name per attribute column; every shard's CSV
-	// header must match them exactly (plus the trailing "class").
+	// Format names the shard file format, FormatCSV or FormatBin.
+	// Empty means FormatCSV, which is what every version-1 manifest
+	// is.
+	Format string `json:"format,omitempty"`
+	// AttrNames holds one name per attribute column; every CSV shard's
+	// header must match them exactly (plus the trailing "class"), and
+	// every binary shard's header must declare their count.
 	AttrNames []string `json:"attrs"`
 	// ClassNames fixes the global class → label-index mapping.
 	ClassNames []string `json:"classes"`
@@ -66,11 +89,29 @@ func (m *Manifest) TotalRows() int {
 // NumShards returns the number of shard files.
 func (m *Manifest) NumShards() int { return len(m.Shards) }
 
+// EffectiveFormat returns the shard file format the manifest declares,
+// defaulting empty (every version-1 manifest) to FormatCSV.
+func (m *Manifest) EffectiveFormat() string {
+	if m.Format == "" {
+		return FormatCSV
+	}
+	return m.Format
+}
+
 // Validate checks the structural invariants of the manifest itself
 // (shard files are only touched when read).
 func (m *Manifest) Validate() error {
-	if m.Version != ManifestVersion {
-		return fmt.Errorf("manifest version %d, want %d: %w", m.Version, ManifestVersion, ErrBadManifest)
+	if m.Version < 1 || m.Version > ManifestVersion {
+		return fmt.Errorf("manifest version %d, want 1..%d: %w", m.Version, ManifestVersion, ErrBadManifest)
+	}
+	switch m.EffectiveFormat() {
+	case FormatCSV:
+	case FormatBin:
+		if m.Version < 2 {
+			return fmt.Errorf("manifest version %d cannot declare format %q: %w", m.Version, m.Format, ErrBadManifest)
+		}
+	default:
+		return fmt.Errorf("manifest format %q, want %q or %q: %w", m.Format, FormatCSV, FormatBin, ErrBadManifest)
 	}
 	if len(m.AttrNames) == 0 {
 		return fmt.Errorf("manifest declares no attributes: %w", ErrBadManifest)
@@ -88,6 +129,11 @@ func (m *Manifest) Validate() error {
 		}
 		if s.Rows < 0 {
 			return fmt.Errorf("shard %d declares %d rows: %w", i, s.Rows, ErrBadManifest)
+		}
+		if s.Checksum != "" {
+			if _, err := parseChecksum(s.Checksum); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
 		}
 	}
 	return nil
@@ -144,7 +190,7 @@ type ShardedSource struct {
 	schema  *Schema
 	classes map[string]int
 	next    int // next shard index to open
-	cur     *shardReader
+	cur     rowReader
 	buf     Block
 }
 
@@ -239,7 +285,7 @@ func (s *ShardedSource) Close() error {
 // safe to read concurrently (each owns its own file handle and
 // buffers).
 type ShardSource struct {
-	r    *shardReader
+	r    rowReader
 	s    *Schema
 	rows int
 	buf  Block
@@ -290,20 +336,33 @@ func (s *ShardSource) Close() error {
 	return err
 }
 
-// shardReader reads one shard CSV against the manifest's fixed class
-// mapping, verifying the header and the declared row count.
+// rowReader is the per-format shard reading contract behind openShard:
+// serve blocks of rows verified against the manifest, then either
+// close (drained to EOF, all checks passed) or abandon (early exit).
+type rowReader interface {
+	next(max int, buf *Block) (*Block, error)
+	close() error
+	abandon() error
+}
+
+// shardReader reads one CSV shard against the manifest's fixed class
+// mapping, verifying the header, the declared row count and — when the
+// manifest carries one — the checksum over the file bytes.
 type shardReader struct {
 	f        *os.File
+	h        *xxh64
 	cr       *csv.Reader
 	path     string
 	attrs    []string
 	classes  map[string]int
 	declared int
+	want     string // manifest checksum; "" skips verification
 	read     int
 }
 
-// openShard opens shard i of the manifest and validates its header.
-func openShard(dir string, m *Manifest, classes map[string]int, i int) (*shardReader, error) {
+// openShard opens shard i of the manifest in the manifest's declared
+// format and validates its header.
+func openShard(dir string, m *Manifest, classes map[string]int, i int) (rowReader, error) {
 	path := m.Shards[i].Path
 	if !filepath.IsAbs(path) {
 		path = filepath.Join(dir, path)
@@ -312,7 +371,11 @@ func openShard(dir string, m *Manifest, classes map[string]int, i int) (*shardRe
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: %w", i, err)
 	}
-	sc := csv.NewReader(f)
+	if m.EffectiveFormat() == FormatBin {
+		return newBinShardReader(f, path, len(m.AttrNames), len(m.ClassNames), m.Shards[i].Rows, m.Shards[i].Checksum)
+	}
+	h := newXXH64()
+	sc := csv.NewReader(io.TeeReader(f, h))
 	// Records are fully consumed before the next read, so the reader
 	// may reuse its record buffer.
 	sc.ReuseRecord = true
@@ -335,11 +398,13 @@ func openShard(dir string, m *Manifest, classes map[string]int, i int) (*shardRe
 	}
 	return &shardReader{
 		f:        f,
+		h:        h,
 		cr:       sc,
 		path:     path,
 		attrs:    m.AttrNames,
 		classes:  classes,
 		declared: m.Shards[i].Rows,
+		want:     m.Shards[i].Checksum,
 	}, nil
 }
 
@@ -371,6 +436,18 @@ func (r *shardReader) next(max int, buf *Block) (*Block, error) {
 			if r.read != r.declared {
 				return nil, fmt.Errorf("shard %s has %d rows, manifest declares %d: %w",
 					r.path, r.read, r.declared, ErrBadManifest)
+			}
+			// The csv reader hit EOF, so every file byte has passed
+			// through the hash tee.
+			if r.want != "" {
+				want, err := parseChecksum(r.want)
+				if err != nil {
+					return nil, fmt.Errorf("shard %s: %w", r.path, err)
+				}
+				if got := r.h.Sum64(); got != want {
+					return nil, fmt.Errorf("shard %s: checksum %s, manifest declares %s: %w",
+						r.path, formatChecksum(got), r.want, ErrCorruptShard)
+				}
 			}
 			return nil, io.EOF
 		}

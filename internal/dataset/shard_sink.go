@@ -8,33 +8,90 @@ import (
 	"strconv"
 )
 
+// classTracker resolves sink-schema label indices to manifest label
+// indices. Unpinned (the default) it assigns indices in order of first
+// appearance in the written rows — the same rule ReadCSV applies to a
+// single file — so a sharded write followed by a sharded read produces
+// the label indices of writing and reading one big CSV. Pinned, it
+// passes indices through and records the schema's ClassNames verbatim,
+// which is what a format conversion uses to keep the input manifest's
+// label mapping byte-for-byte.
+type classTracker struct {
+	schema *Schema
+	pinned bool
+	outOf  map[int]int // schema label index → manifest label index
+	names  []string    // manifest class order (unpinned)
+}
+
+func (t *classTracker) init(s *Schema) {
+	t.schema = s
+	t.outOf = make(map[int]int)
+}
+
+func (t *classTracker) pin() { t.pinned = true }
+
+// resolve maps a schema label index to its manifest label index,
+// validating the range against the (possibly live) schema.
+func (t *classTracker) resolve(label int) (int, error) {
+	if label < 0 || label >= len(t.schema.ClassNames) {
+		return 0, fmt.Errorf("block label %d outside schema classes: %w", label, ErrBadLabel)
+	}
+	if t.pinned {
+		return label, nil
+	}
+	out, ok := t.outOf[label]
+	if !ok {
+		out = len(t.names)
+		t.outOf[label] = out
+		t.names = append(t.names, t.schema.ClassNames[label])
+	}
+	return out, nil
+}
+
+// classNames returns the manifest's ClassNames list.
+func (t *classTracker) classNames() []string {
+	if t.pinned {
+		return append([]string(nil), t.schema.ClassNames...)
+	}
+	return append([]string(nil), t.names...)
+}
+
+// ShardSink is the contract the shard-writing sinks add on top of
+// Sink: explicit shard boundaries and class-order pinning, which
+// together let a format conversion reproduce a sharded set exactly.
+type ShardSink interface {
+	Sink
+	// NextShard forces a shard boundary after the rows written so far.
+	NextShard() error
+	// PinClassOrder makes the manifest record the schema's ClassNames
+	// verbatim instead of order of first appearance.
+	PinClassOrder()
+	// ManifestPath returns the path the manifest is written to at
+	// Flush.
+	ManifestPath() string
+}
+
 // ShardedCSVSink is a Sink that writes the stream as a sharded data
 // set: CSV shard files of at most rowsPerShard tuples each, named
 // <prefix>-00000.csv, <prefix>-00001.csv, ..., plus a manifest at
-// <prefix>.manifest.json describing them. Rows land in shard files in
-// stream order, so reading the set back through ShardedSource yields
-// exactly the written stream.
-//
-// The manifest's ClassNames records class names in order of first
-// appearance in the written rows — the same assignment rule ReadCSV
-// uses on a single file — so a sharded write followed by a sharded
-// read produces the same label indices as writing one big CSV and
-// reading it back. That equivalence is what lets shard-wise profile
-// statistics merge byte-identically to the single-file result.
+// <prefix>.manifest.json describing them, including an XXH64 checksum
+// of each shard file's bytes. Rows land in shard files in stream
+// order, so reading the set back through ShardedSource yields exactly
+// the written stream.
 type ShardedCSVSink struct {
 	prefix       string
 	schema       *Schema
 	rowsPerShard int
 
 	f       *os.File
+	h       *xxh64
 	cw      *csv.Writer
 	row     []string
 	curRows int
 
-	shards     []ShardInfo
-	classSeen  map[string]bool
-	classOrder []string
-	flushed    bool
+	shards  []ShardInfo
+	classes classTracker
+	flushed bool
 }
 
 // NewShardedCSVSink returns a sink writing shard files and a manifest
@@ -48,13 +105,17 @@ func NewShardedCSVSink(prefix string, rowsPerShard int, schema *Schema) (*Sharde
 	if schema.NumAttrs() == 0 {
 		return nil, ErrNoAttributes
 	}
-	return &ShardedCSVSink{
+	s := &ShardedCSVSink{
 		prefix:       prefix,
 		schema:       schema,
 		rowsPerShard: rowsPerShard,
-		classSeen:    make(map[string]bool),
-	}, nil
+	}
+	s.classes.init(schema)
+	return s, nil
 }
+
+// PinClassOrder implements ShardSink.
+func (s *ShardedCSVSink) PinClassOrder() { s.classes.pin() }
 
 // ManifestPath returns the path the manifest is written to at Flush.
 func (s *ShardedCSVSink) ManifestPath() string {
@@ -73,7 +134,8 @@ func (s *ShardedCSVSink) openShard() error {
 		return err
 	}
 	s.f = f
-	s.cw = csv.NewWriter(f)
+	s.h = newXXH64()
+	s.cw = csv.NewWriter(&hashingWriter{w: f, h: s.h})
 	s.curRows = 0
 	header := append(append([]string(nil), s.schema.AttrNames...), "class")
 	return s.cw.Write(header)
@@ -91,8 +153,9 @@ func (s *ShardedCSVSink) closeShard() error {
 		return err
 	}
 	s.shards = append(s.shards, ShardInfo{
-		Path: filepath.Base(s.shardPath(len(s.shards))),
-		Rows: s.curRows,
+		Path:     filepath.Base(s.shardPath(len(s.shards))),
+		Rows:     s.curRows,
+		Checksum: formatChecksum(s.h.Sum64()),
 	})
 	s.f = nil
 	s.cw = nil
@@ -118,15 +181,10 @@ func (s *ShardedCSVSink) Write(b *Block) error {
 		for a := 0; a < m; a++ {
 			s.row[a] = strconv.FormatFloat(b.Cols[a][i], 'g', -1, 64)
 		}
-		if label < 0 || label >= len(s.schema.ClassNames) {
-			return fmt.Errorf("block label %d outside schema classes: %w", label, ErrBadLabel)
+		if _, err := s.classes.resolve(label); err != nil {
+			return err
 		}
-		cls := s.schema.ClassNames[label]
-		if !s.classSeen[cls] {
-			s.classSeen[cls] = true
-			s.classOrder = append(s.classOrder, cls)
-		}
-		s.row[m] = cls
+		s.row[m] = s.schema.ClassNames[label]
 		if err := s.cw.Write(s.row); err != nil {
 			return err
 		}
@@ -138,6 +196,18 @@ func (s *ShardedCSVSink) Write(b *Block) error {
 		}
 	}
 	return nil
+}
+
+// NextShard implements ShardSink: the open shard is finished (an empty
+// header-only one is created first if none is open), so the next row
+// starts a new shard file.
+func (s *ShardedCSVSink) NextShard() error {
+	if s.f == nil {
+		if err := s.openShard(); err != nil {
+			return err
+		}
+	}
+	return s.closeShard()
 }
 
 // Flush implements Sink: it finishes the open shard, writes the
@@ -160,8 +230,9 @@ func (s *ShardedCSVSink) Flush() error {
 	s.flushed = true
 	m := &Manifest{
 		Version:    ManifestVersion,
+		Format:     FormatCSV,
 		AttrNames:  append([]string(nil), s.schema.AttrNames...),
-		ClassNames: append([]string(nil), s.classOrder...),
+		ClassNames: s.classes.classNames(),
 		Shards:     s.shards,
 	}
 	return WriteManifest(m, s.ManifestPath())

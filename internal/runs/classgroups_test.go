@@ -1,0 +1,131 @@
+package runs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"privtree/internal/dataset"
+)
+
+func TestGroupClassesBasics(t *testing.T) {
+	if g := GroupClasses(nil, nil, 2); g != nil {
+		t.Fatalf("empty projection: got %v, want nil", g)
+	}
+	values := []float64{2, 1, 2, 1, 1, 3}
+	labels := []int{0, 1, 1, 1, 0, 0}
+	got := GroupClasses(values, labels, 2)
+	want := []ClassGroup{
+		{Value: 1, Counts: []int{1, 2}},
+		{Value: 2, Counts: []int{1, 1}},
+		{Value: 3, Counts: []int{1, 0}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got[0].Rows() != 3 || got[2].Rows() != 1 {
+		t.Fatalf("Rows: got %d/%d, want 3/1", got[0].Rows(), got[2].Rows())
+	}
+}
+
+// TestMergeClassGroupsOracle checks the merge against GroupClasses over
+// the concatenation, on random projections split into random shards —
+// including empty shards.
+func TestMergeClassGroupsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		values := make([]float64, n)
+		labels := make([]int, n)
+		for i := range values {
+			values[i] = float64(rng.Intn(12)) // heavy ties
+			labels[i] = rng.Intn(3)
+		}
+		want := GroupClasses(values, labels, 3)
+		var shards [][]ClassGroup
+		for lo := 0; lo <= n; {
+			hi := lo + rng.Intn(60)
+			if hi > n {
+				hi = n
+			}
+			shards = append(shards, GroupClasses(values[lo:hi], labels[lo:hi], 3))
+			if hi == n {
+				break
+			}
+			lo = hi
+		}
+		got := MergeClassGroups(shards)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestFlipClassGroups checks the in-place flip equals grouping the
+// negated projection.
+func TestFlipClassGroups(t *testing.T) {
+	values := []float64{1, 2, 2, 5}
+	labels := []int{0, 1, 0, 1}
+	groups := GroupClasses(values, labels, 2)
+	FlipClassGroups(groups)
+	neg := make([]float64, len(values))
+	for i, v := range values {
+		neg[i] = -v
+	}
+	want := GroupClasses(neg, labels, 2)
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("flipped %v, want %v", groups, want)
+	}
+	FlipClassGroups(nil) // no-op on empty
+}
+
+// TestDescendingClassStringLessOracle checks the RLE comparison against
+// the materialized class strings of random single-attribute relations.
+func TestDescendingClassStringLessOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		d := dataset.New([]string{"x"}, []string{"a", "b", "c"})
+		values := make([]float64, n)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			values[i] = float64(rng.Intn(6))
+			labels[i] = rng.Intn(3)
+			if err := d.Append([]float64{values[i]}, labels[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		asc := ClassStringOf(d, 0)
+		desc := ClassStringDescendingOf(d, 0)
+		want := lexLessInts(desc, asc)
+		groups := GroupClasses(values, labels, 3)
+		if got := DescendingClassStringLess(groups); got != want {
+			t.Fatalf("trial %d: DescendingClassStringLess = %v, want %v\nasc %v\ndesc %v",
+				trial, got, want, asc, desc)
+		}
+	}
+}
+
+// lexLessInts is strict lexicographic comparison of equal-length label
+// strings.
+func lexLessInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TestDescendingClassStringLessEdge pins the boundary cases: empty
+// groups and a palindromic string (equal either way).
+func TestDescendingClassStringLessEdge(t *testing.T) {
+	if DescendingClassStringLess(nil) {
+		t.Fatal("empty groups: want false")
+	}
+	// One value, mixed labels: asc == desc exactly.
+	groups := GroupClasses([]float64{4, 4, 4}, []int{1, 0, 1}, 2)
+	if DescendingClassStringLess(groups) {
+		t.Fatal("single-value groups: strings are equal, want false")
+	}
+}

@@ -22,32 +22,41 @@ package runs
 // union of the shards. The result is element-identical to running
 // GroupValues over the concatenated, globally sorted projection.
 func MergeGroups(shards [][]ValueGroup) []ValueGroup {
-	var acc []ValueGroup
+	return mergeRuns(shards, func(g ValueGroup) float64 { return g.Value }, combine)
+}
+
+// mergeRuns is the sorted-run merge core shared by the group algebras:
+// it folds value-sorted runs in run order, combining elements with
+// equal values. The combine functions are associative and commutative,
+// so the fold order only matters as determinism discipline, not for
+// the bytes produced.
+func mergeRuns[T any](shards [][]T, valueOf func(T) float64, combine func(T, T) T) []T {
+	var acc []T
 	first := true
 	for _, sh := range shards {
 		if len(sh) == 0 {
 			continue
 		}
 		if first {
-			acc = append([]ValueGroup(nil), sh...)
+			acc = append([]T(nil), sh...)
 			first = false
 			continue
 		}
-		acc = mergeTwo(acc, sh)
+		acc = mergeTwoRuns(acc, sh, valueOf, combine)
 	}
 	return acc
 }
 
-// mergeTwo merges two value-sorted group runs.
-func mergeTwo(a, b []ValueGroup) []ValueGroup {
-	out := make([]ValueGroup, 0, len(a)+len(b))
+// mergeTwoRuns merges two value-sorted runs.
+func mergeTwoRuns[T any](a, b []T, valueOf func(T) float64, combine func(T, T) T) []T {
+	out := make([]T, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
-		case a[i].Value < b[j].Value:
+		case valueOf(a[i]) < valueOf(b[j]):
 			out = append(out, a[i])
 			i++
-		case b[j].Value < a[i].Value:
+		case valueOf(b[j]) < valueOf(a[i]):
 			out = append(out, b[j])
 			j++
 		default:

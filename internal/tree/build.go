@@ -249,10 +249,16 @@ func (b *builder) partition(lists [][]int, idx []int, k int) (childLists [][][]i
 
 // stop reports whether a node must become a leaf before split search.
 func (b *builder) stop(counts []int, n, dep int) bool {
-	if n < 2*b.cfg.MinLeaf {
+	return stopNode(b.cfg, counts, n, dep)
+}
+
+// stopNode is the leaf decision shared by the in-memory and sharded
+// builders: too small to split, at the depth limit, or label-pure.
+func stopNode(cfg Config, counts []int, n, dep int) bool {
+	if n < 2*cfg.MinLeaf {
 		return true
 	}
-	if b.cfg.MaxDepth > 0 && dep >= b.cfg.MaxDepth {
+	if cfg.MaxDepth > 0 && dep >= cfg.MaxDepth {
 		return true
 	}
 	nonzero := 0

@@ -2,6 +2,7 @@ package tree
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"privtree/internal/dataset"
@@ -140,6 +141,41 @@ func divergence(a, b *Node, d *dataset.Dataset, idx []int, path string) string {
 		return diff
 	}
 	return divergence(a.Right, b.Right, d, ri, path+".R")
+}
+
+// AccuracySource returns the fraction of tuples of src the tree
+// classifies correctly, streaming block-wise so the relation is never
+// materialized. On the same rows it returns exactly Accuracy's float:
+// the correct/total counters are integers and the final division is
+// the same operation.
+func (t *Tree) AccuracySource(src dataset.Source) (float64, error) {
+	correct, total := 0, 0
+	var vals []float64
+	for {
+		blk, err := src.Next(0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if vals == nil {
+			vals = make([]float64, len(blk.Cols))
+		}
+		for i := range blk.Labels {
+			for a := range vals {
+				vals[a] = blk.Cols[a][i]
+			}
+			if t.Predict(vals) == blk.Labels[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(correct) / float64(total), nil
 }
 
 // Accuracy returns the fraction of tuples of d the tree classifies

@@ -1,0 +1,415 @@
+package tree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"privtree/internal/dataset"
+	"privtree/internal/obs"
+	"privtree/internal/parallel"
+	"privtree/internal/runs"
+)
+
+// Out-of-core tree induction. BuildSharded mines the same tree as
+// Build — byte-identical, at any shard and worker count — without ever
+// materializing the relation, by exploiting that the split search is a
+// function of per-distinct-value class-count histograms rather than of
+// rows:
+//
+//   - attrBest's scan over the (value, label) presort only ever
+//     consults, per group of equal values, the per-class counts (for
+//     the running left/right distributions and impurities), the
+//     minimum present label (the "first tuple" of the group in
+//     canonical order), label purity, and the group's value (for the
+//     midpoint threshold). All of these read directly off a
+//     runs.ClassGroup.
+//   - The histograms merge exactly across shards (integer counts sum),
+//     so per-shard sorted group runs folded with runs.MergeClassGroups
+//     are element-identical to the groups of the whole relation — and
+//     identical inputs to the same float arithmetic give identical
+//     floats, thresholds, gains and tie-breaks.
+//   - The canonical-orientation flip test compares ascending vs
+//     descending class strings, both of which expand from the root's
+//     groups (runs.DescendingClassStringLess), so orientation flips
+//     match Build's exactly.
+//
+// The builder is level-synchronous in the RainForest style: one scan
+// of all shards per tree level. Each scan streams every shard
+// block-wise, routes each row through the partial tree to its frontier
+// node, and reduces it into per-(node, attribute) class groups; the
+// per-shard groups then merge in shard-index order. Peak row memory is
+// O(workers × shard); what persists between levels is only the group
+// histograms, O(distinct values) per attribute like the sharded
+// profile stage.
+//
+// Sharded sources carry no categorical metadata (shard files are all
+// numeric), so the categorical split path never triggers here.
+
+// BuildSharded mines a decision tree from a sharded data set. The tree
+// is byte-identical to Build over the materialized relation, at any
+// shard and worker count.
+func BuildSharded(src *dataset.ShardedSource, cfg Config) (*Tree, error) {
+	schema := src.Schema()
+	if schema.NumAttrs() == 0 {
+		return nil, fmt.Errorf("%w: %w", ErrEmptyData, dataset.ErrNoAttributes)
+	}
+	if src.Total() == 0 {
+		return nil, fmt.Errorf("no training tuples: %w", ErrEmptyData)
+	}
+	cfg = cfg.withDefaults()
+	sp := obs.StartSpan("mine/build_sharded")
+	defer sp.End()
+	b := &shardedBuilder{
+		src:      src,
+		cfg:      cfg,
+		workers:  parallel.ResolveWorkers(cfg.Workers),
+		nAttrs:   schema.NumAttrs(),
+		nClasses: len(schema.ClassNames),
+		flipped:  make([]bool, schema.NumAttrs()),
+	}
+	root, err := b.build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Orientation == OrientationCanonical {
+		unflip(root, b.flipped)
+	}
+	if obs.Enabled() {
+		obs.Add("tree.builds", 1)
+		obs.Add("tree.nodes", b.numNodes)
+		obs.Add("tree.leaves", b.numLeaves)
+	}
+	return &Tree{
+		Root:       root,
+		AttrNames:  append([]string(nil), schema.AttrNames...),
+		ClassNames: append([]string(nil), schema.ClassNames...),
+		Config:     cfg,
+	}, nil
+}
+
+type shardedBuilder struct {
+	src      *dataset.ShardedSource
+	cfg      Config
+	workers  int
+	nAttrs   int
+	nClasses int
+	// flipped holds the canonical-orientation flags, decided from the
+	// root-level groups; all false under OrientationRaw. Once set, every
+	// scan reads flipped attributes negated, so the growing tree lives
+	// in canonical orientation exactly like Build's view.
+	flipped []bool
+
+	root                *Node
+	numNodes, numLeaves int64
+}
+
+// build grows the tree level by level: one scan of all shards per
+// level computes every frontier node's class groups, then each node
+// either becomes a leaf or splits, enqueueing its children for the
+// next level.
+func (b *shardedBuilder) build() (*Node, error) {
+	b.root = &Node{}
+	frontier := []*Node{b.root}
+	for dep := 0; len(frontier) > 0; dep++ {
+		idxOf := make(map[*Node]int, len(frontier))
+		for i, n := range frontier {
+			idxOf[n] = i
+		}
+		groups, err := b.scan(idxOf, len(frontier))
+		if err != nil {
+			return nil, err
+		}
+		if dep == 0 && b.cfg.Orientation == OrientationCanonical {
+			// The root groups were collected unflipped; decide each
+			// attribute's orientation from them, then rewrite the
+			// flipped attributes' groups in place — FlipClassGroups is
+			// exactly the groups of the negated column — so the root
+			// split search already runs in canonical orientation.
+			for a := 0; a < b.nAttrs; a++ {
+				if runs.DescendingClassStringLess(groups[0][a]) {
+					b.flipped[a] = true
+					runs.FlipClassGroups(groups[0][a])
+				}
+			}
+		}
+		var next []*Node
+		for fi, n := range frontier {
+			counts := make([]int, b.nClasses)
+			for _, g := range groups[fi][0] {
+				for c, k := range g.Counts {
+					counts[c] += k
+				}
+			}
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			b.numNodes++
+			n.Counts = counts
+			n.Class = argmax(counts)
+			if stopNode(b.cfg, counts, total, dep) {
+				n.Leaf = true
+				b.numLeaves++
+				continue
+			}
+			best, ok := b.bestGroupSplit(groups[fi], counts, total)
+			if !ok {
+				n.Leaf = true
+				b.numLeaves++
+				continue
+			}
+			n.Attr = best.attr
+			n.Threshold = best.threshold
+			n.Left = &Node{}
+			n.Right = &Node{}
+			next = append(next, n.Left, n.Right)
+		}
+		frontier = next
+	}
+	return b.root, nil
+}
+
+// routeRow descends row r of blk through the partial tree and returns
+// the index of the frontier node it reaches, or -1 if it lands in a
+// finished leaf.
+func (b *shardedBuilder) routeRow(idxOf map[*Node]int, blk *dataset.Block, r int) int {
+	n := b.root
+	for {
+		if fi, ok := idxOf[n]; ok {
+			return fi
+		}
+		if n.Leaf {
+			return -1
+		}
+		v := blk.Cols[n.Attr][r]
+		if b.flipped[n.Attr] {
+			v = -v
+		}
+		if v <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+}
+
+// scan is one level pass: it streams every shard, routes rows to the
+// nf frontier nodes, reduces each shard to per-(node, attribute) class
+// groups, and merges the per-shard groups in shard-index order. The
+// returned groups[fi][a] are element-identical to GroupClasses over
+// frontier node fi's full subset of attribute a (flipped attributes
+// negated), which is what makes the split search byte-identical to the
+// in-memory scan.
+func (b *shardedBuilder) scan(idxOf map[*Node]int, nf int) ([][][]runs.ClassGroup, error) {
+	nShards := b.src.NumShards()
+	perShard := make([][][][]runs.ClassGroup, nShards) // [shard][node][attr]
+	err := parallel.ForEach(context.Background(), nShards, b.workers, func(si int) error {
+		sh, err := b.src.Shard(si)
+		if err != nil {
+			return err
+		}
+		defer sh.Close()
+		vals := make([][][]float64, nf) // [node][attr] projected values
+		labs := make([][]int, nf)       // [node] labels
+		for {
+			blk, err := sh.Next(0)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			for r := 0; r < len(blk.Labels); r++ {
+				fi := b.routeRow(idxOf, blk, r)
+				if fi < 0 {
+					continue
+				}
+				if vals[fi] == nil {
+					vals[fi] = make([][]float64, b.nAttrs)
+				}
+				for a := 0; a < b.nAttrs; a++ {
+					v := blk.Cols[a][r]
+					if b.flipped[a] {
+						v = -v
+					}
+					vals[fi][a] = append(vals[fi][a], v)
+				}
+				labs[fi] = append(labs[fi], blk.Labels[r])
+			}
+		}
+		out := make([][][]runs.ClassGroup, nf)
+		for fi := range out {
+			if vals[fi] == nil {
+				continue
+			}
+			out[fi] = make([][]runs.ClassGroup, b.nAttrs)
+			for a := 0; a < b.nAttrs; a++ {
+				out[fi][a] = runs.GroupClasses(vals[fi][a], labs[fi], b.nClasses)
+				vals[fi][a] = nil // rows are folded; free them eagerly
+			}
+			labs[fi] = nil
+		}
+		perShard[si] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge per (node, attribute), each fold in shard-index order. The
+	// merges are independent, so they fan out like the scan.
+	merged := make([][][]runs.ClassGroup, nf)
+	for fi := range merged {
+		merged[fi] = make([][]runs.ClassGroup, b.nAttrs)
+	}
+	_ = parallel.ForEach(context.Background(), nf*b.nAttrs, b.workers, func(i int) error {
+		fi, a := i/b.nAttrs, i%b.nAttrs
+		sg := make([][]runs.ClassGroup, 0, nShards)
+		for si := 0; si < nShards; si++ {
+			if perShard[si][fi] == nil {
+				continue
+			}
+			sg = append(sg, perShard[si][fi][a])
+		}
+		merged[fi][a] = runs.MergeClassGroups(sg)
+		return nil
+	})
+	return merged, nil
+}
+
+// bestGroupSplit mirrors bestSplit over class groups: every
+// attribute's candidate search is independent, winners reduce in
+// attribute order, and the same parallelism threshold applies — the
+// selected split is identical at any worker count, and identical to
+// the in-memory search.
+func (b *shardedBuilder) bestGroupSplit(gs [][]runs.ClassGroup, counts []int, total int) (split, bool) {
+	parentImp := b.cfg.Criterion.Impurity(counts, total)
+	m := b.nAttrs
+	if obs.Enabled() {
+		obs.Add("tree.split_scans", int64(m))
+	}
+	if b.workers > 1 && total >= ParallelMinRows && m > 1 {
+		cands := make([]split, m)
+		founds := make([]bool, m)
+		_ = parallel.ForEach(context.Background(), m, b.workers, func(a int) error {
+			left := make([]int, len(counts))
+			right := make([]int, len(counts))
+			cands[a], founds[a] = attrBestGroups(b.cfg, a, gs[a], counts, total, parentImp, left, right)
+			return nil
+		})
+		var best split
+		found := false
+		for a := 0; a < m; a++ {
+			if founds[a] && (!found || cands[a].better(best, 1e-12)) {
+				best = cands[a]
+				found = true
+			}
+		}
+		return best, found
+	}
+	var best split
+	found := false
+	left := make([]int, len(counts))
+	right := make([]int, len(counts))
+	for a := 0; a < m; a++ {
+		if cand, ok := attrBestGroups(b.cfg, a, gs[a], counts, total, parentImp, left, right); ok {
+			if !found || cand.better(best, 1e-12) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// attrBestGroups is attrBest's scan expressed over class groups. Each
+// group plays the role of one block of equal values in the (value,
+// label) presort: the minimum present label is the block's first-tuple
+// label, one nonzero class means label-pure, and the left/right
+// distributions advance by the group's histogram. Identical integer
+// counts feed identical float arithmetic, so gains, thresholds and
+// tie-break signatures come out bit-equal to the in-memory scan.
+func attrBestGroups(cfg Config, a int, groups []runs.ClassGroup, counts []int, total int, parentImp float64, left, right []int) (split, bool) {
+	var best split
+	found := false
+	for c := range left {
+		left[c] = 0
+		right[c] = counts[c]
+	}
+	nLeft := 0
+	boundary := 0
+	for k := 0; k < len(groups); k++ {
+		g := groups[k]
+		groupLabel, pure := groupLabelPure(g.Counts)
+		for c, n := range g.Counts {
+			left[c] += n
+			right[c] -= n
+			nLeft += n
+		}
+		if k == len(groups)-1 {
+			break
+		}
+		boundary++
+		if nLeft < cfg.MinLeaf || total-nLeft < cfg.MinLeaf {
+			continue
+		}
+		// Lemma 2: a boundary strictly inside a label run — both
+		// adjacent groups pure with the same label — can never be
+		// optimal, so skip it (unless benchmarking the full scan).
+		if !cfg.FullSplitScan {
+			nextLabel, nextPure := groupLabelPure(groups[k+1].Counts)
+			if pure && groupLabel == nextLabel && nextPure {
+				continue
+			}
+		}
+		nRight := total - nLeft
+		imp := float64(nLeft)/float64(total)*cfg.Criterion.Impurity(left, nLeft) +
+			float64(nRight)/float64(total)*cfg.Criterion.Impurity(right, nRight)
+		gain := parentImp - imp
+		if cfg.Criterion == GainRatio {
+			si := splitInfo(nLeft, nRight, total)
+			if si <= 0 {
+				continue
+			}
+			gain /= si
+		}
+		if gain < cfg.MinGain {
+			continue
+		}
+		cand := split{
+			attr:      a,
+			threshold: (g.Value + groups[k+1].Value) / 2,
+			gain:      gain,
+			boundary:  boundary,
+		}
+		// The signature is only needed for tie comparisons; skip the
+		// copies when the candidate is not competitive.
+		if !found || cand.gain >= best.gain-1e-12 {
+			cand.signature(left, right)
+			if !found || cand.better(best, 1e-12) {
+				best = cand
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// groupLabelPure returns the minimum class with a nonzero count — the
+// label of the group's first tuple in canonical (value, label) order —
+// and whether the group is label-pure.
+func groupLabelPure(counts []int) (label int, pure bool) {
+	label = -1
+	nonzero := 0
+	for c, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if label < 0 {
+			label = c
+		}
+		nonzero++
+	}
+	return label, nonzero == 1
+}

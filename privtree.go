@@ -103,6 +103,16 @@ func OpenSharded(manifestPath string) (*ShardedSource, error) {
 	return dataset.OpenSharded(manifestPath)
 }
 
+// ConvertSharded rewrites a sharded data set into the requested shard
+// format ("csv" or "bin") under outPrefix, preserving row order, shard
+// boundaries and the manifest's class order exactly, and returns the
+// new manifest's path. Checksums are recomputed for the new bytes; the
+// source's own checksums and row counts are verified on the way
+// through.
+func ConvertSharded(manifestPath, outPrefix, format string) (string, error) {
+	return dataset.ConvertSharded(manifestPath, outPrefix, format)
+}
+
 // ReadShardedFile materializes a sharded data set into memory — the
 // bridge to the in-memory API (Mine, DecodeTree, ...) for sets that do
 // fit. For out-of-core encoding use BuildKeySharded + ApplySharded.
@@ -233,6 +243,15 @@ const (
 // Mine builds a decision tree. Run it on D' at the mining service, or on
 // D directly for comparison.
 func Mine(d *Dataset, cfg TreeConfig) (*Tree, error) { return tree.Build(d, cfg) }
+
+// MineSharded is Mine over a sharded data set, without ever
+// materializing it: induction is level-synchronous, scanning each
+// shard once per tree level and reducing it to mergeable split-search
+// statistics. The mined tree is byte-identical to Mine on the
+// materialized data, at any shard and worker count.
+func MineSharded(src *ShardedSource, cfg TreeConfig) (*Tree, error) {
+	return tree.BuildSharded(src, cfg)
+}
 
 // MarshalTree serializes a tree to JSON — the wire format the mining
 // service uses to return the encoded classifier.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package privtree
+
+const raceDetectorOn = false

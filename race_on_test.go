@@ -1,0 +1,7 @@
+//go:build race
+
+package privtree
+
+// raceDetectorOn reports the race detector is compiled in; the scale
+// cases shrink under it so `go test -race ./...` stays tractable.
+const raceDetectorOn = true

@@ -37,7 +37,7 @@ fi
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-go test -run xxx -bench 'Benchmark(Parallel(Trials|Forest|SplitSearch|EncodeStages)|ShardedEncode|ServerEncode)' \
+go test -run xxx -bench 'Benchmark(Parallel(Trials|Forest|SplitSearch|EncodeStages)|ShardedEncode|BinaryShardedEncode|ShardedMine|ServerEncode)' \
 	-benchtime "$BENCHTIME" -count "$COUNT" . >"$RAW"
 
 awk '

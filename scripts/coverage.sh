@@ -10,12 +10,17 @@
 #   COVER_FLOOR         per-package floor in percent (default 70)
 #   COVER_FLOOR_SERVER  floor for internal/server (default 80 — the
 #                       daemon's handler battery is its only proof)
+#   COVER_FLOOR_SHARD   floor for internal/dataset and internal/tree
+#                       (default 80 — the binary shard format and the
+#                       out-of-core induction live there, and their
+#                       equivalence claims rest on these suites)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${COVER_OUT:-coverage.out}"
 FLOOR="${COVER_FLOOR:-70}"
 FLOOR_SERVER="${COVER_FLOOR_SERVER:-80}"
+FLOOR_SHARD="${COVER_FLOOR_SHARD:-80}"
 LOG="$(mktemp)"
 trap 'rm -f "$LOG"' EXIT
 
@@ -32,6 +37,9 @@ for spec in \
   "privtree/internal/transform:$FLOOR" \
   "privtree/internal/obs:$FLOOR" \
   "privtree/internal/obs/export:$FLOOR" \
+  "privtree/internal/runs:$FLOOR" \
+  "privtree/internal/dataset:$FLOOR_SHARD" \
+  "privtree/internal/tree:$FLOOR_SHARD" \
   "privtree/internal/server:$FLOOR_SERVER"; do
   pkg="${spec%:*}"
   floor="${spec##*:}"

@@ -10,13 +10,23 @@
 #      (cmp) — sharding and parallel per-shard apply are pure
 #      wall-clock/memory knobs, never an output knob;
 #   4. privtree verify -manifest replays the conformance battery on the
-#      sharded original against the sharded-built key.
+#      sharded original against the sharded-built key;
+#   5. privtree convert rewrites the CSV shards as binary shards, the
+#      encode reruns from the binary manifest, and its output and key
+#      must again cmp byte-identical;
+#   6. a fresh MINE_ROWS-row set (default 1M) is written straight to
+#      binary shards, and privtree mine -manifest over it must produce
+#      byte-for-byte the tree JSON of the in-memory mine of the same
+#      rows — the out-of-core induction identity at scale.
 #
-# Usage: scripts/shard_smoke.sh [rows]   (default 4000)
+# Usage: scripts/shard_smoke.sh [rows] [mine_rows]
+#   rows       encode-identity set size (default 4000)
+#   mine_rows  mine-identity set size (default 1000000)
 set -eu
 cd "$(dirname "$0")/.."
 
 ROWS="${1:-4000}"
+MINE_ROWS="${2:-1000000}"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
 
@@ -44,4 +54,31 @@ echo "shard_smoke: verifying the sharded-built key against the sharded original"
 go run ./cmd/privtree verify -manifest "$DIR/train.manifest.json" \
 	-key "$DIR/key_sharded.json" -minleaf 20
 
-echo "shard_smoke: OK — sharded and in-memory encode are byte-identical"
+echo "shard_smoke: converting the CSV shards to binary and re-encoding"
+go run ./cmd/privtree convert -manifest "$DIR/train.manifest.json" \
+	-out "$DIR/trainbin" -format bin
+go run ./cmd/privtree encode -manifest "$DIR/trainbin.manifest.json" -workers 4 \
+	-out "$DIR/enc_bin.csv" -key "$DIR/key_bin.json" -seed 11
+cmp "$DIR/enc_mem.csv" "$DIR/enc_bin.csv" || {
+	echo "shard_smoke: FAIL — binary-shard encode differs from in-memory encode" >&2
+	exit 1
+}
+cmp "$DIR/key_mem.json" "$DIR/key_bin.json" || {
+	echo "shard_smoke: FAIL — binary-shard key differs from in-memory key" >&2
+	exit 1
+}
+
+echo "shard_smoke: mining a $MINE_ROWS-row binary-sharded set out-of-core vs in-memory"
+go run ./cmd/datagen -kind covertype -n "$MINE_ROWS" -seed 13 -o "$DIR/mine.csv"
+go run ./cmd/datagen -kind covertype -n "$MINE_ROWS" -seed 13 \
+	-o "$DIR/mine" -shards 14 -format bin
+go run ./cmd/privtree mine -in "$DIR/mine.csv" \
+	-maxdepth 8 -minleaf 100 -out "$DIR/tree_mem.json"
+go run ./cmd/privtree mine -manifest "$DIR/mine.manifest.json" -workers 4 \
+	-maxdepth 8 -minleaf 100 -out "$DIR/tree_sharded.json"
+cmp "$DIR/tree_mem.json" "$DIR/tree_sharded.json" || {
+	echo "shard_smoke: FAIL — out-of-core mined tree differs from in-memory mine" >&2
+	exit 1
+}
+
+echo "shard_smoke: OK — sharded (CSV and binary) encode and mine are byte-identical to in-memory"
